@@ -1,0 +1,65 @@
+// Shared plumbing for the table/figure bench binaries.
+//
+// Every bench loads the same deterministic artifacts (trained model, fitted
+// validator bank, corner-case suite) through the pipeline cache, builds the
+// paper's evaluation sets, and prints one table or figure. The first bench
+// to run on a fresh checkout trains everything; later benches reuse the
+// cache in ./artifacts.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "augment/corner_case.h"
+#include "core/deep_validator.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "pipeline/artifacts.h"
+#include "pipeline/corner_suite.h"
+#include "util/logging.h"
+
+namespace dv::bench {
+
+struct world {
+  experiment_config config;
+  model_bundle bundle;
+  corner_suite corners;
+  deep_validator validator;
+  /// Clean evaluation images (the paper samples as many clean test images
+  /// as there are corner cases; we use the full test split).
+  tensor clean_images;
+};
+
+/// Loads (or builds) the full evaluation world for one dataset kind.
+inline world load_world(dataset_kind kind, bool need_validator = true) {
+  world w{standard_config(kind), {}, {}, {}, {}};
+  w.bundle = load_or_train(w.config);
+  w.corners =
+      load_or_generate_corners(w.config, *w.bundle.model, w.bundle.data.test);
+  if (need_validator) {
+    w.validator = load_or_fit_validator(w.config, *w.bundle.model,
+                                        w.bundle.data.train);
+  }
+  w.clean_images = w.bundle.data.test.images;
+  return w;
+}
+
+/// The SCC subset of one corner entry.
+inline dataset scc_subset(const corner_entry& entry) { return entry.sccs(); }
+
+/// The FCC subset of one corner entry.
+inline dataset fcc_subset(const corner_entry& entry) { return entry.fccs(); }
+
+inline void print_banner(const std::string& title, const world& w) {
+  std::printf("\n===== %s =====\n", title.c_str());
+  std::printf("dataset: %s | model: %s | test accuracy %.4f\n",
+              w.config.summary().c_str(), model_name(w.config.data.kind),
+              w.bundle.test_accuracy);
+}
+
+inline void print_title(const std::string& title) {
+  std::printf("\n===== %s =====\n", title.c_str());
+}
+
+}  // namespace dv::bench

@@ -1,0 +1,66 @@
+// Figure 3: distributions of the normalized joint discrepancy for
+// legitimate images vs successful corner cases (SCCs), per dataset.
+//
+// Shape to reproduce from the paper: the two distributions are well
+// separated, with legitimate images concentrated at negative normalized
+// discrepancy and SCCs at positive values; the midpoint of the two
+// centroids is a usable threshold epsilon.
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.h"
+#include "eval/histogram.h"
+#include "util/serialize.h"
+
+int main() {
+  using namespace dv;
+  using namespace dv::bench;
+  set_log_level(log_level::info);
+
+  print_title(
+      "Figure 3: discrepancy distributions of legitimate images and SCCs");
+  const std::string fig_dir = artifact_directory() + "/figures";
+  ensure_directory(fig_dir);
+
+  for (const auto kind :
+       {dataset_kind::digits, dataset_kind::objects, dataset_kind::street}) {
+    world w = load_world(kind);
+    const dataset sccs = w.corners.pooled_sccs();
+
+    std::vector<double> legit =
+        w.validator.evaluate(*w.bundle.model, w.clean_images).joint;
+    std::vector<double> invalid =
+        w.validator.evaluate(*w.bundle.model, sccs.images).joint;
+
+    const double centroid_eps = centroid_threshold(invalid, legit);
+    normalize_jointly(legit, invalid);
+
+    // The paper plots 200 bins; 72 keeps the terminal rendering readable.
+    const histogram h_legit = build_histogram(legit, -1.0, 1.0, 72);
+    const histogram h_scc = build_histogram(invalid, -1.0, 1.0, 72);
+
+    std::printf("\n--- %s (stand-in for %s) ---\n", dataset_kind_name(kind),
+                dataset_kind_paper_name(kind));
+    std::printf("%s", ascii_overlay(h_legit, h_scc, "legitimate",
+                                    "successful corner cases")
+                          .c_str());
+    std::printf(
+        "legit mean %.3f | SCC mean %.3f (normalized) | centroid threshold "
+        "epsilon (raw) %.4f\n",
+        mean(legit), mean(invalid), centroid_eps);
+
+    // 200-bin CSV for external plotting, as in the paper's figure.
+    const histogram c_legit = build_histogram(legit, -1.0, 1.0, 200);
+    const histogram c_scc = build_histogram(invalid, -1.0, 1.0, 200);
+    const std::string csv_path =
+        fig_dir + "/fig3_" + dataset_kind_name(kind) + ".csv";
+    std::ofstream out{csv_path};
+    out << histogram_csv(c_legit, c_scc);
+    std::printf("wrote %s (200 bins, columns: center, legit, scc)\n",
+                csv_path.c_str());
+  }
+  std::printf(
+      "\nshape check vs paper Fig. 3: legitimate mass left of zero, SCC mass "
+      "right of zero,\nminimal overlap.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Prints the three target architectures, including the SVHN-like model that
+// reproduces paper Table II, plus parameter counts and probe placement.
+#include <cstdio>
+
+#include "pipeline/models.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace dv;
+  set_log_level(log_level::warn);
+
+  std::printf("===== Model architectures (paper §IV-A, Table II) =====\n");
+  for (const auto kind :
+       {dataset_kind::digits, dataset_kind::objects, dataset_kind::street}) {
+    auto model = make_model(kind, 99);
+    std::printf("\n--- %s model for %s (stand-in for %s) ---\n",
+                model_name(kind), dataset_kind_name(kind),
+                dataset_kind_paper_name(kind));
+    std::printf("%s", model->describe().c_str());
+    std::printf("  trainable parameters: %lld | probe points: %d\n",
+                static_cast<long long>(model->param_count()),
+                model->probe_count());
+    if (kind == dataset_kind::street) {
+      std::printf(
+          "  (paper Table II layout: [conv+relu, conv+relu+pool] x2 with\n"
+          "   64/64/128/128 filters and fc 256/256 — widths scaled to\n"
+          "   16/16/32/32 and fc 96/96 for single-core CPU training,\n"
+          "   see DESIGN.md section 3)\n");
+    }
+  }
+  return 0;
+}

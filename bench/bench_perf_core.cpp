@@ -1,0 +1,143 @@
+// Microbenchmarks of the numerical kernels behind the library (google-
+// benchmark): GEMM variants, im2col, convolution forward/backward, the RBF
+// kernel and one-class SVM scoring, affine warping, and the squeezers.
+#include <benchmark/benchmark.h>
+
+#include "augment/affine.h"
+#include "detect/squeezers.h"
+#include "nn/layers.h"
+#include "svm/one_class_svm.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dv;
+
+void bm_gemm_nn(benchmark::State& state) {
+  const auto n = state.range(0);
+  rng gen{1};
+  tensor a = tensor::randn({n, n}, gen);
+  tensor b = tensor::randn({n, n}, gen);
+  tensor c{{n, n}};
+  for (auto _ : state) {
+    gemm_nn(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(bm_gemm_nn)->Arg(32)->Arg(64)->Arg(128);
+
+void bm_gemm_nt(benchmark::State& state) {
+  const auto n = state.range(0);
+  rng gen{2};
+  tensor a = tensor::randn({n, n}, gen);
+  tensor b = tensor::randn({n, n}, gen);
+  tensor c{{n, n}};
+  for (auto _ : state) {
+    gemm_nt(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(bm_gemm_nt)->Arg(64);
+
+void bm_im2col(benchmark::State& state) {
+  rng gen{3};
+  const conv_geometry g{16, 28, 28, 3, 1, 1};
+  tensor img = tensor::randn({16, 28, 28}, gen);
+  tensor col{{g.col_rows(), g.col_cols()}};
+  for (auto _ : state) {
+    im2col(img.data(), g, col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(bm_im2col);
+
+void bm_conv_forward(benchmark::State& state) {
+  rng gen{4};
+  conv2d conv{8, 16, 3, 1, 1, gen};
+  tensor x = tensor::randn({8, 8, 28, 28}, gen);
+  for (auto _ : state) {
+    tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);  // images per iteration
+}
+BENCHMARK(bm_conv_forward);
+
+void bm_conv_backward(benchmark::State& state) {
+  rng gen{5};
+  conv2d conv{8, 16, 3, 1, 1, gen};
+  tensor x = tensor::randn({8, 8, 28, 28}, gen);
+  tensor y = conv.forward(x, true);
+  tensor g = tensor::randn(y.shape(), gen);
+  for (auto _ : state) {
+    tensor dx = conv.backward(g);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(bm_conv_backward);
+
+void bm_rbf_kernel(benchmark::State& state) {
+  const auto d = state.range(0);
+  rng gen{6};
+  tensor a = tensor::randn({d}, gen);
+  tensor b = tensor::randn({d}, gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rbf_kernel(a.data(), b.data(), d, 0.01));
+  }
+}
+BENCHMARK(bm_rbf_kernel)->Arg(64)->Arg(512);
+
+void bm_svm_fit(benchmark::State& state) {
+  const auto n = state.range(0);
+  rng gen{7};
+  tensor samples = tensor::randn({n, 16}, gen);
+  for (auto _ : state) {
+    one_class_svm svm;
+    svm.fit(samples, {});
+    benchmark::DoNotOptimize(svm.rho());
+  }
+}
+BENCHMARK(bm_svm_fit)->Arg(100)->Arg(300);
+
+void bm_svm_decision(benchmark::State& state) {
+  rng gen{8};
+  tensor samples = tensor::randn({300, 16}, gen);
+  one_class_svm svm;
+  svm.fit(samples, {});
+  tensor query = tensor::randn({16}, gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        svm.decision({query.data(), static_cast<std::size_t>(16)}));
+  }
+}
+BENCHMARK(bm_svm_decision);
+
+void bm_warp_affine(benchmark::State& state) {
+  rng gen{9};
+  tensor img = tensor::uniform({3, 32, 32}, gen, 0.0f, 1.0f);
+  const affine_matrix rot = affine_matrix::rotation(0.7f);
+  for (auto _ : state) {
+    tensor out = warp_affine(img, rot);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(bm_warp_affine);
+
+void bm_median_squeezer(benchmark::State& state) {
+  rng gen{10};
+  tensor img = tensor::uniform({1, 28, 28}, gen, 0.0f, 1.0f);
+  median_squeezer sq{2};
+  for (auto _ : state) {
+    tensor out = sq.apply(img);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(bm_median_squeezer);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Table VII: overall ROC-AUC of Deep Validation vs feature squeezing vs
+// kernel density estimation on the pooled successful corner cases (SCCs).
+//
+// Shape to reproduce from the paper: Deep Validation dominates on every
+// dataset (0.9937 / 0.9805 / 0.9506); feature squeezing degrades strongly on
+// the noisy SVHN-like dataset (0.6870 in the paper); kernel density
+// estimation collapses on real-world corner cases (0.14-0.25 in the paper).
+#include <cstdio>
+#include <memory>
+
+#include "attack/fgsm.h"
+#include "bench_common.h"
+#include "detect/dv_adapter.h"
+#include "detect/feature_squeeze.h"
+#include "detect/kde.h"
+#include "detect/lid.h"
+#include "detect/mahalanobis.h"
+
+int main() {
+  using namespace dv;
+  using namespace dv::bench;
+  set_log_level(log_level::info);
+
+  print_title(
+      "Table VII: comparison with feature squeezing and kernel density "
+      "estimation (SCCs)");
+  text_table table{{"Dataset", "Method", "Overall ROC-AUC Score (SCCs)"}};
+
+  for (const auto kind :
+       {dataset_kind::digits, dataset_kind::objects, dataset_kind::street}) {
+    world w = load_world(kind);
+    const dataset sccs = w.corners.pooled_sccs();
+    log_info() << dataset_kind_name(kind) << ": " << sccs.size()
+               << " pooled SCCs vs " << w.clean_images.extent(0)
+               << " clean images";
+
+    deep_validation_detector dv_det{*w.bundle.model, w.validator};
+    feature_squeezing_detector fs_det{
+        *w.bundle.model,
+        feature_squeezing_detector::standard_bank(
+            kind == dataset_kind::digits)};
+    kde_config kcfg;
+    kde_detector kde_det{*w.bundle.model, w.bundle.data.train, kcfg};
+    mahalanobis_config mcfg;
+    mahalanobis_detector maha_det{*w.bundle.model, w.bundle.data.train, mcfg};
+
+    // LID (extension row): trained on *FGSM adversarials* as in Ma et al. —
+    // evaluating it on corner cases quantifies the generalization gap the
+    // paper attributes to detectors that need anomalous training data.
+    fgsm_attack fgsm{0.3f};
+    const std::int64_t lid_train = std::min<std::int64_t>(60, w.corners.seeds.size());
+    std::vector<tensor> advs;
+    for (std::int64_t i = 0; i < lid_train; ++i) {
+      const tensor img = w.corners.seeds.images.sample(i);
+      const auto res =
+          fgsm.run(*w.bundle.model, img,
+                   w.corners.seeds.labels[static_cast<std::size_t>(i)], -1);
+      if (res.success) advs.push_back(res.adversarial);
+    }
+    std::unique_ptr<lid_detector> lid_det;
+    if (advs.size() >= 10) {
+      tensor positives{{static_cast<std::int64_t>(advs.size()),
+                        w.clean_images.extent(1), w.clean_images.extent(2),
+                        w.clean_images.extent(3)}};
+      for (std::size_t i = 0; i < advs.size(); ++i) {
+        positives.set_sample(static_cast<std::int64_t>(i), advs[i]);
+      }
+      lid_config lcfg;
+      lid_det = std::make_unique<lid_detector>(
+          *w.bundle.model, w.bundle.data.train, positives,
+          w.clean_images.slice_rows(0, static_cast<std::int64_t>(advs.size())),
+          lcfg);
+    }
+
+    std::vector<std::pair<const char*, anomaly_detector*>> detectors{
+        {"Deep Validation", &dv_det},
+        {"Feature Squeezing", &fs_det},
+        {"Kernel Density Estimation", &kde_det},
+        {"Mahalanobis (Lee et al., extension)", &maha_det}};
+    if (lid_det) {
+      detectors.emplace_back("LID, FGSM-trained (Ma et al., extension)",
+                             lid_det.get());
+    }
+    for (const auto& [label, det] : detectors) {
+      const auto pos = det->score_batch(sccs.images);
+      const auto neg = det->score_batch(w.clean_images);
+      table.add_row({dataset_kind_paper_name(kind), label,
+                     text_table::fmt(roc_auc(pos, neg))});
+    }
+    table.add_separator();
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "paper reference — MNIST: DV 0.9937 / FS 0.9784 / KDE 0.1436;\n"
+      "CIFAR-10: DV 0.9805 / FS 0.8796 / KDE 0.1254; SVHN: DV 0.9506 / FS "
+      "0.6870 / KDE 0.2543.\nshape check: DV first on every dataset; FS gap "
+      "largest on the noisy SVHN-like set;\nKDE far behind both.\n");
+  return 0;
+}

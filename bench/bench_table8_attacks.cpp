@@ -1,0 +1,147 @@
+// Table VIII: Deep Validation vs feature squeezing under white-box attacks
+// on the MNIST-like model — FGSM and BIM (untargeted), CW-inf / CW2 / CW0
+// and JSMA (targeted: next class and least-likely class).
+//
+// Shape to reproduce from the paper: both detectors near-perfect on
+// SAEs (DV overall 0.9755, FS 0.9971 on SAEs); DV overtakes FS when failed
+// adversarial examples (FAEs) also count as positives (0.9572 vs 0.9400),
+// because failed attack attempts still leave the valid input region.
+#include <limits>
+#include <cstdio>
+#include <memory>
+
+#include "attack/bim.h"
+#include "attack/cw.h"
+#include "attack/fgsm.h"
+#include "attack/jsma.h"
+#include "bench_common.h"
+#include "detect/dv_adapter.h"
+#include "detect/feature_squeeze.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace dv;
+using namespace dv::bench;
+
+struct attack_setting {
+  std::string label;
+  std::unique_ptr<attack> method;
+  attack_target target;
+};
+
+struct setting_result {
+  double success_rate{0.0};
+  std::vector<double> dv_sae, dv_fae, fs_sae, fs_fae;
+};
+
+}  // namespace
+
+int main() {
+  using namespace dv;
+  set_log_level(log_level::info);
+
+  print_title("Table VIII: white-box attacks on the MNIST-like model");
+  world w = load_world(dataset_kind::digits);
+
+  const std::int64_t seed_count = fast_mode() ? 10 : 100;
+  const dataset seeds = select_seeds(*w.bundle.model, w.bundle.data.test,
+                                     seed_count, 2718);
+  std::printf("attacking %lld correctly classified seeds\n",
+              static_cast<long long>(seeds.size()));
+
+  deep_validation_detector dv_det{*w.bundle.model, w.validator};
+  feature_squeezing_detector fs_det{
+      *w.bundle.model, feature_squeezing_detector::standard_bank(true)};
+  const auto dv_clean = dv_det.score_batch(w.clean_images);
+  const auto fs_clean = fs_det.score_batch(w.clean_images);
+
+  std::vector<attack_setting> settings;
+  settings.push_back({"FGSM / Untargeted", std::make_unique<fgsm_attack>(0.3f),
+                      attack_target::untargeted});
+  settings.push_back({"BIM / Untargeted",
+                      std::make_unique<bim_attack>(0.3f, 0.03f, 20),
+                      attack_target::untargeted});
+  cw_config cw_cfg;
+  cw_cfg.iterations = 100;
+  settings.push_back({"CWinf / Next", std::make_unique<cwinf_attack>(cw_cfg),
+                      attack_target::next_class});
+  settings.push_back({"CWinf / LL", std::make_unique<cwinf_attack>(cw_cfg),
+                      attack_target::least_likely});
+  settings.push_back({"CW2 / Next", std::make_unique<cw2_attack>(cw_cfg),
+                      attack_target::next_class});
+  settings.push_back({"CW2 / LL", std::make_unique<cw2_attack>(cw_cfg),
+                      attack_target::least_likely});
+  settings.push_back({"CW0 / Next", std::make_unique<cw0_attack>(cw_cfg),
+                      attack_target::next_class});
+  settings.push_back({"CW0 / LL", std::make_unique<cw0_attack>(cw_cfg),
+                      attack_target::least_likely});
+  settings.push_back({"JSMA / Next", std::make_unique<jsma_attack>(0.14f),
+                      attack_target::next_class});
+  settings.push_back({"JSMA / LL", std::make_unique<jsma_attack>(0.14f),
+                      attack_target::least_likely});
+
+  text_table table{{"Attack / Target", "Success Rate", "DV (SAEs)",
+                    "FS (SAEs)", "DV (AEs)", "FS (AEs)"}};
+  std::vector<double> dv_all_sae, fs_all_sae, dv_all_ae, fs_all_ae;
+
+  for (auto& setting : settings) {
+    stopwatch timer;
+    setting_result r;
+    std::int64_t successes = 0;
+    for (std::int64_t i = 0; i < seeds.size(); ++i) {
+      const tensor img = seeds.images.sample(i);
+      const auto label = seeds.labels[static_cast<std::size_t>(i)];
+      const auto target =
+          select_target(*w.bundle.model, img, label, setting.target);
+      const attack_result res =
+          setting.method->run(*w.bundle.model, img, label, target);
+      const double dv_score = dv_det.score(res.adversarial);
+      const double fs_score = fs_det.score(res.adversarial);
+      // SAE = misclassified regardless of target label (defender's view).
+      if (res.success) {
+        ++successes;
+        r.dv_sae.push_back(dv_score);
+        r.fs_sae.push_back(fs_score);
+      } else {
+        r.dv_fae.push_back(dv_score);
+        r.fs_fae.push_back(fs_score);
+      }
+    }
+    r.success_rate = static_cast<double>(successes) /
+                     static_cast<double>(seeds.size());
+
+    auto auc_or_nan = [&](const std::vector<double>& pos,
+                          const std::vector<double>& neg) {
+      return pos.empty() ? std::numeric_limits<double>::quiet_NaN()
+                         : roc_auc(pos, neg);
+    };
+    std::vector<double> dv_ae = r.dv_sae;
+    dv_ae.insert(dv_ae.end(), r.dv_fae.begin(), r.dv_fae.end());
+    std::vector<double> fs_ae = r.fs_sae;
+    fs_ae.insert(fs_ae.end(), r.fs_fae.begin(), r.fs_fae.end());
+
+    table.add_row({setting.label, text_table::fmt(r.success_rate),
+                   text_table::fmt(auc_or_nan(r.dv_sae, dv_clean)),
+                   text_table::fmt(auc_or_nan(r.fs_sae, fs_clean)),
+                   text_table::fmt(auc_or_nan(dv_ae, dv_clean)),
+                   text_table::fmt(auc_or_nan(fs_ae, fs_clean))});
+    dv_all_sae.insert(dv_all_sae.end(), r.dv_sae.begin(), r.dv_sae.end());
+    fs_all_sae.insert(fs_all_sae.end(), r.fs_sae.begin(), r.fs_sae.end());
+    dv_all_ae.insert(dv_all_ae.end(), dv_ae.begin(), dv_ae.end());
+    fs_all_ae.insert(fs_all_ae.end(), fs_ae.begin(), fs_ae.end());
+    log_info() << setting.label << " done in " << timer.seconds() << "s";
+  }
+  table.add_separator();
+  table.add_row({"Overall", "",
+                 text_table::fmt(roc_auc(dv_all_sae, dv_clean)),
+                 text_table::fmt(roc_auc(fs_all_sae, fs_clean)),
+                 text_table::fmt(roc_auc(dv_all_ae, dv_clean)),
+                 text_table::fmt(roc_auc(fs_all_ae, fs_clean))});
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "paper overall reference: SAEs DV 0.9755 / FS 0.9971; AEs DV 0.9572 / "
+      "FS 0.9400.\nshape check: both near-perfect on SAEs; DV ahead of FS "
+      "once FAEs count as positives.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Attack playground: craft white-box adversarial examples against the
+// MNIST-like model and watch Deep Validation score them (paper §IV-D5).
+//
+// Shows, per attack: whether it fooled the model, the distortion norms, and
+// the joint discrepancy assigned by Deep Validation compared to the clean
+// seed image.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "attack/bim.h"
+#include "attack/cw.h"
+#include "attack/deepfool.h"
+#include "attack/fgsm.h"
+#include "attack/jsma.h"
+#include "attack/pgd.h"
+#include "core/deep_validator.h"
+#include "eval/metrics.h"
+#include "pipeline/artifacts.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace dv;
+  set_log_level(log_level::warn);
+
+  const experiment_config config = standard_config(dataset_kind::digits);
+  model_bundle bundle = load_or_train(config);
+  deep_validator validator =
+      load_or_fit_validator(config, *bundle.model, bundle.data.train);
+  const auto clean =
+      validator.evaluate(*bundle.model, bundle.data.test.images).joint;
+  validator.set_threshold(threshold_for_fpr(clean, 0.05));
+
+  // Pick a correctly classified seed.
+  tensor seed;
+  std::int64_t label = -1;
+  for (std::int64_t i = 0; i < bundle.data.test.size(); ++i) {
+    const tensor img = bundle.data.test.images.sample(i);
+    const auto pred =
+        bundle.model->predict(img.reshaped({1, 1, 28, 28})).front();
+    if (pred == bundle.data.test.labels[static_cast<std::size_t>(i)]) {
+      seed = img;
+      label = pred;
+      break;
+    }
+  }
+  const double seed_d = validator.joint_discrepancy(*bundle.model, seed);
+  std::printf("seed: true label %lld, clean joint discrepancy %+.4f (%s)\n\n",
+              static_cast<long long>(label), seed_d,
+              validator.flags_invalid(seed_d) ? "INVALID?!" : "valid");
+
+  struct entry {
+    const char* name;
+    std::unique_ptr<attack> method;
+    attack_target target;
+  };
+  cw_config cw_cfg;
+  cw_cfg.iterations = 80;
+  std::vector<entry> attacks;
+  attacks.push_back({"FGSM (eps 0.3)", std::make_unique<fgsm_attack>(0.3f),
+                     attack_target::untargeted});
+  attacks.push_back({"BIM (eps 0.3)",
+                     std::make_unique<bim_attack>(0.3f, 0.03f, 20),
+                     attack_target::untargeted});
+  attacks.push_back({"PGD (eps 0.3)",
+                     std::make_unique<pgd_attack>(0.3f, 0.03f, 20, 2),
+                     attack_target::untargeted});
+  attacks.push_back({"DeepFool", std::make_unique<deepfool_attack>(),
+                     attack_target::untargeted});
+  attacks.push_back({"JSMA -> next", std::make_unique<jsma_attack>(0.14f),
+                     attack_target::next_class});
+  attacks.push_back({"CW2 -> next", std::make_unique<cw2_attack>(cw_cfg),
+                     attack_target::next_class});
+  attacks.push_back({"CWinf -> next", std::make_unique<cwinf_attack>(cw_cfg),
+                     attack_target::next_class});
+  attacks.push_back({"CW0 -> next", std::make_unique<cw0_attack>(cw_cfg),
+                     attack_target::next_class});
+
+  std::printf("%-16s %-7s %-5s %-8s %-8s %-6s %-12s %s\n", "attack", "fooled",
+              "pred", "L2", "Linf", "L0", "discrepancy", "verdict");
+  for (auto& a : attacks) {
+    const auto target =
+        select_target(*bundle.model, seed, label, a.target);
+    const attack_result res = a.method->run(*bundle.model, seed, label, target);
+    const double d =
+        validator.joint_discrepancy(*bundle.model, res.adversarial);
+    std::printf("%-16s %-7s %-5lld %-8.3f %-8.3f %-6lld %+-12.4f %s\n", a.name,
+                res.success ? "yes" : "no",
+                static_cast<long long>(res.prediction), res.distortion_l2,
+                res.distortion_linf,
+                static_cast<long long>(res.distortion_l0), d,
+                validator.flags_invalid(d) ? "FLAGGED" : "missed");
+  }
+  std::printf(
+      "\nDeep Validation is scenario-agnostic: the same validator bank that "
+      "detects\nreal-world corner cases also flags these synthetic attacks "
+      "(paper Table VIII).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Corner-case gallery (paper Figure 2): renders one seed image per dataset
+// under every transformation the paper uses, as PGM/PPM files plus ASCII
+// previews on the terminal.
+//
+// Output images land in artifacts/gallery/. Run with DV_FAST=1 for a quick
+// smoke run (the model still needs to be trained once to pick seeds).
+#include <cstdio>
+#include <string>
+
+#include "augment/transforms.h"
+#include "data/factory.h"
+#include "pipeline/config.h"
+#include "util/image_io.h"
+#include "util/logging.h"
+#include "util/serialize.h"
+
+int main() {
+  using namespace dv;
+  set_log_level(log_level::warn);
+
+  const std::string out_dir = artifact_directory() + "/gallery";
+  ensure_directory(out_dir);
+
+  struct entry {
+    const char* label;
+    transform_chain chain;
+    bool greyscale_only;
+  };
+  const entry entries[] = {
+      {"original", {}, false},
+      {"brightness", {{transform_kind::brightness, 0.5f, 0}}, false},
+      {"contrast", {{transform_kind::contrast, 4.0f, 0}}, false},
+      {"rotation", {{transform_kind::rotation, 45.0f, 0}}, false},
+      {"shear", {{transform_kind::shear, 0.4f, 0.3f}}, false},
+      {"scale", {{transform_kind::scale, 0.6f, 0.6f}}, false},
+      {"translation", {{transform_kind::translation, 5.0f, 4.0f}}, false},
+      {"complement", {{transform_kind::complement, 0, 0}}, true},
+      {"combined",
+       {{transform_kind::complement, 0, 0}, {transform_kind::scale, 0.7f, 0.7f}},
+       true},
+      // Extension transformations (DeepTest family, see DESIGN.md).
+      {"blur", {{transform_kind::blur, 1.2f, 0}}, false},
+      {"noise", {{transform_kind::noise, 0.15f, 1.0f}}, false},
+      {"occlusion", {{transform_kind::occlusion, 0.35f, 0.3f}}, false},
+  };
+
+  for (const auto kind :
+       {dataset_kind::digits, dataset_kind::objects, dataset_kind::street}) {
+    dataset_split_spec spec;
+    spec.kind = kind;
+    spec.train_size = 10;  // only need a seed image or two
+    spec.test_size = 10;
+    const dataset_bundle bundle = make_dataset(spec);
+    const tensor seed = bundle.test.images.sample(3);
+    const bool greyscale = kind == dataset_kind::digits;
+
+    std::printf("\n=== %s (stand-in for %s), seed label %lld ===\n",
+                dataset_kind_name(kind), dataset_kind_paper_name(kind),
+                static_cast<long long>(
+                    bundle.test.labels[3]));
+    for (const auto& e : entries) {
+      if (e.greyscale_only && !greyscale) continue;
+      const tensor img = apply_chain(seed, e.chain);
+      const std::string ext = greyscale ? ".pgm" : ".ppm";
+      const std::string path = out_dir + "/" +
+                               dataset_kind_name(kind) + "_" + e.label + ext;
+      write_image(path, img.span(), static_cast<int>(img.extent(0)),
+                  static_cast<int>(img.extent(1)),
+                  static_cast<int>(img.extent(2)));
+      std::printf("--- %-12s -> %s\n", e.label, path.c_str());
+      if (greyscale) {
+        std::printf("%s", ascii_art(img.span(), 1,
+                                    static_cast<int>(img.extent(1)),
+                                    static_cast<int>(img.extent(2)))
+                              .c_str());
+      }
+    }
+  }
+  std::printf("\ngallery written under %s\n", out_dir.c_str());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Threshold tuning: picking the fail-safe operating point.
+//
+// The paper sets epsilon at the midpoint of the legitimate and corner-case
+// score centroids (§IV-D3); a deployment usually starts instead from a
+// false-positive budget. This example renders the Deep Validation ROC curve
+// on a corner-case evaluation set and compares three operating points:
+// the paper's centroid heuristic, a 5 % FPR budget, and a 1 % FPR budget.
+#include <cstdio>
+
+#include "augment/corner_case.h"
+#include "core/deep_validator.h"
+#include "eval/metrics.h"
+#include "pipeline/artifacts.h"
+#include "pipeline/corner_suite.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace dv;
+  set_log_level(log_level::warn);
+
+  const experiment_config config = standard_config(dataset_kind::digits);
+  model_bundle bundle = load_or_train(config);
+  deep_validator validator =
+      load_or_fit_validator(config, *bundle.model, bundle.data.train);
+  corner_suite corners =
+      load_or_generate_corners(config, *bundle.model, bundle.data.test);
+
+  const dataset sccs = corners.pooled_sccs();
+  const auto pos = validator.evaluate(*bundle.model, sccs.images).joint;
+  const auto neg =
+      validator.evaluate(*bundle.model, bundle.data.test.images).joint;
+
+  std::printf("evaluation: %lld SCCs vs %lld clean images | ROC-AUC %.4f | "
+              "average precision %.4f\n\n",
+              static_cast<long long>(pos.size()),
+              static_cast<long long>(neg.size()), roc_auc(pos, neg),
+              average_precision(pos, neg));
+
+  // ASCII ROC curve (FPR on x, TPR on y).
+  const auto curve = roc_curve(pos, neg);
+  constexpr int width = 61, height = 16;
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  for (const auto& p : curve) {
+    const int x = std::min(width - 1, static_cast<int>(p.fpr * (width - 1)));
+    const int y = std::min(height - 1, static_cast<int>(p.tpr * (height - 1)));
+    canvas[static_cast<std::size_t>(height - 1 - y)]
+          [static_cast<std::size_t>(x)] = '*';
+  }
+  std::printf("TPR\n");
+  for (const auto& row : canvas) std::printf("  |%s\n", row.c_str());
+  std::printf("  +%s FPR\n\n", std::string(width, '-').c_str());
+
+  struct operating_point {
+    const char* label;
+    double threshold;
+  };
+  const operating_point points[] = {
+      {"paper centroid heuristic", centroid_threshold(pos, neg)},
+      {"5% FPR budget", threshold_for_fpr(neg, 0.05)},
+      {"1% FPR budget", threshold_for_fpr(neg, 0.01)},
+  };
+  std::printf("%-26s %-10s %-8s %-8s\n", "operating point", "epsilon", "TPR",
+              "FPR");
+  for (const auto& p : points) {
+    std::printf("%-26s %-10.4f %-8.3f %-8.3f\n", p.label, p.threshold,
+                tpr_at_threshold(pos, p.threshold),
+                fpr_at_threshold(neg, p.threshold));
+  }
+  std::printf(
+      "\nTightening the FPR budget trades a few detected corner cases for "
+      "fewer\nfalse alarms; the centroid heuristic lands near the knee of "
+      "the curve.\n");
+  return 0;
+}

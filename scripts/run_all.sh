@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full reproduction driver: build, test, then regenerate every table and
+# figure. The first run trains all models (~15 min on one core); later runs
+# reuse ./artifacts. Set DV_FAST=1 for a minutes-scale smoke pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

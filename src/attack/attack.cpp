@@ -1,0 +1,94 @@
+#include "attack/attack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace dv {
+
+namespace {
+tensor as_batch(const tensor& image) {
+  if (image.dim() != 3) {
+    throw std::invalid_argument{"attack: expected a [C,H,W] image"};
+  }
+  return image.reshaped({1, image.extent(0), image.extent(1), image.extent(2)});
+}
+}  // namespace
+
+const char* attack_target_name(attack_target t) {
+  switch (t) {
+    case attack_target::untargeted: return "untargeted";
+    case attack_target::next_class: return "next";
+    case attack_target::least_likely: return "LL";
+  }
+  throw std::invalid_argument{"attack_target_name: bad target"};
+}
+
+std::int64_t select_target(sequential& model, const tensor& image,
+                           std::int64_t true_label, attack_target mode) {
+  switch (mode) {
+    case attack_target::untargeted:
+      return -1;
+    case attack_target::next_class: {
+      tensor probs = model.probabilities(as_batch(image));
+      return (true_label + 1) % probs.extent(1);
+    }
+    case attack_target::least_likely: {
+      tensor probs = model.probabilities(as_batch(image));
+      const float* row = probs.data();
+      return std::min_element(row, row + probs.extent(1)) - row;
+    }
+  }
+  throw std::invalid_argument{"select_target: bad mode"};
+}
+
+tensor input_gradient(sequential& model, const tensor& image,
+                      std::int64_t label) {
+  tensor logits = model.forward(as_batch(image), false);
+  tensor grad_logits;
+  (void)softmax_cross_entropy_target(logits, label, grad_logits);
+  model.zero_grad();
+  tensor g = model.backward(grad_logits);
+  return g.reshape({image.extent(0), image.extent(1), image.extent(2)});
+}
+
+tensor logit_combination_gradient(sequential& model, const tensor& image,
+                                  const std::vector<float>& coeffs) {
+  tensor logits = model.forward(as_batch(image), false);
+  if (static_cast<std::int64_t>(coeffs.size()) != logits.extent(1)) {
+    throw std::invalid_argument{"logit_combination_gradient: coeff size"};
+  }
+  tensor grad_logits{{1, logits.extent(1)}};
+  for (std::int64_t j = 0; j < logits.extent(1); ++j) {
+    grad_logits[j] = coeffs[static_cast<std::size_t>(j)];
+  }
+  model.zero_grad();
+  tensor g = model.backward(grad_logits);
+  return g.reshape({image.extent(0), image.extent(1), image.extent(2)});
+}
+
+void finalize_attack_result(sequential& model, const tensor& original,
+                            std::int64_t true_label, std::int64_t target_label,
+                            attack_result& result) {
+  const auto preds = model.predict(as_batch(result.adversarial));
+  result.prediction = preds.front();
+  result.success = result.prediction != true_label;
+  result.hit_target =
+      target_label >= 0 && result.prediction == target_label;
+  double l2 = 0.0, linf = 0.0;
+  std::int64_t l0 = 0;
+  for (std::int64_t i = 0; i < original.numel(); ++i) {
+    const double d = static_cast<double>(result.adversarial[i]) - original[i];
+    l2 += d * d;
+    linf = std::max(linf, std::abs(d));
+    l0 += std::abs(d) > 1e-6 ? 1 : 0;
+  }
+  result.distortion_l2 = std::sqrt(l2);
+  result.distortion_linf = linf;
+  result.distortion_l0 = l0;
+}
+
+}  // namespace dv

@@ -1,0 +1,66 @@
+// White-box adversarial attacks (paper §IV-D5, Table VIII).
+//
+// All attacks operate on a single [C,H,W] image with pixel box [0,1] and
+// full gradient access to the victim model. Targeting follows Xu et al.:
+// "next" is (true label + 1) mod N, "LL" is the least-likely class of the
+// model's prediction on the clean image.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/model.h"
+
+namespace dv {
+
+enum class attack_target { untargeted, next_class, least_likely };
+
+const char* attack_target_name(attack_target t);
+
+struct attack_result {
+  tensor adversarial;          // [C,H,W]
+  bool success{false};         // model misclassifies (defender's view)
+  bool hit_target{false};      // targeted attacks: reached the target class
+  std::int64_t prediction{-1};
+  int iterations{0};
+  double distortion_l2{0.0};
+  double distortion_linf{0.0};
+  std::int64_t distortion_l0{0};
+};
+
+class attack {
+ public:
+  virtual ~attack() = default;
+  attack() = default;
+  attack(const attack&) = delete;
+  attack& operator=(const attack&) = delete;
+
+  /// Runs the attack. `target_label` is ignored for untargeted attacks; use
+  /// select_target to derive it from an attack_target mode.
+  virtual attack_result run(sequential& model, const tensor& image,
+                            std::int64_t true_label,
+                            std::int64_t target_label) = 0;
+  virtual std::string name() const = 0;
+  virtual bool targeted() const = 0;
+};
+
+/// Resolves a target label for the given mode (-1 for untargeted).
+std::int64_t select_target(sequential& model, const tensor& image,
+                           std::int64_t true_label, attack_target mode);
+
+/// Gradient of the cross-entropy loss w.r.t. the input image, for `label`.
+tensor input_gradient(sequential& model, const tensor& image,
+                      std::int64_t label);
+
+/// Gradient of a linear combination of logits w.r.t. the input image:
+/// d(sum_k coeff[k] * Z_k)/dx.
+tensor logit_combination_gradient(sequential& model, const tensor& image,
+                                  const std::vector<float>& coeffs);
+
+/// Fills in prediction/success/distortion fields of `result` by evaluating
+/// the adversarial image against the model.
+void finalize_attack_result(sequential& model, const tensor& original,
+                            std::int64_t true_label, std::int64_t target_label,
+                            attack_result& result);
+
+}  // namespace dv

@@ -1,0 +1,32 @@
+#include "attack/bim.h"
+
+#include <algorithm>
+
+namespace dv {
+
+attack_result bim_attack::run(sequential& model, const tensor& image,
+                              std::int64_t true_label,
+                              std::int64_t target_label) {
+  attack_result out;
+  out.adversarial = image;
+  for (int it = 0; it < iterations_; ++it) {
+    const tensor grad = input_gradient(model, out.adversarial, true_label);
+    for (std::int64_t i = 0; i < image.numel(); ++i) {
+      const float sign =
+          grad[i] > 0.0f ? 1.0f : (grad[i] < 0.0f ? -1.0f : 0.0f);
+      float v = out.adversarial[i] + alpha_ * sign;
+      // Project into the epsilon ball around the original and the pixel box.
+      v = std::clamp(v, image[i] - epsilon_, image[i] + epsilon_);
+      out.adversarial[i] = std::clamp(v, 0.0f, 1.0f);
+    }
+    ++out.iterations;
+    // Early exit once misclassification is achieved.
+    const auto preds = model.predict(out.adversarial.reshaped(
+        {1, image.extent(0), image.extent(1), image.extent(2)}));
+    if (preds.front() != true_label) break;
+  }
+  finalize_attack_result(model, image, true_label, target_label, out);
+  return out;
+}
+
+}  // namespace dv

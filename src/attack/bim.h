@@ -1,0 +1,26 @@
+// Basic iterative method (Kurakin et al., 2017): iterated FGSM with per-step
+// size alpha, projected into the epsilon L-infinity ball, untargeted.
+#pragma once
+
+#include "attack/attack.h"
+
+namespace dv {
+
+class bim_attack : public attack {
+ public:
+  bim_attack(float epsilon = 0.3f, float alpha = 0.03f, int iterations = 20)
+      : epsilon_{epsilon}, alpha_{alpha}, iterations_{iterations} {}
+
+  attack_result run(sequential& model, const tensor& image,
+                    std::int64_t true_label,
+                    std::int64_t target_label) override;
+  std::string name() const override { return "BIM"; }
+  bool targeted() const override { return false; }
+
+ private:
+  float epsilon_;
+  float alpha_;
+  int iterations_;
+};
+
+}  // namespace dv

@@ -1,0 +1,265 @@
+#include "attack/cw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace dv {
+
+namespace {
+
+tensor as_batch(const tensor& image) {
+  return image.reshaped({1, image.extent(0), image.extent(1), image.extent(2)});
+}
+
+/// Forward pass + margin objective f and its input gradient.
+/// Returns f = max_{j != t} Z_j - Z_t (not clamped by kappa); the caller
+/// decides whether the penalty is active. `grad` is d f / d x.
+double margin_and_gradient(sequential& model, const tensor& image,
+                           std::int64_t target, tensor& grad) {
+  tensor logits = model.forward(as_batch(image), false);
+  const std::int64_t c = logits.extent(1);
+  std::int64_t jmax = -1;
+  float best = -std::numeric_limits<float>::infinity();
+  for (std::int64_t j = 0; j < c; ++j) {
+    if (j == target) continue;
+    if (logits[j] > best) {
+      best = logits[j];
+      jmax = j;
+    }
+  }
+  const double f = static_cast<double>(best) - logits[target];
+  tensor grad_logits{{1, c}};
+  grad_logits[jmax] = 1.0f;
+  grad_logits[target] = -1.0f;
+  model.zero_grad();
+  grad = model.backward(grad_logits)
+             .reshape({image.extent(0), image.extent(1), image.extent(2)});
+  return f;
+}
+
+/// Minimal Adam state over a flat float vector.
+struct adam_state {
+  std::vector<float> m, v;
+  int t{0};
+  float lr, b1{0.9f}, b2{0.999f}, eps{1e-8f};
+
+  explicit adam_state(std::size_t n, float learning_rate)
+      : m(n, 0.0f), v(n, 0.0f), lr{learning_rate} {}
+
+  void step(std::span<float> x, std::span<const float> g) {
+    ++t;
+    const float bc1 = 1.0f - std::pow(b1, static_cast<float>(t));
+    const float bc2 = 1.0f - std::pow(b2, static_cast<float>(t));
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+      v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+      x[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + eps);
+    }
+  }
+};
+
+float atanh_clamped(float x) {
+  const float c = std::clamp(x, -0.999999f, 0.999999f);
+  return 0.5f * std::log((1.0f + c) / (1.0f - c));
+}
+
+/// CW-L2 core, restricted to pixels where mask != 0 (all pixels when mask is
+/// empty). Returns the best successful adversarial image, or the last
+/// iterate if never successful (success flag false).
+attack_result cw2_core(sequential& model, const tensor& image,
+                       std::int64_t true_label, std::int64_t target,
+                       const cw_config& config,
+                       const std::vector<unsigned char>& mask) {
+  const std::int64_t p = image.numel();
+  attack_result out;
+  out.adversarial = image;
+
+  tensor best{};
+  double best_l2 = std::numeric_limits<double>::infinity();
+
+  for (const float c_const : config.c_schedule) {
+    // Optimize w with x' = 0.5 (tanh w + 1); masked pixels stay untouched.
+    std::vector<float> w(static_cast<std::size_t>(p));
+    for (std::int64_t i = 0; i < p; ++i) {
+      w[static_cast<std::size_t>(i)] = atanh_clamped(2.0f * image[i] - 1.0f);
+    }
+    adam_state opt{w.size(), config.learning_rate};
+    std::vector<float> grad_w(w.size(), 0.0f);
+    tensor x_adv = image;
+
+    for (int it = 0; it < config.iterations; ++it) {
+      for (std::int64_t i = 0; i < p; ++i) {
+        const bool frozen =
+            !mask.empty() && mask[static_cast<std::size_t>(i)] == 0;
+        x_adv[i] = frozen
+                       ? image[i]
+                       : 0.5f * (std::tanh(w[static_cast<std::size_t>(i)]) + 1.0f);
+      }
+      tensor grad_f;
+      const double f = margin_and_gradient(model, x_adv, target, grad_f);
+      ++out.iterations;
+
+      if (f < -config.confidence) {
+        // Success at this iterate; keep the smallest-distortion success.
+        double l2 = 0.0;
+        for (std::int64_t i = 0; i < p; ++i) {
+          const double d = static_cast<double>(x_adv[i]) - image[i];
+          l2 += d * d;
+        }
+        if (l2 < best_l2) {
+          best_l2 = l2;
+          best = x_adv;
+        }
+      }
+      const bool penalty_active = f > -config.confidence;
+      for (std::int64_t i = 0; i < p; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        if (!mask.empty() && mask[ui] == 0) {
+          grad_w[ui] = 0.0f;
+          continue;
+        }
+        const float dl_dx =
+            2.0f * (x_adv[i] - image[i]) +
+            (penalty_active ? c_const * grad_f[i] : 0.0f);
+        const float th = std::tanh(w[ui]);
+        grad_w[ui] = dl_dx * 0.5f * (1.0f - th * th);
+      }
+      opt.step(w, grad_w);
+    }
+    if (!best.empty()) break;  // success with the smallest c tried
+  }
+
+  out.adversarial = best.empty() ? std::move(out.adversarial) : best;
+  finalize_attack_result(model, image, true_label, target, out);
+  return out;
+}
+
+}  // namespace
+
+attack_result cw2_attack::run(sequential& model, const tensor& image,
+                              std::int64_t true_label,
+                              std::int64_t target_label) {
+  if (target_label < 0) {
+    throw std::invalid_argument{"cw2_attack: requires a target label"};
+  }
+  return cw2_core(model, image, true_label, target_label, config_, {});
+}
+
+attack_result cwinf_attack::run(sequential& model, const tensor& image,
+                                std::int64_t true_label,
+                                std::int64_t target_label) {
+  if (target_label < 0) {
+    throw std::invalid_argument{"cwinf_attack: requires a target label"};
+  }
+  const std::int64_t p = image.numel();
+  attack_result out;
+  out.adversarial = image;
+  tensor best{};
+  double best_linf = std::numeric_limits<double>::infinity();
+
+  const float c_const = config_.c_schedule.back();
+  float tau = 1.0f;
+  tensor x_adv = image;
+  adam_state opt{static_cast<std::size_t>(p), config_.learning_rate};
+  std::vector<float> grad(static_cast<std::size_t>(p), 0.0f);
+
+  for (int round = 0; round < 10; ++round) {
+    for (int it = 0; it < config_.iterations / 2; ++it) {
+      tensor grad_f;
+      const double f = margin_and_gradient(model, x_adv, target_label, grad_f);
+      ++out.iterations;
+      const bool penalty_active = f > -config_.confidence;
+      for (std::int64_t i = 0; i < p; ++i) {
+        const float delta = x_adv[i] - image[i];
+        float g = penalty_active ? c_const * grad_f[i] : 0.0f;
+        if (std::abs(delta) > tau) g += delta > 0.0f ? 1.0f : -1.0f;
+        grad[static_cast<std::size_t>(i)] = g;
+      }
+      opt.step({x_adv.data(), static_cast<std::size_t>(p)}, grad);
+      x_adv.clamp(0.0f, 1.0f);
+    }
+    // Check success and record; then shrink tau toward the achieved Linf.
+    const auto preds = model.predict(as_batch(x_adv));
+    if (preds.front() == target_label) {
+      double linf = 0.0;
+      for (std::int64_t i = 0; i < p; ++i) {
+        linf = std::max(linf,
+                        std::abs(static_cast<double>(x_adv[i]) - image[i]));
+      }
+      if (linf < best_linf) {
+        best_linf = linf;
+        best = x_adv;
+      }
+      tau = static_cast<float>(std::min<double>(tau, linf)) * 0.9f;
+      if (tau < 1.0f / 255.0f) break;
+    } else if (!best.empty()) {
+      break;  // further shrinking failed; keep the best success
+    }
+  }
+  out.adversarial = best.empty() ? std::move(x_adv) : best;
+  finalize_attack_result(model, image, true_label, target_label, out);
+  return out;
+}
+
+attack_result cw0_attack::run(sequential& model, const tensor& image,
+                              std::int64_t true_label,
+                              std::int64_t target_label) {
+  if (target_label < 0) {
+    throw std::invalid_argument{"cw0_attack: requires a target label"};
+  }
+  const std::int64_t p = image.numel();
+  std::vector<unsigned char> mask(static_cast<std::size_t>(p), 1);
+  attack_result last_success;
+  bool have_success = false;
+  int total_iterations = 0;
+
+  cw_config inner = config_;
+  inner.iterations = std::max(40, config_.iterations / 2);
+
+  for (int round = 0; round < 8; ++round) {
+    attack_result res =
+        cw2_core(model, image, true_label, target_label, inner, mask);
+    total_iterations += res.iterations;
+    if (!res.hit_target) break;
+    last_success = std::move(res);
+    have_success = true;
+
+    // Freeze the 20 % of still-active pixels with the smallest contribution
+    // |delta_i| * |grad_i| to the attack.
+    tensor grad_f;
+    (void)margin_and_gradient(model, last_success.adversarial, target_label,
+                              grad_f);
+    std::vector<std::pair<float, std::int64_t>> importance;
+    for (std::int64_t i = 0; i < p; ++i) {
+      if (mask[static_cast<std::size_t>(i)] == 0) continue;
+      const float delta = std::abs(last_success.adversarial[i] - image[i]);
+      importance.emplace_back(delta * std::abs(grad_f[i]), i);
+    }
+    if (importance.size() < 8) break;
+    const auto freeze_count = importance.size() / 5;
+    std::nth_element(
+        importance.begin(),
+        importance.begin() + static_cast<std::ptrdiff_t>(freeze_count),
+        importance.end());
+    for (std::size_t k = 0; k < freeze_count; ++k) {
+      mask[static_cast<std::size_t>(importance[k].second)] = 0;
+    }
+  }
+
+  if (!have_success) {
+    attack_result res =
+        cw2_core(model, image, true_label, target_label, config_, {});
+    res.iterations += total_iterations;
+    return res;
+  }
+  last_success.iterations = total_iterations;
+  finalize_attack_result(model, image, true_label, target_label, last_success);
+  return last_success;
+}
+
+}  // namespace dv

@@ -1,0 +1,63 @@
+// Carlini & Wagner attacks (IEEE S&P 2017): the L2, L-infinity, and L0
+// variants, all targeted, all built on the logit-margin objective
+//   f(x') = max( max_{j != t} Z_j(x') - Z_t(x'), -kappa ).
+#pragma once
+
+#include "attack/attack.h"
+
+namespace dv {
+
+struct cw_config {
+  int iterations{120};
+  float learning_rate{0.08f};
+  float confidence{0.0f};  // kappa
+  /// Constant schedule tried in order until the attack succeeds.
+  std::vector<float> c_schedule{1.0f, 10.0f, 100.0f};
+};
+
+/// CW-L2: optimizes in tanh space with Adam, minimizing squared distortion
+/// plus c * f.
+class cw2_attack : public attack {
+ public:
+  explicit cw2_attack(cw_config config = {}) : config_{std::move(config)} {}
+  attack_result run(sequential& model, const tensor& image,
+                    std::int64_t true_label,
+                    std::int64_t target_label) override;
+  std::string name() const override { return "CW2"; }
+  bool targeted() const override { return true; }
+
+ private:
+  cw_config config_;
+};
+
+/// CW-Linf: gradient descent on c * f + sum_i max(0, |delta_i| - tau) with a
+/// shrinking tau.
+class cwinf_attack : public attack {
+ public:
+  explicit cwinf_attack(cw_config config = {}) : config_{std::move(config)} {}
+  attack_result run(sequential& model, const tensor& image,
+                    std::int64_t true_label,
+                    std::int64_t target_label) override;
+  std::string name() const override { return "CWinf"; }
+  bool targeted() const override { return true; }
+
+ private:
+  cw_config config_;
+};
+
+/// CW-L0: repeatedly runs CW-L2 on a shrinking set of modifiable pixels,
+/// freezing the least-important pixels after each successful round.
+class cw0_attack : public attack {
+ public:
+  explicit cw0_attack(cw_config config = {}) : config_{std::move(config)} {}
+  attack_result run(sequential& model, const tensor& image,
+                    std::int64_t true_label,
+                    std::int64_t target_label) override;
+  std::string name() const override { return "CW0"; }
+  bool targeted() const override { return true; }
+
+ private:
+  cw_config config_;
+};
+
+}  // namespace dv

@@ -1,0 +1,64 @@
+#include "attack/deepfool.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace dv {
+
+attack_result deepfool_attack::run(sequential& model, const tensor& image,
+                                   std::int64_t true_label,
+                                   std::int64_t target_label) {
+  attack_result out;
+  out.adversarial = image;
+  const std::int64_t p = image.numel();
+
+  for (int it = 0; it < max_iterations_; ++it) {
+    const tensor batch = out.adversarial.reshaped(
+        {1, image.extent(0), image.extent(1), image.extent(2)});
+    tensor logits = model.forward(batch, false);
+    const std::int64_t c = logits.extent(1);
+    const std::int64_t pred = logits.argmax();
+    if (pred != true_label) break;  // already across the boundary
+
+    // Gradient of the predicted logit (shared by every margin below).
+    std::vector<float> coeff(static_cast<std::size_t>(c), 0.0f);
+    coeff[static_cast<std::size_t>(pred)] = 1.0f;
+    const tensor grad_pred =
+        logit_combination_gradient(model, out.adversarial, coeff);
+
+    // Nearest linearized boundary over all other classes.
+    double best_ratio = std::numeric_limits<double>::infinity();
+    tensor best_w;
+    for (std::int64_t k = 0; k < c; ++k) {
+      if (k == pred) continue;
+      std::vector<float> ck(static_cast<std::size_t>(c), 0.0f);
+      ck[static_cast<std::size_t>(k)] = 1.0f;
+      tensor w = logit_combination_gradient(model, out.adversarial, ck);
+      w -= grad_pred;
+      const double f = static_cast<double>(logits[k]) - logits[pred];
+      const double norm = std::max(1e-12, static_cast<double>(w.norm2()));
+      const double ratio = std::abs(f) / norm;
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best_w = std::move(w);
+      }
+    }
+    if (best_w.empty()) break;
+
+    // Step just past the boundary: delta = (|f| / ||w||^2) * w * (1 + os).
+    const double norm2 =
+        std::max(1e-12, static_cast<double>(best_w.norm2()));
+    const float scale = static_cast<float>(
+        (best_ratio / norm2) * (1.0 + overshoot_));
+    for (std::int64_t i = 0; i < p; ++i) {
+      out.adversarial[i] += scale * best_w[i];
+    }
+    out.adversarial.clamp(0.0f, 1.0f);
+    ++out.iterations;
+  }
+  finalize_attack_result(model, image, true_label, target_label, out);
+  return out;
+}
+
+}  // namespace dv

@@ -1,0 +1,25 @@
+// DeepFool (Moosavi-Dezfooli et al., CVPR 2016): untargeted minimal-norm
+// attack that iteratively steps to the nearest linearized decision boundary.
+#pragma once
+
+#include "attack/attack.h"
+
+namespace dv {
+
+class deepfool_attack : public attack {
+ public:
+  deepfool_attack(int max_iterations = 30, float overshoot = 0.02f)
+      : max_iterations_{max_iterations}, overshoot_{overshoot} {}
+
+  attack_result run(sequential& model, const tensor& image,
+                    std::int64_t true_label,
+                    std::int64_t target_label) override;
+  std::string name() const override { return "DeepFool"; }
+  bool targeted() const override { return false; }
+
+ private:
+  int max_iterations_;
+  float overshoot_;
+};
+
+}  // namespace dv

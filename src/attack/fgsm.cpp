@@ -1,0 +1,21 @@
+#include "attack/fgsm.h"
+
+namespace dv {
+
+attack_result fgsm_attack::run(sequential& model, const tensor& image,
+                               std::int64_t true_label,
+                               std::int64_t target_label) {
+  const tensor grad = input_gradient(model, image, true_label);
+  attack_result out;
+  out.adversarial = image;
+  for (std::int64_t i = 0; i < image.numel(); ++i) {
+    const float sign = grad[i] > 0.0f ? 1.0f : (grad[i] < 0.0f ? -1.0f : 0.0f);
+    out.adversarial[i] += epsilon_ * sign;
+  }
+  out.adversarial.clamp(0.0f, 1.0f);
+  out.iterations = 1;
+  finalize_attack_result(model, image, true_label, target_label, out);
+  return out;
+}
+
+}  // namespace dv

@@ -1,0 +1,23 @@
+// Fast gradient sign method (Goodfellow et al., 2014): one signed gradient
+// step of size epsilon, untargeted.
+#pragma once
+
+#include "attack/attack.h"
+
+namespace dv {
+
+class fgsm_attack : public attack {
+ public:
+  explicit fgsm_attack(float epsilon = 0.3f) : epsilon_{epsilon} {}
+
+  attack_result run(sequential& model, const tensor& image,
+                    std::int64_t true_label,
+                    std::int64_t target_label) override;
+  std::string name() const override { return "FGSM"; }
+  bool targeted() const override { return false; }
+
+ private:
+  float epsilon_;
+};
+
+}  // namespace dv

@@ -1,0 +1,93 @@
+#include "attack/jsma.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace dv {
+
+attack_result jsma_attack::run(sequential& model, const tensor& image,
+                               std::int64_t true_label,
+                               std::int64_t target_label) {
+  if (target_label < 0) {
+    throw std::invalid_argument{"jsma_attack: requires a target label"};
+  }
+  const std::int64_t p = image.numel();
+  attack_result out;
+  out.adversarial = image;
+
+  // Number of classes from one forward pass.
+  const tensor probs0 = model.probabilities(image.reshaped(
+      {1, image.extent(0), image.extent(1), image.extent(2)}));
+  const std::int64_t num_classes = probs0.extent(1);
+
+  const auto max_pairs =
+      static_cast<int>(gamma_ * static_cast<float>(p) / 2.0f);
+  std::vector<unsigned char> saturated(static_cast<std::size_t>(p), 0);
+
+  for (int it = 0; it < max_pairs; ++it) {
+    // alpha_i = dZ_t/dx_i ; beta_i = d(sum_{j != t} Z_j)/dx_i.
+    std::vector<float> target_coeff(static_cast<std::size_t>(num_classes), 0.0f);
+    target_coeff[static_cast<std::size_t>(target_label)] = 1.0f;
+    const tensor alpha =
+        logit_combination_gradient(model, out.adversarial, target_coeff);
+    std::vector<float> other_coeff(static_cast<std::size_t>(num_classes), 1.0f);
+    other_coeff[static_cast<std::size_t>(target_label)] = 0.0f;
+    const tensor beta =
+        logit_combination_gradient(model, out.adversarial, other_coeff);
+
+    // Greedy pixel-pair selection by the saliency criterion:
+    // alpha_p + alpha_q > 0, beta_p + beta_q < 0, maximize -product.
+    std::int64_t best_a = -1, best_b = -1;
+    double best_score = 0.0;
+    // Restrict the O(p^2) pair search to the top-K most promising pixels.
+    constexpr std::size_t k_top = 48;
+    std::vector<std::int64_t> candidates;
+    candidates.reserve(static_cast<std::size_t>(p));
+    for (std::int64_t i = 0; i < p; ++i) {
+      if (!saturated[static_cast<std::size_t>(i)]) candidates.push_back(i);
+    }
+    if (candidates.size() > k_top) {
+      std::partial_sort(candidates.begin(),
+                        candidates.begin() + static_cast<std::ptrdiff_t>(k_top),
+                        candidates.end(),
+                        [&](std::int64_t a, std::int64_t b) {
+                          return alpha[a] - beta[a] > alpha[b] - beta[b];
+                        });
+      candidates.resize(k_top);
+    }
+    for (std::size_t x = 0; x < candidates.size(); ++x) {
+      for (std::size_t y = x + 1; y < candidates.size(); ++y) {
+        const std::int64_t a = candidates[x], b = candidates[y];
+        const double sa = static_cast<double>(alpha[a]) + alpha[b];
+        const double sb = static_cast<double>(beta[a]) + beta[b];
+        if (sa > 0.0 && sb < 0.0) {
+          const double score = -sa * sb;
+          if (score > best_score) {
+            best_score = score;
+            best_a = a;
+            best_b = b;
+          }
+        }
+      }
+    }
+    if (best_a < 0) break;  // no admissible pair left
+
+    for (const std::int64_t idx : {best_a, best_b}) {
+      out.adversarial[idx] =
+          std::min(1.0f, out.adversarial[idx] + theta_);
+      if (out.adversarial[idx] >= 1.0f) {
+        saturated[static_cast<std::size_t>(idx)] = 1;
+      }
+    }
+    ++out.iterations;
+
+    const auto preds = model.predict(out.adversarial.reshaped(
+        {1, image.extent(0), image.extent(1), image.extent(2)}));
+    if (preds.front() == target_label) break;
+  }
+  finalize_attack_result(model, image, true_label, target_label, out);
+  return out;
+}
+
+}  // namespace dv

@@ -1,0 +1,29 @@
+// Jacobian-based saliency map attack (Papernot et al., EuroS&P 2016).
+//
+// Targeted: greedily increases pixel pairs that jointly raise the target
+// logit while lowering the others, up to a budget of gamma * |pixels|
+// modified features. This is the increasing-pixel variant with theta = 1.
+#pragma once
+
+#include "attack/attack.h"
+
+namespace dv {
+
+class jsma_attack : public attack {
+ public:
+  /// `gamma` is the maximum fraction of features modified.
+  jsma_attack(float gamma = 0.14f, float theta = 1.0f)
+      : gamma_{gamma}, theta_{theta} {}
+
+  attack_result run(sequential& model, const tensor& image,
+                    std::int64_t true_label,
+                    std::int64_t target_label) override;
+  std::string name() const override { return "JSMA"; }
+  bool targeted() const override { return true; }
+
+ private:
+  float gamma_;
+  float theta_;
+};
+
+}  // namespace dv

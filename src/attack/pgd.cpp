@@ -1,0 +1,51 @@
+#include "attack/pgd.h"
+
+#include <algorithm>
+
+namespace dv {
+
+attack_result pgd_attack::run(sequential& model, const tensor& image,
+                              std::int64_t true_label,
+                              std::int64_t target_label) {
+  attack_result best;
+  best.adversarial = image;
+  int total_iterations = 0;
+
+  for (int restart = 0; restart < std::max(1, restarts_); ++restart) {
+    tensor x = image;
+    // Random start inside the epsilon ball (projected to the pixel box).
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      x[i] += static_cast<float>(gen_.uniform(-epsilon_, epsilon_));
+    }
+    x.clamp(0.0f, 1.0f);
+
+    bool success = false;
+    for (int it = 0; it < iterations_; ++it) {
+      const tensor grad = input_gradient(model, x, true_label);
+      for (std::int64_t i = 0; i < x.numel(); ++i) {
+        const float sign =
+            grad[i] > 0.0f ? 1.0f : (grad[i] < 0.0f ? -1.0f : 0.0f);
+        float v = x[i] + alpha_ * sign;
+        v = std::clamp(v, image[i] - epsilon_, image[i] + epsilon_);
+        x[i] = std::clamp(v, 0.0f, 1.0f);
+      }
+      ++total_iterations;
+      const auto preds = model.predict(x.reshaped(
+          {1, image.extent(0), image.extent(1), image.extent(2)}));
+      if (preds.front() != true_label) {
+        success = true;
+        break;
+      }
+    }
+    if (success) {
+      best.adversarial = std::move(x);
+      break;
+    }
+    if (restart == 0) best.adversarial = x;  // keep something plausible
+  }
+  best.iterations = total_iterations;
+  finalize_attack_result(model, image, true_label, target_label, best);
+  return best;
+}
+
+}  // namespace dv

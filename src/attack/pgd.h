@@ -1,0 +1,35 @@
+// Projected gradient descent (Madry et al., ICLR 2018): BIM with a random
+// start inside the epsilon ball and optional restarts — the canonical
+// first-order L-infinity adversary.
+#pragma once
+
+#include "attack/attack.h"
+#include "util/rng.h"
+
+namespace dv {
+
+class pgd_attack : public attack {
+ public:
+  pgd_attack(float epsilon = 0.3f, float alpha = 0.03f, int iterations = 20,
+             int restarts = 2, std::uint64_t seed = 4242)
+      : epsilon_{epsilon},
+        alpha_{alpha},
+        iterations_{iterations},
+        restarts_{restarts},
+        gen_{seed} {}
+
+  attack_result run(sequential& model, const tensor& image,
+                    std::int64_t true_label,
+                    std::int64_t target_label) override;
+  std::string name() const override { return "PGD"; }
+  bool targeted() const override { return false; }
+
+ private:
+  float epsilon_;
+  float alpha_;
+  int iterations_;
+  int restarts_;
+  rng gen_;
+};
+
+}  // namespace dv

@@ -1,0 +1,113 @@
+#include "augment/affine.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dv {
+
+affine_matrix affine_matrix::identity() { return {}; }
+
+affine_matrix affine_matrix::rotation(float radians) {
+  const float c = std::cos(radians), s = std::sin(radians);
+  affine_matrix out;
+  out.m = {c, s, 0, -s, c, 0, 0, 0, 1};
+  return out;
+}
+
+affine_matrix affine_matrix::shear(float sh, float sv) {
+  affine_matrix out;
+  out.m = {1, sh, 0, sv, 1, 0, 0, 0, 1};
+  return out;
+}
+
+affine_matrix affine_matrix::scale(float sx, float sy) {
+  affine_matrix out;
+  out.m = {sx, 0, 0, 0, sy, 0, 0, 0, 1};
+  return out;
+}
+
+affine_matrix affine_matrix::translation(float tx, float ty) {
+  affine_matrix out;
+  out.m = {1, 0, tx, 0, 1, ty, 0, 0, 1};
+  return out;
+}
+
+affine_matrix affine_matrix::compose(const affine_matrix& other) const {
+  affine_matrix out;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < 3; ++k) acc += m[i * 3 + k] * other.m[k * 3 + j];
+      out.m[i * 3 + j] = acc;
+    }
+  }
+  return out;
+}
+
+affine_matrix affine_matrix::inverse() const {
+  const auto& a = m;
+  const float det = a[0] * (a[4] * a[8] - a[5] * a[7]) -
+                    a[1] * (a[3] * a[8] - a[5] * a[6]) +
+                    a[2] * (a[3] * a[7] - a[4] * a[6]);
+  if (std::abs(det) < 1e-12f) {
+    throw std::domain_error{"affine_matrix::inverse: singular matrix"};
+  }
+  const float inv = 1.0f / det;
+  affine_matrix out;
+  out.m[0] = (a[4] * a[8] - a[5] * a[7]) * inv;
+  out.m[1] = (a[2] * a[7] - a[1] * a[8]) * inv;
+  out.m[2] = (a[1] * a[5] - a[2] * a[4]) * inv;
+  out.m[3] = (a[5] * a[6] - a[3] * a[8]) * inv;
+  out.m[4] = (a[0] * a[8] - a[2] * a[6]) * inv;
+  out.m[5] = (a[2] * a[3] - a[0] * a[5]) * inv;
+  out.m[6] = (a[3] * a[7] - a[4] * a[6]) * inv;
+  out.m[7] = (a[1] * a[6] - a[0] * a[7]) * inv;
+  out.m[8] = (a[0] * a[4] - a[1] * a[3]) * inv;
+  return out;
+}
+
+std::pair<float, float> affine_matrix::apply(float x, float y) const {
+  return {m[0] * x + m[1] * y + m[2], m[3] * x + m[4] * y + m[5]};
+}
+
+tensor warp_affine(const tensor& image, const affine_matrix& transform,
+                   float fill) {
+  if (image.dim() != 3) {
+    throw std::invalid_argument{"warp_affine: expected [C,H,W]"};
+  }
+  const std::int64_t c = image.extent(0), h = image.extent(1),
+                     w = image.extent(2);
+  const float cx = 0.5f * static_cast<float>(w - 1);
+  const float cy = 0.5f * static_cast<float>(h - 1);
+  const affine_matrix inv = transform.inverse();
+
+  tensor out{{c, h, w}};
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      // Inverse-map the centered output coordinate to the source frame.
+      const auto [sx, sy] =
+          inv.apply(static_cast<float>(x) - cx, static_cast<float>(y) - cy);
+      const float fx = sx + cx;
+      const float fy = sy + cy;
+      const auto x0 = static_cast<std::int64_t>(std::floor(fx));
+      const auto y0 = static_cast<std::int64_t>(std::floor(fy));
+      const float tx = fx - static_cast<float>(x0);
+      const float ty = fy - static_cast<float>(y0);
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        auto sample = [&](std::int64_t yy, std::int64_t xx) {
+          if (yy < 0 || yy >= h || xx < 0 || xx >= w) return fill;
+          return image.at3(ch, yy, xx);
+        };
+        const float v00 = sample(y0, x0);
+        const float v01 = sample(y0, x0 + 1);
+        const float v10 = sample(y0 + 1, x0);
+        const float v11 = sample(y0 + 1, x0 + 1);
+        out.at3(ch, y, x) = (1 - ty) * ((1 - tx) * v00 + tx * v01) +
+                            ty * ((1 - tx) * v10 + tx * v11);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dv

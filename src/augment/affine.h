@@ -1,0 +1,42 @@
+// 2-D affine transforms in homogeneous coordinates (paper Table I).
+//
+// A transform is a 3x3 matrix acting on column vectors (x, y, 1)^T. Images
+// are resampled by *inverse* mapping with bilinear interpolation: for every
+// output pixel we invert the transform to find the source location, which
+// avoids holes. All transforms are taken about the image center, matching
+// how rotation/scale/shear of a camera frame behave.
+#pragma once
+
+#include <array>
+
+#include "tensor/tensor.h"
+
+namespace dv {
+
+/// Row-major 3x3 homogeneous transform matrix.
+struct affine_matrix {
+  std::array<float, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+  static affine_matrix identity();
+  static affine_matrix rotation(float radians);
+  static affine_matrix shear(float sh, float sv);
+  static affine_matrix scale(float sx, float sy);
+  static affine_matrix translation(float tx, float ty);
+
+  /// Matrix product: (*this) ∘ other — other applies first.
+  affine_matrix compose(const affine_matrix& other) const;
+
+  /// Inverse; throws std::domain_error if singular.
+  affine_matrix inverse() const;
+
+  /// Applies to a point.
+  std::pair<float, float> apply(float x, float y) const;
+};
+
+/// Resamples a CHW image through `transform` (a forward map on pixel
+/// coordinates about the image center). Out-of-bounds source pixels read as
+/// `fill`. The input must be 3-D [C, H, W].
+tensor warp_affine(const tensor& image, const affine_matrix& transform,
+                   float fill = 0.0f);
+
+}  // namespace dv

@@ -1,0 +1,226 @@
+#include "augment/corner_case.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/trainer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace dv {
+
+namespace {
+
+/// Builds a diagonal schedule for a two-parameter transform.
+std::vector<transform_step> diagonal_schedule(transform_kind kind, float begin,
+                                              float end, float step) {
+  std::vector<transform_step> out;
+  const int n = static_cast<int>(std::abs(end - begin) / step + 0.5f);
+  const float dir = end >= begin ? 1.0f : -1.0f;
+  for (int i = 1; i <= n; ++i) {
+    const float v = begin + dir * step * static_cast<float>(i);
+    out.push_back({kind, v, v});
+  }
+  return out;
+}
+
+std::string range_text(float begin, float end, float step) {
+  std::ostringstream out;
+  out << begin << " through " << end << ", step " << step;
+  return out.str();
+}
+
+}  // namespace
+
+corner_search_space standard_search_space(transform_kind kind,
+                                          dataset_kind data) {
+  corner_search_space out;
+  out.kind = kind;
+  switch (kind) {
+    case transform_kind::brightness: {
+      // Paper: beta 0 through 0.95 step 0.004; coarsened for CPU budget.
+      const float step = 0.025f;
+      for (float b = step; b <= 0.95f + 1e-4f; b += step) {
+        out.schedule.push_back({kind, b, 0.0f});
+      }
+      out.range_description = range_text(0.0f, 0.95f, step);
+      break;
+    }
+    case transform_kind::contrast: {
+      // Paper: alpha 0 through 5.0 step 0.1; we sweep upward from 1.
+      const float step = 0.2f;
+      for (float a = 1.0f + step; a <= 5.0f + 1e-4f; a += step) {
+        out.schedule.push_back({kind, a, 0.0f});
+      }
+      out.range_description = range_text(1.0f, 5.0f, step);
+      break;
+    }
+    case transform_kind::rotation: {
+      // Paper: theta 1 through 70 deg step 1; coarsened to 2 deg.
+      const float step = 2.0f;
+      for (float t = step; t <= 70.0f + 1e-4f; t += step) {
+        out.schedule.push_back({kind, t, 0.0f});
+      }
+      out.range_description = "1 deg through 70 deg, step 2 deg";
+      break;
+    }
+    case transform_kind::shear:
+      // Paper: (0,0) through (0.5,0.5) step (0.1,0.1); refined to 0.05.
+      out.schedule = diagonal_schedule(kind, 0.0f, 0.6f, 0.05f);
+      out.range_description = "(0,0) through (0.6,0.6), step (0.05,0.05)";
+      break;
+    case transform_kind::scale:
+      // Paper: (1,1) through (0.4,0.4) step (0.1,0.1); refined to 0.05.
+      out.schedule = diagonal_schedule(kind, 1.0f, 0.4f, 0.05f);
+      out.range_description = "(1,1) through (0.4,0.4), step (0.05,0.05)";
+      break;
+    case transform_kind::translation: {
+      // Paper: (0,0) through (18,18) step (1,1).
+      const int limit = data == dataset_kind::digits ? 14 : 16;
+      out.schedule = diagonal_schedule(kind, 0.0f, static_cast<float>(limit),
+                                       1.0f);
+      out.range_description =
+          "(0,0) through (" + std::to_string(limit) + "," +
+          std::to_string(limit) + "), step (1,1)";
+      break;
+    }
+    case transform_kind::complement:
+      if (data != dataset_kind::digits) {
+        throw std::invalid_argument{
+            "complement only applies to greyscale datasets"};
+      }
+      out.schedule.push_back({kind, 0.0f, 0.0f});
+      out.range_description = "maximum pixel value 1.0";
+      break;
+  }
+  return out;
+}
+
+std::vector<transform_kind> applicable_transforms(dataset_kind data) {
+  std::vector<transform_kind> out{
+      transform_kind::brightness, transform_kind::contrast,
+      transform_kind::rotation,   transform_kind::shear,
+      transform_kind::scale,      transform_kind::translation};
+  if (data == dataset_kind::digits) {
+    out.push_back(transform_kind::complement);
+  }
+  return out;
+}
+
+transform_chain combined_transform(
+    dataset_kind data, const std::vector<transform_chain>& chosen_singles) {
+  auto find = [&](transform_kind kind) -> const transform_step* {
+    for (const auto& chain : chosen_singles) {
+      if (chain.size() == 1 && chain[0].kind == kind) return &chain[0];
+    }
+    return nullptr;
+  };
+  // Paper Table V: MNIST combines complement with scale; CIFAR-10 and SVHN
+  // combine brightness adjustment with scale. When a canonical component
+  // was unusable on this model, fall back to the first two usable singles.
+  const transform_step* first =
+      find(data == dataset_kind::digits ? transform_kind::complement
+                                        : transform_kind::brightness);
+  const transform_step* second = find(transform_kind::scale);
+  if (first != nullptr && second != nullptr) return {*first, *second};
+  if (chosen_singles.size() < 2) {
+    throw std::invalid_argument{
+        "combined_transform: fewer than two usable single transformations"};
+  }
+  transform_chain out{chosen_singles[0][0], chosen_singles[1][0]};
+  return out;
+}
+
+corner_search_result evaluate_chain(sequential& model, const dataset& seeds,
+                                    const transform_chain& chain) {
+  corner_search_result out;
+  out.chosen = chain;
+  out.corner_cases = transform_dataset(seeds, chain);
+  tensor probs =
+      batched_probabilities(model, out.corner_cases.images, /*batch=*/128);
+  const std::int64_t n = probs.extent(0);
+  const std::int64_t c = probs.extent(1);
+  out.misclassified.resize(static_cast<std::size_t>(n));
+  std::int64_t wrong = 0;
+  double conf_sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = probs.data() + i * c;
+    const auto pred = std::max_element(row, row + c) - row;
+    conf_sum += row[pred];
+    const bool miss = pred != seeds.labels[static_cast<std::size_t>(i)];
+    out.misclassified[static_cast<std::size_t>(i)] = miss ? 1 : 0;
+    wrong += miss ? 1 : 0;
+  }
+  out.success_rate = static_cast<double>(wrong) / static_cast<double>(n);
+  out.mean_confidence = conf_sum / static_cast<double>(n);
+  out.usable = true;
+  out.steps_evaluated = 1;
+  return out;
+}
+
+corner_search_result search_corner_cases(sequential& model,
+                                         const dataset& seeds,
+                                         const corner_search_space& space,
+                                         double target_success,
+                                         double min_success) {
+  corner_search_result best;
+  int evaluated = 0;
+  for (const auto& step : space.schedule) {
+    corner_search_result cur = evaluate_chain(model, seeds, {step});
+    ++evaluated;
+    log_debug() << "search " << step.describe() << " -> success "
+                << cur.success_rate;
+    // Keep the strongest configuration seen so far; the schedule is ordered
+    // by increasing distortion, so the first crossing of the target is the
+    // minimal distortion achieving it.
+    if (cur.success_rate >= best.success_rate || best.chosen.empty()) {
+      best = std::move(cur);
+    }
+    if (best.success_rate >= target_success) break;
+  }
+  best.steps_evaluated = evaluated;
+  best.usable = best.success_rate >= min_success;
+  if (!best.usable) {
+    log_info() << transform_kind_name(space.kind)
+               << ": max success rate " << best.success_rate
+               << " < " << min_success << ", discarded";
+  }
+  return best;
+}
+
+dataset select_seeds(sequential& model, const dataset& test,
+                     std::int64_t count, std::uint64_t seed) {
+  const auto preds = [&] {
+    std::vector<std::int64_t> out;
+    out.reserve(static_cast<std::size_t>(test.size()));
+    constexpr std::int64_t batch = 128;
+    for (std::int64_t begin = 0; begin < test.size(); begin += batch) {
+      const std::int64_t end = std::min(test.size(), begin + batch);
+      const auto p = model.predict(test.images.slice_rows(begin, end));
+      out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+  }();
+  std::vector<std::int64_t> correct;
+  for (std::int64_t i = 0; i < test.size(); ++i) {
+    if (preds[static_cast<std::size_t>(i)] ==
+        test.labels[static_cast<std::size_t>(i)]) {
+      correct.push_back(i);
+    }
+  }
+  if (static_cast<std::int64_t>(correct.size()) < count) {
+    throw std::runtime_error{
+        "select_seeds: not enough correctly classified test images"};
+  }
+  rng gen{seed};
+  gen.shuffle_indices(correct.size(), [&](std::size_t a, std::size_t b) {
+    std::swap(correct[a], correct[b]);
+  });
+  correct.resize(static_cast<std::size_t>(count));
+  dataset out = test.subset(correct);
+  out.name = test.name + ":seeds";
+  return out;
+}
+
+}  // namespace dv

@@ -1,0 +1,75 @@
+// Metamorphic corner-case generation (paper §III-A2, Tables IV and V).
+//
+// The search applies a transformation with growing distortion to a fixed
+// seed set of correctly classified test images, monitoring the classifier's
+// accuracy. It stops when the success rate (1 - accuracy on transformed
+// seeds) reaches a target (~60 % in the paper); transformations that never
+// exceed a minimum success rate (30 %) are discarded as unusable.
+//
+// Two-parameter transformations are searched along a diagonal schedule of
+// increasing distortion (the paper's grid search in lockstep form); the
+// exact step sizes are configurable and default to coarser steps than the
+// paper's Table IV to fit a single-core CPU budget — the schedule printed by
+// the benches records what was actually used.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "augment/transforms.h"
+#include "data/dataset.h"
+#include "data/factory.h"
+#include "nn/model.h"
+
+namespace dv {
+
+/// A precomputed schedule of parameter values with increasing distortion.
+struct corner_search_space {
+  transform_kind kind{transform_kind::brightness};
+  std::vector<transform_step> schedule;
+  std::string range_description;  // human-readable Table IV row
+};
+
+/// The standard search space for a transformation on a dataset kind
+/// (complement only applies to greyscale, i.e. `digits`).
+corner_search_space standard_search_space(transform_kind kind,
+                                          dataset_kind data);
+
+/// All transformations applicable to a dataset kind, in Table V order.
+std::vector<transform_kind> applicable_transforms(dataset_kind data);
+
+/// The paper's per-dataset combined transformation (two components); the
+/// component parameters are taken from the single-transform search results.
+transform_chain combined_transform(dataset_kind data,
+                                   const std::vector<transform_chain>&
+                                       chosen_singles);
+
+struct corner_search_result {
+  bool usable{false};
+  transform_chain chosen;          // empty when !usable
+  double success_rate{0.0};        // 1 - accuracy on transformed seeds
+  double mean_confidence{0.0};     // mean top-1 confidence on transformed seeds
+  dataset corner_cases;            // transformed seeds at the chosen params
+  /// Per corner case: true if the model misclassifies it (an SCC).
+  std::vector<unsigned char> misclassified;
+  int steps_evaluated{0};
+};
+
+/// Runs the stopping-rule search over `space` using `seeds` (all of which
+/// must be correctly classified by `model`).
+corner_search_result search_corner_cases(sequential& model,
+                                         const dataset& seeds,
+                                         const corner_search_space& space,
+                                         double target_success = 0.6,
+                                         double min_success = 0.3);
+
+/// Evaluates a fixed chain (used for combined transformations and sweeps).
+corner_search_result evaluate_chain(sequential& model, const dataset& seeds,
+                                    const transform_chain& chain);
+
+/// Selects `count` seeds from `test` that the model classifies correctly.
+dataset select_seeds(sequential& model, const dataset& test,
+                     std::int64_t count, std::uint64_t seed);
+
+}  // namespace dv

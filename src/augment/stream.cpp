@@ -1,0 +1,74 @@
+#include "augment/stream.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dv {
+
+transform_chain environment_state::as_chain() const {
+  transform_chain chain;
+  if (brightness_bias != 0.0f) {
+    chain.push_back({transform_kind::brightness, brightness_bias, 0.0f});
+  }
+  if (contrast_gain != 1.0f) {
+    chain.push_back({transform_kind::contrast, contrast_gain, 0.0f});
+  }
+  if (rotation_deg != 0.0f) {
+    chain.push_back({transform_kind::rotation, rotation_deg, 0.0f});
+  }
+  if (translate_x != 0.0f || translate_y != 0.0f) {
+    chain.push_back({transform_kind::translation, translate_x, translate_y});
+  }
+  return chain;
+}
+
+environment_stream::environment_stream(const dataset& source,
+                                       stream_config config)
+    : source_{source}, config_{config}, gen_{config.seed} {
+  if (source_.size() == 0) {
+    throw std::invalid_argument{"environment_stream: empty source dataset"};
+  }
+}
+
+void environment_stream::advance() {
+  auto walk = [&](float value, float drift, float stddev) {
+    return value + drift +
+           (stddev > 0.0f
+                ? static_cast<float>(gen_.normal(0.0, stddev))
+                : 0.0f);
+  };
+  state_.brightness_bias =
+      std::clamp(walk(state_.brightness_bias, config_.drift.brightness_bias,
+                      config_.walk_stddev.brightness_bias),
+                 -config_.max_brightness, config_.max_brightness);
+  state_.contrast_gain =
+      std::clamp(walk(state_.contrast_gain, config_.drift.contrast_gain,
+                      config_.walk_stddev.contrast_gain),
+                 config_.min_contrast, config_.max_contrast);
+  state_.rotation_deg =
+      std::clamp(walk(state_.rotation_deg, config_.drift.rotation_deg,
+                      config_.walk_stddev.rotation_deg),
+                 -config_.max_rotation, config_.max_rotation);
+  state_.translate_x =
+      std::clamp(walk(state_.translate_x, config_.drift.translate_x,
+                      config_.walk_stddev.translate_x),
+                 -config_.max_translation, config_.max_translation);
+  state_.translate_y =
+      std::clamp(walk(state_.translate_y, config_.drift.translate_y,
+                      config_.walk_stddev.translate_y),
+                 -config_.max_translation, config_.max_translation);
+}
+
+stream_frame environment_stream::next() {
+  const std::int64_t row = index_ % source_.size();
+  stream_frame frame;
+  frame.index = index_;
+  frame.label = source_.labels[static_cast<std::size_t>(row)];
+  frame.environment = state_;
+  frame.image = apply_chain(source_.images.sample(row), state_.as_chain());
+  ++index_;
+  advance();
+  return frame;
+}
+
+}  // namespace dv

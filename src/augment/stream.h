@@ -1,0 +1,82 @@
+// Environment-drift stream simulator.
+//
+// Substitution (DESIGN.md §3) for the real-world camera feeds that motivate
+// the paper (Tesla bright-sky, Uber night scenes): a frame source that draws
+// clean images from a dataset and passes them through an environment whose
+// parameters — illumination bias, contrast gain, camera rotation, and
+// translation jitter — evolve over time as a bounded random walk with an
+// optional deterministic drift. Drives the runtime_monitor example and the
+// fail-safe integration tests.
+#pragma once
+
+#include <cstdint>
+
+#include "augment/transforms.h"
+#include "data/dataset.h"
+
+namespace dv {
+
+/// Instantaneous environment state applied to every frame.
+struct environment_state {
+  float brightness_bias{0.0f};
+  float contrast_gain{1.0f};
+  float rotation_deg{0.0f};
+  float translate_x{0.0f};
+  float translate_y{0.0f};
+
+  transform_chain as_chain() const;
+};
+
+/// Per-frame parameter deltas (all additive; zero means "no change").
+struct environment_delta {
+  float brightness_bias{0.0f};
+  float contrast_gain{0.0f};
+  float rotation_deg{0.0f};
+  float translate_x{0.0f};
+  float translate_y{0.0f};
+};
+
+struct stream_config {
+  /// Deterministic per-frame drift added to each parameter.
+  environment_delta drift{};
+  /// Standard deviation of the per-frame random-walk step per parameter.
+  environment_delta walk_stddev{};
+  /// Hard bounds (absolute value) on the walked parameters.
+  float max_brightness{0.95f};
+  float max_rotation{80.0f};
+  float max_translation{12.0f};
+  float min_contrast{0.2f};
+  float max_contrast{5.0f};
+  std::uint64_t seed{33};
+};
+
+/// One simulated frame with its ground truth.
+struct stream_frame {
+  tensor image;
+  std::int64_t label{-1};
+  environment_state environment;
+  std::int64_t index{0};
+};
+
+class environment_stream {
+ public:
+  /// `source` provides the clean frames (cycled in order).
+  environment_stream(const dataset& source, stream_config config = {});
+
+  /// Produces the next frame under the current (then advanced) environment.
+  stream_frame next();
+
+  const environment_state& state() const { return state_; }
+  std::int64_t frames_emitted() const { return index_; }
+
+ private:
+  void advance();
+
+  const dataset& source_;
+  stream_config config_;
+  environment_state state_{};
+  rng gen_;
+  std::int64_t index_{0};
+};
+
+}  // namespace dv

@@ -1,0 +1,224 @@
+#include "augment/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+#include "augment/affine.h"
+#include "util/rng.h"
+
+namespace dv {
+
+tensor gaussian_blur(const tensor& image, float sigma) {
+  if (image.dim() != 3) {
+    throw std::invalid_argument{"gaussian_blur: expected [C,H,W]"};
+  }
+  if (sigma <= 0.0f) throw std::invalid_argument{"gaussian_blur: sigma > 0"};
+  // Separable kernel with radius 3 sigma (clamped to a sane maximum).
+  const int radius =
+      std::min(7, std::max(1, static_cast<int>(std::ceil(3.0f * sigma))));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  float norm = 0.0f;
+  for (int k = -radius; k <= radius; ++k) {
+    const float v = std::exp(-0.5f * static_cast<float>(k * k) / (sigma * sigma));
+    kernel[static_cast<std::size_t>(k + radius)] = v;
+    norm += v;
+  }
+  for (auto& v : kernel) v /= norm;
+
+  const std::int64_t c = image.extent(0), h = image.extent(1),
+                     w = image.extent(2);
+  tensor horizontal{image.shape()};
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        float acc = 0.0f;
+        for (int k = -radius; k <= radius; ++k) {
+          const std::int64_t xx = std::clamp<std::int64_t>(x + k, 0, w - 1);
+          acc += kernel[static_cast<std::size_t>(k + radius)] *
+                 image.at3(ch, y, xx);
+        }
+        horizontal.at3(ch, y, x) = acc;
+      }
+    }
+  }
+  tensor out{image.shape()};
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        float acc = 0.0f;
+        for (int k = -radius; k <= radius; ++k) {
+          const std::int64_t yy = std::clamp<std::int64_t>(y + k, 0, h - 1);
+          acc += kernel[static_cast<std::size_t>(k + radius)] *
+                 horizontal.at3(ch, yy, x);
+        }
+        out.at3(ch, y, x) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+const char* transform_kind_name(transform_kind kind) {
+  switch (kind) {
+    case transform_kind::brightness: return "brightness";
+    case transform_kind::contrast: return "contrast";
+    case transform_kind::rotation: return "rotation";
+    case transform_kind::shear: return "shear";
+    case transform_kind::scale: return "scale";
+    case transform_kind::translation: return "translation";
+    case transform_kind::complement: return "complement";
+    case transform_kind::blur: return "blur";
+    case transform_kind::noise: return "noise";
+    case transform_kind::occlusion: return "occlusion";
+  }
+  throw std::invalid_argument{"transform_kind_name: bad kind"};
+}
+
+std::string transform_step::describe() const {
+  std::ostringstream out;
+  switch (kind) {
+    case transform_kind::brightness:
+      out << "brightness(beta=" << p1 << ")";
+      break;
+    case transform_kind::contrast:
+      out << "contrast(alpha=" << p1 << ")";
+      break;
+    case transform_kind::rotation:
+      out << "rotation(theta=" << p1 << " deg)";
+      break;
+    case transform_kind::shear:
+      out << "shear(sh=" << p1 << ", sv=" << p2 << ")";
+      break;
+    case transform_kind::scale:
+      out << "scale(sx=" << p1 << ", sy=" << p2 << ")";
+      break;
+    case transform_kind::translation:
+      out << "translation(Tx=" << p1 << ", Ty=" << p2 << ")";
+      break;
+    case transform_kind::complement:
+      out << "complement";
+      break;
+    case transform_kind::blur:
+      out << "blur(sigma=" << p1 << ")";
+      break;
+    case transform_kind::noise:
+      out << "noise(stddev=" << p1 << ")";
+      break;
+    case transform_kind::occlusion:
+      out << "occlusion(size=" << p1 << ")";
+      break;
+  }
+  return out.str();
+}
+
+std::string describe_chain(const transform_chain& chain) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (i > 0) out << " + ";
+    out << chain[i].describe();
+  }
+  return out.str();
+}
+
+tensor apply_step(const tensor& image, const transform_step& step) {
+  if (image.dim() != 3) {
+    throw std::invalid_argument{"apply_step: expected [C,H,W]"};
+  }
+  switch (step.kind) {
+    case transform_kind::brightness: {
+      tensor out = image;
+      for (std::int64_t i = 0; i < out.numel(); ++i) out[i] += step.p1;
+      out.clamp(0.0f, 1.0f);
+      return out;
+    }
+    case transform_kind::contrast: {
+      tensor out = image;
+      out *= step.p1;
+      out.clamp(0.0f, 1.0f);
+      return out;
+    }
+    case transform_kind::rotation: {
+      const float rad =
+          step.p1 * std::numbers::pi_v<float> / 180.0f;
+      return warp_affine(image, affine_matrix::rotation(rad));
+    }
+    case transform_kind::shear:
+      return warp_affine(image, affine_matrix::shear(step.p1, step.p2));
+    case transform_kind::scale: {
+      if (step.p1 <= 0.0f || step.p2 <= 0.0f) {
+        throw std::invalid_argument{"apply_step: scale ratios must be > 0"};
+      }
+      return warp_affine(image, affine_matrix::scale(step.p1, step.p2));
+    }
+    case transform_kind::translation:
+      return warp_affine(image, affine_matrix::translation(step.p1, step.p2));
+    case transform_kind::complement: {
+      tensor out = image;
+      for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = 1.0f - out[i];
+      return out;
+    }
+    case transform_kind::blur:
+      return gaussian_blur(image, step.p1);
+    case transform_kind::noise: {
+      if (step.p1 < 0.0f) {
+        throw std::invalid_argument{"apply_step: noise stddev must be >= 0"};
+      }
+      tensor out = image;
+      // Deterministic per (image content is not hashed; the seed tag p2
+      // selects the noise realization so experiments stay reproducible).
+      rng gen{0x9e3779b9u ^ static_cast<std::uint64_t>(step.p2 * 977.0f)};
+      for (std::int64_t i = 0; i < out.numel(); ++i) {
+        out[i] += static_cast<float>(gen.normal(0.0, step.p1));
+      }
+      out.clamp(0.0f, 1.0f);
+      return out;
+    }
+    case transform_kind::occlusion: {
+      if (step.p1 <= 0.0f || step.p1 > 1.0f) {
+        throw std::invalid_argument{"apply_step: occlusion size in (0, 1]"};
+      }
+      tensor out = image;
+      const std::int64_t h = image.extent(1), w = image.extent(2);
+      const auto side = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(step.p1 * static_cast<float>(std::min(h, w))));
+      // Position tag p2 in [0, 1) x-major walks the patch across the image.
+      rng gen{0x51ed270bu ^ static_cast<std::uint64_t>(step.p2 * 7919.0f)};
+      const auto y0 = static_cast<std::int64_t>(gen.uniform(0.0, 1.0) *
+                                                static_cast<double>(h - side));
+      const auto x0 = static_cast<std::int64_t>(gen.uniform(0.0, 1.0) *
+                                                static_cast<double>(w - side));
+      for (std::int64_t c = 0; c < image.extent(0); ++c) {
+        for (std::int64_t y = y0; y < y0 + side; ++y) {
+          for (std::int64_t x = x0; x < x0 + side; ++x) {
+            out.at3(c, y, x) = 0.0f;
+          }
+        }
+      }
+      return out;
+    }
+  }
+  throw std::invalid_argument{"apply_step: bad kind"};
+}
+
+tensor apply_chain(const tensor& image, const transform_chain& chain) {
+  tensor out = image;
+  for (const auto& step : chain) out = apply_step(out, step);
+  return out;
+}
+
+dataset transform_dataset(const dataset& input, const transform_chain& chain) {
+  dataset out;
+  out.num_classes = input.num_classes;
+  out.name = input.name + "+" + describe_chain(chain);
+  out.labels = input.labels;
+  out.images = tensor{input.images.shape()};
+  for (std::int64_t i = 0; i < input.size(); ++i) {
+    out.images.set_sample(i, apply_chain(input.images.sample(i), chain));
+  }
+  return out;
+}
+
+}  // namespace dv

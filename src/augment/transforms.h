@@ -1,0 +1,65 @@
+// Natural image transformations used for metamorphic corner-case synthesis
+// (paper §III-A1, Tables I and IV).
+//
+// Every transformation preserves the semantic label of the image for the
+// parameter ranges the search explores; they model environment changes —
+// illumination (brightness/contrast), camera pose (rotation/shear/scale/
+// translation), and sensor inversion (complement, greyscale only).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace dv {
+
+enum class transform_kind {
+  brightness,   // add bias beta, clamp to [0,1]
+  contrast,     // multiply by gain alpha, clamp to [0,1]
+  rotation,     // rotate about center by p1 degrees
+  shear,        // shear ratios (p1 horizontal, p2 vertical)
+  scale,        // scale ratios (p1 x, p2 y)
+  translation,  // shift by (p1, p2) pixels
+  complement,   // x -> 1 - x (maximum pixel value 1.0)
+  // Extension transformations from the paper's cited DeepTest family
+  // (Tian et al. [67]): not part of the paper's Table IV suite, but the
+  // same metamorphic machinery applies to them.
+  blur,         // Gaussian blur, p1 = sigma in pixels
+  noise,        // additive Gaussian sensor noise, p1 = stddev, p2 = seed tag
+  occlusion,    // dark square patch, p1 = size fraction, p2 = position tag
+};
+
+const char* transform_kind_name(transform_kind kind);
+
+/// One parameterized transformation step.
+/// Parameter meaning by kind: brightness p1=beta; contrast p1=alpha;
+/// rotation p1=degrees; shear p1=s_h, p2=s_v; scale p1=s_x, p2=s_y;
+/// translation p1=T_x, p2=T_y; complement ignores both.
+struct transform_step {
+  transform_kind kind{transform_kind::brightness};
+  float p1{0.0f};
+  float p2{0.0f};
+
+  std::string describe() const;
+};
+
+/// An ordered list of steps; "combined transformations" are chains of two.
+using transform_chain = std::vector<transform_step>;
+
+std::string describe_chain(const transform_chain& chain);
+
+/// Applies one step to a [C,H,W] image in [0,1]. Returns a new image.
+tensor apply_step(const tensor& image, const transform_step& step);
+
+/// Separable Gaussian blur with the given sigma (pixels), edge-replicated.
+tensor gaussian_blur(const tensor& image, float sigma);
+
+/// Applies a chain left-to-right.
+tensor apply_chain(const tensor& image, const transform_chain& chain);
+
+/// Transforms every image of a dataset (labels preserved).
+dataset transform_dataset(const dataset& input, const transform_chain& chain);
+
+}  // namespace dv

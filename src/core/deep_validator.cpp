@@ -1,0 +1,207 @@
+#include "core/deep_validator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/probe_reducer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/serialize.h"
+#include "util/stopwatch.h"
+
+namespace dv {
+
+namespace {
+constexpr const char* k_dv_magic = "dv-validator-v1";
+
+/// Appends the rows of `block` to `dst` (allocating on first use).
+void append_rows(tensor& dst, const tensor& block, std::int64_t total_rows,
+                 std::int64_t& cursor) {
+  const std::int64_t d = block.extent(1);
+  if (dst.empty()) {
+    dst = tensor{{total_rows, d}};
+  }
+  std::copy_n(block.data(), block.numel(), dst.data() + cursor * d);
+  cursor += block.extent(0);
+}
+}  // namespace
+
+void deep_validator::fit(sequential& model, const dataset& train,
+                         const deep_validator_config& config) {
+  stopwatch timer;
+  spatial_ = config.spatial;
+  eval_batch_ = config.eval_batch;
+
+  // Algorithm 1, line 2: keep only correctly classified training images.
+  std::vector<std::int64_t> kept;
+  {
+    constexpr std::int64_t batch = 128;
+    for (std::int64_t begin = 0; begin < train.size(); begin += batch) {
+      const std::int64_t end = std::min(train.size(), begin + batch);
+      const auto preds = model.predict(train.images.slice_rows(begin, end));
+      for (std::int64_t i = begin; i < end; ++i) {
+        if (preds[static_cast<std::size_t>(i - begin)] ==
+            train.labels[static_cast<std::size_t>(i)]) {
+          kept.push_back(i);
+        }
+      }
+    }
+  }
+  log_info() << "deep_validator::fit: " << kept.size() << "/" << train.size()
+             << " training images correctly classified";
+
+  // Per-class subsampling to the configured cap (keeps SVM training cheap
+  // and classes balanced).
+  {
+    rng gen{config.seed};
+    std::vector<std::vector<std::int64_t>> per_class(
+        static_cast<std::size_t>(train.num_classes));
+    for (const auto i : kept) {
+      per_class[static_cast<std::size_t>(
+                    train.labels[static_cast<std::size_t>(i)])]
+          .push_back(i);
+    }
+    kept.clear();
+    for (auto& rows : per_class) {
+      gen.shuffle_indices(rows.size(), [&](std::size_t a, std::size_t b) {
+        std::swap(rows[a], rows[b]);
+      });
+      const auto cap = static_cast<std::size_t>(config.max_train_per_class);
+      if (config.max_train_per_class > 0 && rows.size() > cap) {
+        rows.resize(cap);
+      }
+      kept.insert(kept.end(), rows.begin(), rows.end());
+    }
+    std::sort(kept.begin(), kept.end());
+  }
+
+  const dataset fit_set = train.subset(kept);
+  const auto n = fit_set.size();
+
+  // Decide which probes to validate.
+  const int total_probes = model.probe_count();
+  if (total_probes == 0) {
+    throw std::invalid_argument{"deep_validator::fit: model has no probes"};
+  }
+  const int first_probe =
+      config.last_probes > 0 && config.last_probes < total_probes
+          ? total_probes - config.last_probes
+          : 0;
+  probe_indices_.clear();
+  for (int p = first_probe; p < total_probes; ++p) probe_indices_.push_back(p);
+
+  // Extract reduced features for every validated probe, in batches.
+  std::vector<tensor> features(probe_indices_.size());
+  std::vector<std::int64_t> cursors(probe_indices_.size(), 0);
+  for (std::int64_t begin = 0; begin < n; begin += eval_batch_) {
+    const std::int64_t end = std::min(n, begin + eval_batch_);
+    (void)model.forward(fit_set.images.slice_rows(begin, end), false);
+    const auto probes = model.probes();
+    if (static_cast<int>(probes.size()) != total_probes) {
+      throw std::logic_error{"deep_validator::fit: probe count changed"};
+    }
+    for (std::size_t v = 0; v < probe_indices_.size(); ++v) {
+      const tensor reduced = reduce_probe(
+          *probes[static_cast<std::size_t>(probe_indices_[v])], spatial_);
+      append_rows(features[v], reduced, n, cursors[v]);
+    }
+  }
+
+  // Algorithm 1 main loop: one SVM per (layer, class).
+  validators_.clear();
+  validators_.resize(probe_indices_.size());
+  for (std::size_t v = 0; v < validators_.size(); ++v) {
+    validators_[v].fit(features[v], fit_set.labels, fit_set.num_classes,
+                       config.svm);
+    log_info() << "deep_validator::fit: layer " << probe_indices_[v]
+               << " (dim " << features[v].extent(1) << ") fitted "
+               << fit_set.num_classes << " SVMs";
+  }
+  log_info() << "deep_validator::fit: done in " << timer.seconds() << "s";
+}
+
+deep_validator::scores deep_validator::evaluate(sequential& model,
+                                                const tensor& images) const {
+  if (!fitted()) throw std::logic_error{"deep_validator: not fitted"};
+  const std::int64_t n = images.extent(0);
+  scores out;
+  out.per_layer.assign(validators_.size(), {});
+  for (auto& v : out.per_layer) v.reserve(static_cast<std::size_t>(n));
+  out.joint.reserve(static_cast<std::size_t>(n));
+  out.predictions.reserve(static_cast<std::size_t>(n));
+
+  const int total_probes = model.probe_count();
+  for (std::int64_t begin = 0; begin < n; begin += eval_batch_) {
+    const std::int64_t end = std::min(n, begin + eval_batch_);
+    tensor logits = model.forward(images.slice_rows(begin, end), false);
+    const auto preds = argmax_rows(logits);
+    const auto probes = model.probes();
+    if (static_cast<int>(probes.size()) != total_probes) {
+      throw std::logic_error{"deep_validator::evaluate: probe count changed"};
+    }
+    // Reduce each validated probe once for the whole mini-batch.
+    std::vector<tensor> reduced(validators_.size());
+    for (std::size_t v = 0; v < validators_.size(); ++v) {
+      reduced[v] = reduce_probe(
+          *probes[static_cast<std::size_t>(probe_indices_[v])], spatial_);
+    }
+    for (std::int64_t i = 0; i < end - begin; ++i) {
+      const auto pred = preds[static_cast<std::size_t>(i)];
+      double joint = 0.0;
+      for (std::size_t v = 0; v < validators_.size(); ++v) {
+        const std::int64_t d = reduced[v].extent(1);
+        const double disc = validators_[v].discrepancy(
+            pred, {reduced[v].data() + i * d, static_cast<std::size_t>(d)});
+        out.per_layer[v].push_back(disc);
+        joint += disc;
+      }
+      out.joint.push_back(joint);
+      out.predictions.push_back(pred);
+    }
+  }
+  return out;
+}
+
+double deep_validator::joint_discrepancy(sequential& model,
+                                         const tensor& image) const {
+  tensor batch = image;
+  if (batch.dim() == 3) {
+    batch.reshape({1, image.extent(0), image.extent(1), image.extent(2)});
+  }
+  if (batch.dim() != 4 || batch.extent(0) != 1) {
+    throw std::invalid_argument{"joint_discrepancy: expected one image"};
+  }
+  return evaluate(model, batch).joint.front();
+}
+
+void deep_validator::save(const std::string& path) const {
+  if (!fitted()) throw std::logic_error{"deep_validator::save: not fitted"};
+  binary_writer w{path, k_dv_magic};
+  w.write_i32(spatial_);
+  w.write_i32(eval_batch_);
+  w.write_f64(threshold_);
+  w.write_i32_vector(probe_indices_);
+  w.write_u64(validators_.size());
+  for (const auto& v : validators_) v.save(w);
+  w.finish();
+}
+
+deep_validator deep_validator::load(const std::string& path) {
+  binary_reader r{path, k_dv_magic};
+  deep_validator out;
+  out.spatial_ = r.read_i32();
+  out.eval_batch_ = r.read_i32();
+  out.threshold_ = r.read_f64();
+  out.probe_indices_ = r.read_i32_vector();
+  const auto n = r.read_u64();
+  if (n != out.probe_indices_.size()) {
+    throw serialize_error{"deep_validator::load: inconsistent artifact"};
+  }
+  out.validators_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.validators_.push_back(layer_validator::load(r));
+  }
+  return out;
+}
+
+}  // namespace dv

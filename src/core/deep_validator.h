@@ -1,0 +1,87 @@
+// Deep Validation: the paper's primary contribution (Figure 1, Algorithms 1
+// and 2).
+//
+// A deep_validator attaches probes to every hidden layer of a trained CNN,
+// models the per-(layer, class) reference distributions of training hidden
+// representations with one-class SVMs, and at inference time scores a test
+// image by its joint discrepancy d = sum_i d_i across validated layers.
+// Inputs whose joint discrepancy exceeds a threshold epsilon are flagged as
+// error-inducing corner cases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/layer_validator.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace dv {
+
+struct deep_validator_config {
+  one_class_svm_config svm;
+  /// Spatial resolution of the convolutional probe reducer (1 = GAP).
+  int spatial{1};
+  /// If > 0, validate only the last `last_probes` probe layers (the paper's
+  /// DenseNet configuration validates the last six).
+  int last_probes{0};
+  /// Per-class cap on SVM training samples (subsampled deterministically).
+  std::int64_t max_train_per_class{500};
+  std::uint64_t seed{7};
+  int eval_batch{128};
+};
+
+class deep_validator {
+ public:
+  deep_validator() = default;
+
+  /// Algorithm 1: removes misclassified training images, extracts hidden
+  /// representations per validated layer, and fits per-class one-class SVMs.
+  void fit(sequential& model, const dataset& train,
+           const deep_validator_config& config);
+
+  struct scores {
+    /// Per validated layer (outer) and per image (inner) discrepancy d_i.
+    std::vector<std::vector<double>> per_layer;
+    /// Joint discrepancy d = sum_i d_i per image (Equation 3).
+    std::vector<double> joint;
+    /// Model prediction per image.
+    std::vector<std::int64_t> predictions;
+  };
+
+  /// Algorithm 2 over a batch of images.
+  scores evaluate(sequential& model, const tensor& images) const;
+
+  /// Joint discrepancy of a single [C,H,W] image.
+  double joint_discrepancy(sequential& model, const tensor& image) const;
+
+  /// Number of validated layers.
+  int validated_layers() const {
+    return static_cast<int>(validators_.size());
+  }
+  /// Global probe index (0-based, network order) of validated layer `i`.
+  int probe_index(int i) const {
+    return probe_indices_[static_cast<std::size_t>(i)];
+  }
+
+  /// Decision threshold epsilon; images with joint discrepancy > epsilon are
+  /// flagged invalid.
+  void set_threshold(double epsilon) { threshold_ = epsilon; }
+  double threshold() const { return threshold_; }
+  bool flags_invalid(double joint_d) const { return joint_d > threshold_; }
+
+  bool fitted() const { return !validators_.empty(); }
+
+  void save(const std::string& path) const;
+  static deep_validator load(const std::string& path);
+
+ private:
+  std::vector<layer_validator> validators_;
+  std::vector<int> probe_indices_;
+  int spatial_{1};
+  int eval_batch_{128};
+  double threshold_{0.0};
+};
+
+}  // namespace dv

@@ -1,0 +1,68 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dv {
+
+int validation_report::dominant_layer() const {
+  if (layers.empty()) return -1;
+  const auto it = std::max_element(
+      layers.begin(), layers.end(),
+      [](const layer_contribution& a, const layer_contribution& b) {
+        return a.discrepancy < b.discrepancy;
+      });
+  return it->probe_index;
+}
+
+validation_report explain_validation(sequential& model,
+                                     const deep_validator& validator,
+                                     const tensor& image) {
+  if (!validator.fitted()) {
+    throw std::logic_error{"explain_validation: validator not fitted"};
+  }
+  tensor batch = image;
+  if (batch.dim() == 3) {
+    batch.reshape({1, image.extent(0), image.extent(1), image.extent(2)});
+  }
+  const auto scores = validator.evaluate(model, batch);
+
+  validation_report report;
+  report.prediction = scores.predictions.front();
+  report.joint_discrepancy = scores.joint.front();
+  report.flagged = validator.flags_invalid(report.joint_discrepancy);
+
+  double abs_sum = 0.0;
+  for (int v = 0; v < validator.validated_layers(); ++v) {
+    abs_sum += std::abs(scores.per_layer[static_cast<std::size_t>(v)].front());
+  }
+  for (int v = 0; v < validator.validated_layers(); ++v) {
+    const double d = scores.per_layer[static_cast<std::size_t>(v)].front();
+    report.layers.push_back(
+        {validator.probe_index(v), d,
+         abs_sum > 0.0 ? std::abs(d) / abs_sum : 0.0});
+  }
+  return report;
+}
+
+std::string format_report(const validation_report& report) {
+  std::ostringstream out;
+  out << "prediction " << report.prediction << " | joint discrepancy "
+      << report.joint_discrepancy << " | "
+      << (report.flagged ? "INVALID" : "valid") << "\n";
+  for (const auto& layer : report.layers) {
+    const int bars = static_cast<int>(layer.share * 40.0 + 0.5);
+    out << "  layer " << (layer.probe_index + 1) << "  "
+        << (layer.discrepancy >= 0 ? "+" : "") << layer.discrepancy << "  ";
+    for (int b = 0; b < bars; ++b) out << '#';
+    out << "\n";
+  }
+  if (!report.layers.empty()) {
+    out << "  dominant layer: " << (report.dominant_layer() + 1) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dv

@@ -1,0 +1,41 @@
+// Validation diagnosis: which layers raised the alarm and by how much.
+//
+// When the fail-safe flags an input, an operator needs more than a single
+// joint number: the per-layer breakdown tells whether the input broke early
+// (raw-feature mismatch — e.g. inverted sensor) or late (semantic-feature
+// mismatch — e.g. an object the model cannot place). This mirrors the
+// paper's per-layer analysis in §IV-D3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/deep_validator.h"
+
+namespace dv {
+
+struct layer_contribution {
+  int probe_index{0};       // global probe index in network order (0-based)
+  double discrepancy{0.0};  // d_i for this layer
+  double share{0.0};        // |d_i| / sum_j |d_j| (0 when all are zero)
+};
+
+struct validation_report {
+  std::int64_t prediction{-1};
+  double joint_discrepancy{0.0};
+  bool flagged{false};
+  std::vector<layer_contribution> layers;  // network order
+
+  /// Probe index of the largest-discrepancy layer (-1 if empty).
+  int dominant_layer() const;
+};
+
+/// Runs Algorithm 2 on one [C,H,W] image and decomposes the verdict.
+validation_report explain_validation(sequential& model,
+                                     const deep_validator& validator,
+                                     const tensor& image);
+
+/// Multi-line human-readable rendering with a per-layer bar chart.
+std::string format_report(const validation_report& report);
+
+}  // namespace dv

@@ -1,0 +1,73 @@
+#include "core/feature_scaler.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/serialize.h"
+
+namespace dv {
+
+void feature_scaler::fit(const tensor& features) {
+  if (features.dim() != 2 || features.extent(0) < 1) {
+    throw std::invalid_argument{"feature_scaler::fit: need [n>=1, d]"};
+  }
+  const std::int64_t n = features.extent(0);
+  const std::int64_t d = features.extent(1);
+  mean_.assign(static_cast<std::size_t>(d), 0.0f);
+  inv_std_.assign(static_cast<std::size_t>(d), 1.0f);
+  std::vector<double> sum(static_cast<std::size_t>(d), 0.0);
+  std::vector<double> sum2(static_cast<std::size_t>(d), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = features.data() + i * d;
+    for (std::int64_t j = 0; j < d; ++j) {
+      sum[static_cast<std::size_t>(j)] += row[j];
+      sum2[static_cast<std::size_t>(j)] += static_cast<double>(row[j]) * row[j];
+    }
+  }
+  for (std::int64_t j = 0; j < d; ++j) {
+    const double m = sum[static_cast<std::size_t>(j)] / static_cast<double>(n);
+    const double var =
+        sum2[static_cast<std::size_t>(j)] / static_cast<double>(n) - m * m;
+    mean_[static_cast<std::size_t>(j)] = static_cast<float>(m);
+    inv_std_[static_cast<std::size_t>(j)] =
+        var > 1e-10 ? static_cast<float>(1.0 / std::sqrt(var)) : 1.0f;
+  }
+}
+
+void feature_scaler::transform(tensor& features) const {
+  if (!fitted()) throw std::logic_error{"feature_scaler: not fitted"};
+  const std::int64_t n = features.extent(0);
+  const std::int64_t d = features.extent(1);
+  if (d != dimension()) {
+    throw std::invalid_argument{"feature_scaler::transform: dim mismatch"};
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    transform_row({features.data() + i * d, static_cast<std::size_t>(d)});
+  }
+}
+
+void feature_scaler::transform_row(std::span<float> row) const {
+  if (static_cast<std::int64_t>(row.size()) != dimension()) {
+    throw std::invalid_argument{"feature_scaler::transform_row: dim mismatch"};
+  }
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    row[j] = (row[j] - mean_[j]) * inv_std_[j];
+  }
+}
+
+void feature_scaler::save(binary_writer& w) const {
+  w.write_f32_vector(mean_);
+  w.write_f32_vector(inv_std_);
+}
+
+feature_scaler feature_scaler::load(binary_reader& r) {
+  feature_scaler out;
+  out.mean_ = r.read_f32_vector();
+  out.inv_std_ = r.read_f32_vector();
+  if (out.mean_.size() != out.inv_std_.size()) {
+    throw serialize_error{"feature_scaler::load: inconsistent artifact"};
+  }
+  return out;
+}
+
+}  // namespace dv

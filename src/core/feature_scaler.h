@@ -1,0 +1,42 @@
+// Per-dimension standardization of probe features.
+//
+// Fitted on the training features of one layer; applied to every test
+// feature before the SVM kernel so that the RBF width heuristic is
+// well-conditioned across layers with very different activation scales.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dv {
+
+class binary_reader;
+class binary_writer;
+
+class feature_scaler {
+ public:
+  /// Computes mean and standard deviation per column of [n, d].
+  void fit(const tensor& features);
+
+  /// Standardizes a matrix in place.
+  void transform(tensor& features) const;
+
+  /// Standardizes one row vector in place.
+  void transform_row(std::span<float> row) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  std::int64_t dimension() const {
+    return static_cast<std::int64_t>(mean_.size());
+  }
+
+  void save(binary_writer& w) const;
+  static feature_scaler load(binary_reader& r);
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> inv_std_;
+};
+
+}  // namespace dv

@@ -1,0 +1,73 @@
+#include "core/layer_validator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/serialize.h"
+
+namespace dv {
+
+void layer_validator::fit(const tensor& features,
+                          const std::vector<std::int64_t>& labels,
+                          int num_classes,
+                          const one_class_svm_config& config) {
+  if (features.dim() != 2 ||
+      static_cast<std::size_t>(features.extent(0)) != labels.size()) {
+    throw std::invalid_argument{"layer_validator::fit: bad inputs"};
+  }
+  scaler_.fit(features);
+  tensor scaled = features;
+  scaler_.transform(scaled);
+
+  const std::int64_t d = scaled.extent(1);
+  svms_.clear();
+  svms_.resize(static_cast<std::size_t>(num_classes));
+  for (int k = 0; k < num_classes; ++k) {
+    std::vector<std::int64_t> rows;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == k) rows.push_back(static_cast<std::int64_t>(i));
+    }
+    if (rows.size() < 2) {
+      throw std::invalid_argument{
+          "layer_validator::fit: class " + std::to_string(k) +
+          " has fewer than 2 samples"};
+    }
+    tensor subset{{static_cast<std::int64_t>(rows.size()), d}};
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::copy_n(scaled.data() + rows[i] * d, d,
+                  subset.data() + static_cast<std::int64_t>(i) * d);
+    }
+    svms_[static_cast<std::size_t>(k)].fit(subset, config);
+  }
+}
+
+double layer_validator::discrepancy(std::int64_t predicted_class,
+                                    std::span<const float> feature) const {
+  if (!fitted()) throw std::logic_error{"layer_validator: not fitted"};
+  if (predicted_class < 0 ||
+      predicted_class >= static_cast<std::int64_t>(svms_.size())) {
+    throw std::out_of_range{"layer_validator::discrepancy: class"};
+  }
+  scratch_.assign(feature.begin(), feature.end());
+  scaler_.transform_row(scratch_);
+  return -svms_[static_cast<std::size_t>(predicted_class)].decision(scratch_);
+}
+
+void layer_validator::save(binary_writer& w) const {
+  scaler_.save(w);
+  w.write_u64(svms_.size());
+  for (const auto& svm : svms_) svm.save(w);
+}
+
+layer_validator layer_validator::load(binary_reader& r) {
+  layer_validator out;
+  out.scaler_ = feature_scaler::load(r);
+  const auto n = r.read_u64();
+  out.svms_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.svms_.push_back(one_class_svm::load(r));
+  }
+  return out;
+}
+
+}  // namespace dv

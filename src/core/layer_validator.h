@@ -1,0 +1,41 @@
+// Single validator: the set of per-class one-class SVMs of one probe layer
+// (paper §III-B2, Algorithm 1 inner loop, and the "Single Validator" rows of
+// Table VI).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/feature_scaler.h"
+#include "svm/one_class_svm.h"
+
+namespace dv {
+
+class layer_validator {
+ public:
+  /// Fits one SVM per class on the rows of `features` [n, d] whose label in
+  /// `labels` equals that class. Every class must have at least 2 samples.
+  void fit(const tensor& features, const std::vector<std::int64_t>& labels,
+           int num_classes, const one_class_svm_config& config);
+
+  /// Discrepancy d_i = -t_{y'}(feature) (Equation 2). `feature` is the raw
+  /// (reduced, unscaled) probe vector; scaling happens internally.
+  double discrepancy(std::int64_t predicted_class,
+                     std::span<const float> feature) const;
+
+  bool fitted() const { return !svms_.empty(); }
+  int num_classes() const { return static_cast<int>(svms_.size()); }
+  std::int64_t dimension() const { return scaler_.dimension(); }
+
+  void save(binary_writer& w) const;
+  static layer_validator load(binary_reader& r);
+
+ private:
+  feature_scaler scaler_;
+  std::vector<one_class_svm> svms_;
+  // Scratch buffer reused by discrepancy (scaled copy of the feature).
+  mutable std::vector<float> scratch_;
+};
+
+}  // namespace dv

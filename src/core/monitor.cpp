@@ -1,0 +1,67 @@
+#include "core/monitor.h"
+
+#include <stdexcept>
+
+namespace dv {
+
+runtime_monitor::runtime_monitor(sequential& model,
+                                 const deep_validator& validator,
+                                 monitor_config config)
+    : model_{model}, validator_{validator}, config_{config} {
+  if (config_.window < 1 || config_.trigger_count < 1 ||
+      config_.trigger_count > config_.window || config_.release_count < 1) {
+    throw std::invalid_argument{"runtime_monitor: bad configuration"};
+  }
+  if (!validator_.fitted()) {
+    throw std::logic_error{"runtime_monitor: validator not fitted"};
+  }
+}
+
+monitor_verdict runtime_monitor::observe(const tensor& frame) {
+  tensor batch = frame;
+  if (batch.dim() == 3) {
+    batch.reshape({1, frame.extent(0), frame.extent(1), frame.extent(2)});
+  }
+  const auto scores = validator_.evaluate(model_, batch);
+
+  monitor_verdict v;
+  v.discrepancy = scores.joint.front();
+  v.prediction = scores.predictions.front();
+  v.frame_invalid = validator_.flags_invalid(v.discrepancy);
+
+  window_.push_back(v.frame_invalid);
+  if (static_cast<int>(window_.size()) > config_.window) window_.pop_front();
+  ++frames_seen_;
+
+  int invalid_in_window = 0;
+  for (const bool b : window_) invalid_in_window += b ? 1 : 0;
+
+  if (v.frame_invalid) {
+    consecutive_valid_ = 0;
+  } else {
+    ++consecutive_valid_;
+  }
+  if (!alarmed_ && invalid_in_window >= config_.trigger_count) {
+    alarmed_ = true;
+  } else if (alarmed_ && consecutive_valid_ >= config_.release_count) {
+    alarmed_ = false;
+  }
+  v.alarm = alarmed_;
+  return v;
+}
+
+double runtime_monitor::window_invalid_fraction() const {
+  if (window_.empty()) return 0.0;
+  int invalid = 0;
+  for (const bool b : window_) invalid += b ? 1 : 0;
+  return static_cast<double>(invalid) / static_cast<double>(window_.size());
+}
+
+void runtime_monitor::reset() {
+  window_.clear();
+  alarmed_ = false;
+  consecutive_valid_ = 0;
+  frames_seen_ = 0;
+}
+
+}  // namespace dv

@@ -1,0 +1,42 @@
+// Weighted joint validator — the paper's stated extension (§III-B2: "we can
+// further explore it since better combination can lead to more precise
+// estimation", §IV-D3: "can be improved via carefully assigning different
+// weights to different single validators").
+//
+// Learns per-layer weights for the discrepancy combination with a logistic
+// regression. To stay scenario-agnostic (the paper's core design rule), the
+// positive class defaults to uniform-noise outlier images, which require no
+// knowledge of any corner-case scenario.
+#pragma once
+
+#include "core/deep_validator.h"
+#include "eval/logistic.h"
+
+namespace dv {
+
+class weighted_joint_validator {
+ public:
+  /// Fits weights from the per-layer discrepancies of `clean` (negatives)
+  /// and `outliers` (positives) under the fitted `base` validator.
+  void fit(sequential& model, const deep_validator& base, const tensor& clean,
+           const tensor& outliers);
+
+  /// Weighted joint discrepancy scores for a batch.
+  std::vector<double> score_batch(sequential& model,
+                                  const deep_validator& base,
+                                  const tensor& images) const;
+
+  bool fitted() const { return combiner_.fitted(); }
+  /// Learned per-layer weights (one per validated layer).
+  const std::vector<double>& weights() const { return combiner_.weights(); }
+
+  /// Generates scenario-agnostic outliers: uniform-noise images of the
+  /// given shape.
+  static tensor make_noise_outliers(const std::vector<std::int64_t>& shape,
+                                    std::uint64_t seed);
+
+ private:
+  logistic_regression combiner_;
+};
+
+}  // namespace dv

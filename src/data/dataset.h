@@ -1,0 +1,41 @@
+// Labeled image dataset container.
+//
+// Images are stored as one [N, C, H, W] tensor with pixel values in [0, 1]
+// — the same convention the paper's transformations assume (e.g. complement
+// flips around a maximum pixel value of 1.0).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dv {
+
+struct dataset {
+  tensor images;                      // [N, C, H, W], values in [0, 1]
+  std::vector<std::int64_t> labels;   // N class indices
+  int num_classes{10};
+  std::string name;
+
+  std::int64_t size() const { return images.empty() ? 0 : images.extent(0); }
+  std::int64_t channels() const { return images.extent(1); }
+  std::int64_t height() const { return images.extent(2); }
+  std::int64_t width() const { return images.extent(3); }
+
+  /// Copies the selected samples into a new dataset (order preserved).
+  dataset subset(const std::vector<std::int64_t>& indices) const;
+
+  /// Splits off the first `first_count` samples; returns {head, tail}.
+  std::pair<dataset, dataset> split(std::int64_t first_count) const;
+
+  /// Validates internal consistency; throws std::invalid_argument if broken.
+  void check() const;
+};
+
+/// Draws `count` sample indices uniformly without replacement.
+std::vector<std::int64_t> sample_indices(std::int64_t population,
+                                         std::int64_t count, rng& gen);
+
+}  // namespace dv

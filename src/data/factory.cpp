@@ -1,0 +1,66 @@
+#include "data/factory.h"
+
+#include <stdexcept>
+
+#include "data/synth_digits.h"
+#include "data/synth_objects.h"
+#include "data/synth_street.h"
+
+namespace dv {
+
+const char* dataset_kind_name(dataset_kind kind) {
+  switch (kind) {
+    case dataset_kind::digits: return "digits";
+    case dataset_kind::objects: return "objects";
+    case dataset_kind::street: return "street";
+  }
+  throw std::invalid_argument{"dataset_kind_name: bad kind"};
+}
+
+const char* dataset_kind_paper_name(dataset_kind kind) {
+  switch (kind) {
+    case dataset_kind::digits: return "MNIST";
+    case dataset_kind::objects: return "CIFAR-10";
+    case dataset_kind::street: return "SVHN";
+  }
+  throw std::invalid_argument{"dataset_kind_paper_name: bad kind"};
+}
+
+dataset_bundle make_dataset(const dataset_split_spec& spec) {
+  dataset_bundle out;
+  switch (spec.kind) {
+    case dataset_kind::digits: {
+      synth_digits_config c;
+      c.count = spec.train_size;
+      c.seed = spec.seed;
+      out.train = make_synth_digits(c);
+      c.count = spec.test_size;
+      c.seed = spec.seed + 0x517cc1b727220a95ULL;  // disjoint stream
+      out.test = make_synth_digits(c);
+      break;
+    }
+    case dataset_kind::objects: {
+      synth_objects_config c;
+      c.count = spec.train_size;
+      c.seed = spec.seed;
+      out.train = make_synth_objects(c);
+      c.count = spec.test_size;
+      c.seed = spec.seed + 0x517cc1b727220a95ULL;
+      out.test = make_synth_objects(c);
+      break;
+    }
+    case dataset_kind::street: {
+      synth_street_config c;
+      c.count = spec.train_size;
+      c.seed = spec.seed;
+      out.train = make_synth_street(c);
+      c.count = spec.test_size;
+      c.seed = spec.seed + 0x517cc1b727220a95ULL;
+      out.test = make_synth_street(c);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dv

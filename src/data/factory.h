@@ -1,0 +1,36 @@
+// Unified dataset construction by kind.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace dv {
+
+/// The three synthetic stand-ins for the paper's datasets (DESIGN.md §3).
+enum class dataset_kind {
+  digits,   // MNIST-like, 28x28x1
+  objects,  // CIFAR-10-like, 32x32x3
+  street,   // SVHN-like, 32x32x3
+};
+
+const char* dataset_kind_name(dataset_kind kind);
+/// Paper dataset this kind substitutes for ("MNIST", "CIFAR-10", "SVHN").
+const char* dataset_kind_paper_name(dataset_kind kind);
+
+struct dataset_split_spec {
+  dataset_kind kind{dataset_kind::digits};
+  std::int64_t train_size{6000};
+  std::int64_t test_size{1500};
+  std::uint64_t seed{2019};
+};
+
+struct dataset_bundle {
+  dataset train;
+  dataset test;
+};
+
+/// Builds disjoint train/test splits (different generator streams).
+dataset_bundle make_dataset(const dataset_split_spec& spec);
+
+}  // namespace dv

@@ -1,0 +1,167 @@
+#include "data/glyphs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dv {
+
+namespace {
+
+using point = std::pair<float, float>;
+
+std::vector<stroke> make_digit(int digit) {
+  switch (digit) {
+    case 0:
+      return {{{{0.5f, 0.10f}, {0.78f, 0.26f}, {0.78f, 0.74f}, {0.5f, 0.90f},
+                {0.22f, 0.74f}, {0.22f, 0.26f}},
+               true}};
+    case 1:
+      return {{{{0.34f, 0.26f}, {0.54f, 0.10f}, {0.54f, 0.90f}}, false},
+              {{{0.34f, 0.90f}, {0.74f, 0.90f}}, false}};
+    case 2:
+      return {{{{0.22f, 0.26f}, {0.50f, 0.10f}, {0.78f, 0.26f}, {0.76f, 0.42f},
+                {0.22f, 0.90f}, {0.80f, 0.90f}},
+               false}};
+    case 3:
+      return {{{{0.22f, 0.16f}, {0.66f, 0.10f}, {0.78f, 0.28f}, {0.52f, 0.48f}},
+               false},
+              {{{0.52f, 0.48f}, {0.80f, 0.66f}, {0.70f, 0.88f}, {0.22f, 0.86f}},
+               false}};
+    case 4:
+      return {{{{0.64f, 0.90f}, {0.64f, 0.10f}, {0.20f, 0.64f}, {0.84f, 0.64f}},
+               false}};
+    case 5:
+      return {{{{0.78f, 0.10f}, {0.26f, 0.10f}, {0.23f, 0.48f}, {0.58f, 0.44f},
+                {0.79f, 0.62f}, {0.62f, 0.90f}, {0.22f, 0.86f}},
+               false}};
+    case 6:
+      return {{{{0.70f, 0.10f}, {0.38f, 0.34f}, {0.25f, 0.66f}, {0.46f, 0.90f},
+                {0.74f, 0.72f}, {0.52f, 0.52f}, {0.28f, 0.62f}},
+               false}};
+    case 7:
+      return {{{{0.20f, 0.10f}, {0.80f, 0.10f}, {0.44f, 0.90f}}, false}};
+    case 8:
+      return {{{{0.50f, 0.10f}, {0.74f, 0.20f}, {0.71f, 0.40f}, {0.50f, 0.48f},
+                {0.29f, 0.40f}, {0.26f, 0.20f}},
+               true},
+              {{{0.50f, 0.50f}, {0.77f, 0.62f}, {0.74f, 0.84f}, {0.50f, 0.92f},
+                {0.26f, 0.84f}, {0.23f, 0.62f}},
+               true}};
+    case 9:
+      return {{{{0.50f, 0.10f}, {0.72f, 0.20f}, {0.72f, 0.44f}, {0.50f, 0.52f},
+                {0.30f, 0.42f}, {0.32f, 0.18f}},
+               true},
+              {{{0.72f, 0.32f}, {0.66f, 0.90f}}, false}};
+    default:
+      throw std::invalid_argument{"digit_strokes: digit must be 0-9"};
+  }
+}
+
+float segment_distance(float px, float py, const point& a, const point& b) {
+  const float abx = b.first - a.first;
+  const float aby = b.second - a.second;
+  const float apx = px - a.first;
+  const float apy = py - a.second;
+  const float len2 = abx * abx + aby * aby;
+  float t = len2 > 1e-12f ? (apx * abx + apy * aby) / len2 : 0.0f;
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float dx = apx - t * abx;
+  const float dy = apy - t * aby;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+const std::vector<stroke>& digit_strokes(int digit) {
+  static const std::vector<std::vector<stroke>> all = [] {
+    std::vector<std::vector<stroke>> v;
+    v.reserve(10);
+    for (int d = 0; d < 10; ++d) v.push_back(make_digit(d));
+    return v;
+  }();
+  if (digit < 0 || digit > 9) {
+    throw std::invalid_argument{"digit_strokes: digit must be 0-9"};
+  }
+  return all[static_cast<std::size_t>(digit)];
+}
+
+glyph_style random_style(rng& gen, float strength) {
+  glyph_style s;
+  s.scale = static_cast<float>(1.0 + strength * gen.uniform(-0.14, 0.10));
+  s.rotation = static_cast<float>(strength * gen.uniform(-0.16, 0.16));
+  s.shear = static_cast<float>(strength * gen.uniform(-0.10, 0.10));
+  s.offset_x = static_cast<float>(strength * gen.uniform(-1.6, 1.6));
+  s.offset_y = static_cast<float>(strength * gen.uniform(-1.6, 1.6));
+  s.thickness = static_cast<float>(gen.uniform(1.5, 2.6));
+  s.intensity = static_cast<float>(gen.uniform(0.78, 1.0));
+  return s;
+}
+
+void render_digit(int digit, const glyph_style& style, std::span<float> buffer,
+                  int h, int w) {
+  if (static_cast<int>(buffer.size()) != h * w) {
+    throw std::invalid_argument{"render_digit: buffer size mismatch"};
+  }
+  // Map unit coordinates to pixel coordinates: center the glyph, fill ~80 %.
+  const float span = 0.8f * static_cast<float>(std::min(h, w));
+  const float cx = 0.5f * static_cast<float>(w);
+  const float cy = 0.5f * static_cast<float>(h);
+  const float cr = std::cos(style.rotation) * style.scale;
+  const float sr = std::sin(style.rotation) * style.scale;
+
+  // Transform all stroke points once; build segment list in pixel space.
+  std::vector<std::pair<point, point>> segments;
+  for (const auto& st : digit_strokes(digit)) {
+    std::vector<point> pts;
+    pts.reserve(st.points.size());
+    for (const auto& [ux, uy] : st.points) {
+      float x = (ux - 0.5f) * span;
+      float y = (uy - 0.5f) * span;
+      x += style.shear * y;  // shear before rotation
+      const float rx = cr * x - sr * y;
+      const float ry = sr * x + cr * y;
+      pts.emplace_back(cx + rx + style.offset_x, cy + ry + style.offset_y);
+    }
+    for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+      segments.emplace_back(pts[i], pts[i + 1]);
+    }
+    if (st.closed && pts.size() > 2) {
+      segments.emplace_back(pts.back(), pts.front());
+    }
+  }
+
+  const float radius = 0.5f * style.thickness;
+  // Bounding box of the glyph to avoid scanning the whole canvas per pixel.
+  float min_x = 1e9f, min_y = 1e9f, max_x = -1e9f, max_y = -1e9f;
+  for (const auto& [a, b] : segments) {
+    min_x = std::min({min_x, a.first, b.first});
+    max_x = std::max({max_x, a.first, b.first});
+    min_y = std::min({min_y, a.second, b.second});
+    max_y = std::max({max_y, a.second, b.second});
+  }
+  const int x0 = std::max(0, static_cast<int>(min_x - radius - 1.0f));
+  const int x1 = std::min(w - 1, static_cast<int>(max_x + radius + 1.0f));
+  const int y0 = std::max(0, static_cast<int>(min_y - radius - 1.0f));
+  const int y1 = std::min(h - 1, static_cast<int>(max_y + radius + 1.0f));
+
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      float best = 1e9f;
+      const auto px = static_cast<float>(x);
+      const auto py = static_cast<float>(y);
+      for (const auto& [a, b] : segments) {
+        best = std::min(best, segment_distance(px, py, a, b));
+        if (best <= 0.0f) break;
+      }
+      // Anti-aliased coverage: full inside the brush, linear falloff over 1px.
+      const float coverage = std::clamp(radius + 0.5f - best, 0.0f, 1.0f);
+      if (coverage > 0.0f) {
+        float& dst = buffer[static_cast<std::size_t>(y * w + x)];
+        dst = std::max(dst, style.intensity * coverage);
+      }
+    }
+  }
+}
+
+}  // namespace dv

@@ -1,0 +1,49 @@
+// Procedural digit glyph rasterizer.
+//
+// Each digit 0-9 is defined as a set of polyline strokes in the unit square
+// (x right, y down). Rendering maps the strokes through a random similarity
+// jitter (scale / rotation / shear / offset) and draws them with an
+// anti-aliased distance-field brush of configurable thickness. The same
+// glyphs back both the MNIST-like and the SVHN-like synthetic datasets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dv {
+
+/// One polyline stroke: consecutive points are connected; `closed` joins the
+/// last point back to the first.
+struct stroke {
+  std::vector<std::pair<float, float>> points;
+  bool closed{false};
+};
+
+/// The stroke set of a digit glyph (0-9).
+const std::vector<stroke>& digit_strokes(int digit);
+
+/// Randomized rendering parameters for one glyph instance.
+struct glyph_style {
+  float scale{1.0f};        // isotropic scale about the glyph center
+  float rotation{0.0f};     // radians
+  float shear{0.0f};        // horizontal shear factor
+  float offset_x{0.0f};     // translation in pixels
+  float offset_y{0.0f};
+  float thickness{1.8f};    // brush diameter in pixels
+  float intensity{1.0f};    // stroke intensity added to the buffer
+};
+
+/// Draws a random style: small geometric jitter, thickness and intensity
+/// variation. `strength` in [0,1] scales the jitter amplitude.
+glyph_style random_style(rng& gen, float strength = 1.0f);
+
+/// Renders digit strokes into `buffer` (h*w floats, row-major), adding
+/// `style.intensity` scaled by anti-aliased coverage. The glyph occupies
+/// roughly the central 80 % of the canvas before jitter.
+void render_digit(int digit, const glyph_style& style,
+                  std::span<float> buffer, int h, int w);
+
+}  // namespace dv

@@ -1,0 +1,43 @@
+#include "data/synth_digits.h"
+
+#include <algorithm>
+
+#include "data/glyphs.h"
+
+namespace dv {
+
+dataset make_synth_digits(const synth_digits_config& config) {
+  dataset out;
+  out.name = "synth_digits";
+  out.num_classes = 10;
+  out.images = tensor{{config.count, 1, config.height, config.width}};
+  out.labels.resize(static_cast<std::size_t>(config.count));
+
+  rng gen{config.seed};
+  const std::int64_t plane = config.height * config.width;
+  for (std::int64_t i = 0; i < config.count; ++i) {
+    const int digit = static_cast<int>(i % 10);  // balanced classes
+    out.labels[static_cast<std::size_t>(i)] = digit;
+    rng sample_gen = gen.fork(static_cast<std::uint64_t>(i));
+
+    float* pixels = out.images.data() + i * plane;
+    // Faint background glow so images are not exactly zero off-stroke.
+    const float bg = static_cast<float>(sample_gen.uniform(0.0, 0.06));
+    std::fill_n(pixels, plane, bg);
+
+    const glyph_style style = random_style(sample_gen, config.jitter_strength);
+    render_digit(digit, style,
+                 std::span<float>{pixels, static_cast<std::size_t>(plane)},
+                 config.height, config.width);
+
+    for (std::int64_t p = 0; p < plane; ++p) {
+      pixels[p] += static_cast<float>(
+          sample_gen.normal(0.0, config.noise_stddev));
+      pixels[p] = std::clamp(pixels[p], 0.0f, 1.0f);
+    }
+  }
+  out.check();
+  return out;
+}
+
+}  // namespace dv

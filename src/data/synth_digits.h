@@ -1,0 +1,25 @@
+// MNIST-like synthetic dataset: 28x28 greyscale handwritten-style digits.
+//
+// Substitution for MNIST (see DESIGN.md §3): procedurally rendered digit
+// glyphs with geometric jitter, stroke-thickness variation, and sensor
+// noise. Ten balanced classes, pixel range [0, 1], dark background.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace dv {
+
+struct synth_digits_config {
+  std::int64_t count{6000};
+  std::uint64_t seed{11};
+  int height{28};
+  int width{28};
+  float noise_stddev{0.035f};
+  float jitter_strength{1.0f};
+};
+
+dataset make_synth_digits(const synth_digits_config& config);
+
+}  // namespace dv

@@ -1,0 +1,219 @@
+#include "data/synth_objects.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dv {
+
+namespace {
+
+struct rgb {
+  float r, g, b;
+};
+
+/// HSV -> RGB with h in [0, 1).
+rgb hsv(float h, float s, float v) {
+  h = h - std::floor(h);
+  const float i = std::floor(h * 6.0f);
+  const float f = h * 6.0f - i;
+  const float p = v * (1.0f - s);
+  const float q = v * (1.0f - f * s);
+  const float t = v * (1.0f - (1.0f - f) * s);
+  switch (static_cast<int>(i) % 6) {
+    case 0: return {v, t, p};
+    case 1: return {q, v, p};
+    case 2: return {p, v, t};
+    case 3: return {p, q, v};
+    case 4: return {t, p, v};
+    default: return {v, p, q};
+  }
+}
+
+/// Base hue per class; objects draw their hue near this with jitter.
+float class_hue(int label) {
+  static const float hues[10] = {0.00f, 0.08f, 0.17f, 0.30f, 0.42f,
+                                 0.52f, 0.62f, 0.72f, 0.83f, 0.92f};
+  return hues[label];
+}
+
+struct canvas {
+  float* r;
+  float* g;
+  float* b;
+  int h, w;
+
+  void set(int y, int x, const rgb& c, float alpha) {
+    const int i = y * w + x;
+    r[i] = (1.0f - alpha) * r[i] + alpha * c.r;
+    g[i] = (1.0f - alpha) * g[i] + alpha * c.g;
+    b[i] = (1.0f - alpha) * b[i] + alpha * c.b;
+  }
+};
+
+void paint_shape(canvas& cv, int label, const rgb& color, float cx, float cy,
+                 float radius, rng& gen) {
+  const float stripe = std::max(2.0f, radius / 2.0f);
+  const float phase = static_cast<float>(gen.uniform(0.0, stripe));
+  for (int y = 0; y < cv.h; ++y) {
+    for (int x = 0; x < cv.w; ++x) {
+      const float dx = static_cast<float>(x) - cx;
+      const float dy = static_cast<float>(y) - cy;
+      const float dist = std::sqrt(dx * dx + dy * dy);
+      float alpha = 0.0f;
+      switch (label) {
+        case 0:  // filled disk
+          alpha = std::clamp(radius - dist + 0.5f, 0.0f, 1.0f);
+          break;
+        case 1: {  // square outline
+          const float m = std::max(std::abs(dx), std::abs(dy));
+          alpha = std::clamp(radius - m + 0.5f, 0.0f, 1.0f) *
+                  std::clamp(m - (radius - 2.5f) + 0.5f, 0.0f, 1.0f);
+          break;
+        }
+        case 2: {  // filled triangle (upward)
+          const float fy = dy + radius * 0.6f;  // top vertex above center
+          const float half = (fy / (1.5f * radius)) * radius;
+          if (fy >= 0.0f && fy <= 1.5f * radius && std::abs(dx) <= half) {
+            alpha = 1.0f;
+          }
+          break;
+        }
+        case 3: {  // plus / cross
+          const float arm = std::max(2.0f, radius / 3.0f);
+          if ((std::abs(dx) <= arm && std::abs(dy) <= radius) ||
+              (std::abs(dy) <= arm && std::abs(dx) <= radius)) {
+            alpha = 1.0f;
+          }
+          break;
+        }
+        case 4: {  // ring
+          const float band = std::max(1.5f, radius / 3.5f);
+          alpha = std::clamp(band - std::abs(dist - radius * 0.8f) + 0.5f,
+                             0.0f, 1.0f);
+          break;
+        }
+        case 5:  // horizontal bars within disk
+          if (dist <= radius &&
+              std::fmod(static_cast<float>(y) + phase, 2.0f * stripe) < stripe) {
+            alpha = 1.0f;
+          }
+          break;
+        case 6:  // vertical bars within disk
+          if (dist <= radius &&
+              std::fmod(static_cast<float>(x) + phase, 2.0f * stripe) < stripe) {
+            alpha = 1.0f;
+          }
+          break;
+        case 7: {  // checkerboard within square
+          const float m = std::max(std::abs(dx), std::abs(dy));
+          if (m <= radius) {
+            const int tx = static_cast<int>((dx + radius) / stripe);
+            const int ty = static_cast<int>((dy + radius) / stripe);
+            if ((tx + ty) % 2 == 0) alpha = 1.0f;
+          }
+          break;
+        }
+        case 8: {  // thick diagonal bar
+          const float d = std::abs(dx - dy) * 0.7071f;
+          if (d <= std::max(2.0f, radius / 2.5f) &&
+              dist <= radius * 1.4f) {
+            alpha = 1.0f;
+          }
+          break;
+        }
+        case 9: {  // cluster of small blobs around the center
+          // Distance to nearest of 4 deterministic satellite centers.
+          float best = 1e9f;
+          for (int k = 0; k < 4; ++k) {
+            const float ang =
+                phase + static_cast<float>(k) * 1.5708f;  // ~90 deg apart
+            const float sx = cx + 0.55f * radius * std::cos(ang);
+            const float sy = cy + 0.55f * radius * std::sin(ang);
+            const float ddx = static_cast<float>(x) - sx;
+            const float ddy = static_cast<float>(y) - sy;
+            best = std::min(best, std::sqrt(ddx * ddx + ddy * ddy));
+          }
+          alpha = std::clamp(radius * 0.35f - best + 0.5f, 0.0f, 1.0f);
+          break;
+        }
+        default:
+          throw std::invalid_argument{"paint_shape: label out of range"};
+      }
+      if (alpha > 0.0f) cv.set(y, x, color, alpha);
+    }
+  }
+}
+
+}  // namespace
+
+const char* synth_object_class_name(int label) {
+  static const char* names[10] = {"disk",  "box",   "triangle", "cross",
+                                  "ring",  "hbars", "vbars",    "checker",
+                                  "diag",  "blobs"};
+  if (label < 0 || label > 9) {
+    throw std::invalid_argument{"synth_object_class_name: label"};
+  }
+  return names[label];
+}
+
+dataset make_synth_objects(const synth_objects_config& config) {
+  dataset out;
+  out.name = "synth_objects";
+  out.num_classes = 10;
+  out.images = tensor{{config.count, 3, config.height, config.width}};
+  out.labels.resize(static_cast<std::size_t>(config.count));
+
+  rng gen{config.seed};
+  const std::int64_t plane = config.height * config.width;
+  for (std::int64_t i = 0; i < config.count; ++i) {
+    const int label = static_cast<int>(i % 10);
+    out.labels[static_cast<std::size_t>(i)] = label;
+    rng sg = gen.fork(static_cast<std::uint64_t>(i));
+
+    float* base = out.images.data() + i * 3 * plane;
+    canvas cv{base, base + plane, base + 2 * plane, config.height,
+              config.width};
+
+    // Background: smooth two-corner gradient in a random dim color.
+    const rgb bg_a = hsv(static_cast<float>(sg.uniform()),
+                         static_cast<float>(sg.uniform(0.1, 0.5)),
+                         static_cast<float>(sg.uniform(0.1, 0.4)));
+    const rgb bg_b = hsv(static_cast<float>(sg.uniform()),
+                         static_cast<float>(sg.uniform(0.1, 0.5)),
+                         static_cast<float>(sg.uniform(0.1, 0.4)));
+    for (int y = 0; y < config.height; ++y) {
+      for (int x = 0; x < config.width; ++x) {
+        const float t = 0.5f * (static_cast<float>(x) / config.width +
+                                static_cast<float>(y) / config.height);
+        const int p = y * config.width + x;
+        cv.r[p] = (1.0f - t) * bg_a.r + t * bg_b.r;
+        cv.g[p] = (1.0f - t) * bg_a.g + t * bg_b.g;
+        cv.b[p] = (1.0f - t) * bg_a.b + t * bg_b.b;
+      }
+    }
+
+    // Object: a *weak* class hue prior with wide jitter — color correlates
+    // with the class but overlaps neighbours, so the classifier must rely
+    // primarily on geometry (like natural CIFAR-10 categories).
+    const float hue = class_hue(label) + static_cast<float>(sg.uniform(-0.22, 0.22));
+    const rgb color = hsv(hue, static_cast<float>(sg.uniform(0.7, 1.0)),
+                          static_cast<float>(sg.uniform(0.75, 1.0)));
+    const float cx = static_cast<float>(
+        sg.uniform(0.38, 0.62) * config.width);
+    const float cy = static_cast<float>(
+        sg.uniform(0.38, 0.62) * config.height);
+    const float radius = static_cast<float>(
+        sg.uniform(0.24, 0.36) * std::min(config.height, config.width));
+    paint_shape(cv, label, color, cx, cy, radius, sg);
+
+    for (std::int64_t p = 0; p < 3 * plane; ++p) {
+      base[p] += static_cast<float>(sg.normal(0.0, config.noise_stddev));
+      base[p] = std::clamp(base[p], 0.0f, 1.0f);
+    }
+  }
+  out.check();
+  return out;
+}
+
+}  // namespace dv

@@ -1,0 +1,29 @@
+// CIFAR-like synthetic dataset: 32x32 RGB parametric objects.
+//
+// Substitution for CIFAR-10 (see DESIGN.md §3): ten classes of colored
+// shapes/textures rendered on smoothly varying backgrounds with noise.
+// Class identity is carried jointly by geometry and a class-consistent hue
+// family, so a CNN must learn both spatial and chromatic features.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace dv {
+
+struct synth_objects_config {
+  std::int64_t count{6000};
+  std::uint64_t seed{23};
+  int height{32};
+  int width{32};
+  float noise_stddev{0.04f};
+};
+
+/// Class names in label order (disk, box, triangle, cross, ring, hbars,
+/// vbars, checker, diag, blobs).
+const char* synth_object_class_name(int label);
+
+dataset make_synth_objects(const synth_objects_config& config);
+
+}  // namespace dv

@@ -1,0 +1,117 @@
+#include "data/synth_street.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/glyphs.h"
+
+namespace dv {
+
+namespace {
+
+/// Cheap value-noise texture: blended random blocks at two scales.
+void fill_texture(float* plane, int h, int w, rng& gen, float lo, float hi) {
+  const int cells = 4;
+  float coarse[5][5];
+  for (auto& row : coarse) {
+    for (auto& v : row) v = static_cast<float>(gen.uniform(lo, hi));
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float fy = static_cast<float>(y) / h * cells;
+      const float fx = static_cast<float>(x) / w * cells;
+      const int iy = static_cast<int>(fy), ix = static_cast<int>(fx);
+      const float ty = fy - iy, tx = fx - ix;
+      const float a = coarse[iy][ix] * (1 - tx) + coarse[iy][ix + 1] * tx;
+      const float b =
+          coarse[iy + 1][ix] * (1 - tx) + coarse[iy + 1][ix + 1] * tx;
+      plane[y * w + x] = a * (1 - ty) + b * ty;
+    }
+  }
+}
+
+}  // namespace
+
+dataset make_synth_street(const synth_street_config& config) {
+  dataset out;
+  out.name = "synth_street";
+  out.num_classes = 10;
+  out.images = tensor{{config.count, 3, config.height, config.width}};
+  out.labels.resize(static_cast<std::size_t>(config.count));
+
+  rng gen{config.seed};
+  const int h = config.height, w = config.width;
+  const std::int64_t plane = static_cast<std::int64_t>(h) * w;
+  std::vector<float> glyph(static_cast<std::size_t>(plane));
+
+  for (std::int64_t i = 0; i < config.count; ++i) {
+    const int digit = static_cast<int>(i % 10);
+    out.labels[static_cast<std::size_t>(i)] = digit;
+    rng sg = gen.fork(static_cast<std::uint64_t>(i));
+
+    float* r = out.images.data() + i * 3 * plane;
+    float* g = r + plane;
+    float* b = g + plane;
+
+    // Cluttered background texture, independent tint per channel around a
+    // shared base so the scene has a coherent (but noisy) color cast.
+    const float base_lo = static_cast<float>(sg.uniform(0.05, 0.35));
+    const float base_hi =
+        base_lo + static_cast<float>(sg.uniform(0.15, 0.45));
+    fill_texture(r, h, w, sg, base_lo, base_hi);
+    fill_texture(g, h, w, sg, base_lo, base_hi);
+    fill_texture(b, h, w, sg, base_lo, base_hi);
+
+    // Distractor glyph fragments near the borders (like SVHN's neighbor
+    // digits). Rendered dimmer than the center digit.
+    const int distractors = sg.uniform_int(0, config.max_distractors);
+    for (int d = 0; d < distractors; ++d) {
+      std::fill(glyph.begin(), glyph.end(), 0.0f);
+      glyph_style ds = random_style(sg, 1.0f);
+      ds.offset_x = static_cast<float>(
+          (sg.bernoulli(0.5) ? -1.0 : 1.0) * sg.uniform(0.42, 0.55) * w);
+      ds.offset_y = static_cast<float>(sg.uniform(-0.2, 0.2) * h);
+      ds.intensity = static_cast<float>(sg.uniform(0.35, 0.6));
+      render_digit(sg.uniform_int(0, 9), ds,
+                   std::span<float>{glyph.data(), glyph.size()}, h, w);
+      const float tint_r = static_cast<float>(sg.uniform(0.4, 1.0));
+      const float tint_g = static_cast<float>(sg.uniform(0.4, 1.0));
+      const float tint_b = static_cast<float>(sg.uniform(0.4, 1.0));
+      for (std::int64_t p = 0; p < plane; ++p) {
+        const float a = glyph[static_cast<std::size_t>(p)];
+        r[p] = (1.0f - a) * r[p] + a * tint_r;
+        g[p] = (1.0f - a) * g[p] + a * tint_g;
+        b[p] = (1.0f - a) * b[p] + a * tint_b;
+      }
+    }
+
+    // Center digit: either bright-on-dark or dark-on-bright, like SVHN.
+    std::fill(glyph.begin(), glyph.end(), 0.0f);
+    glyph_style style = random_style(sg, 1.0f);
+    style.intensity = 1.0f;
+    render_digit(digit, style, std::span<float>{glyph.data(), glyph.size()}, h,
+                 w);
+    const bool bright = sg.bernoulli(0.7);
+    const float v = bright ? static_cast<float>(sg.uniform(0.75, 1.0))
+                           : static_cast<float>(sg.uniform(0.0, 0.18));
+    // Slightly tinted digit color.
+    const float dr = std::clamp(v + static_cast<float>(sg.uniform(-0.12, 0.12)), 0.0f, 1.0f);
+    const float dg = std::clamp(v + static_cast<float>(sg.uniform(-0.12, 0.12)), 0.0f, 1.0f);
+    const float db = std::clamp(v + static_cast<float>(sg.uniform(-0.12, 0.12)), 0.0f, 1.0f);
+    for (std::int64_t p = 0; p < plane; ++p) {
+      const float a = glyph[static_cast<std::size_t>(p)];
+      r[p] = (1.0f - a) * r[p] + a * dr;
+      g[p] = (1.0f - a) * g[p] + a * dg;
+      b[p] = (1.0f - a) * b[p] + a * db;
+    }
+
+    for (std::int64_t p = 0; p < 3 * plane; ++p) {
+      r[p] += static_cast<float>(sg.normal(0.0, config.noise_stddev));
+      r[p] = std::clamp(r[p], 0.0f, 1.0f);
+    }
+  }
+  out.check();
+  return out;
+}
+
+}  // namespace dv

@@ -1,0 +1,27 @@
+// SVHN-like synthetic dataset: 32x32 RGB digits over noisy street scenes.
+//
+// Substitution for SVHN (see DESIGN.md §3). The defining property the paper
+// relies on is that SVHN is a *noisy* dataset: cluttered backgrounds,
+// distractor digits at the crop borders, and strong sensor noise. This
+// generator reproduces that: a colored center digit over a high-variance
+// textured background with partial distractor glyphs and heavy noise.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace dv {
+
+struct synth_street_config {
+  std::int64_t count{6000};
+  std::uint64_t seed{37};
+  int height{32};
+  int width{32};
+  float noise_stddev{0.09f};
+  int max_distractors{2};
+};
+
+dataset make_synth_street(const synth_street_config& config);
+
+}  // namespace dv

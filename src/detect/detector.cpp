@@ -1,0 +1,15 @@
+#include "detect/detector.h"
+
+namespace dv {
+
+std::vector<double> anomaly_detector::score_batch(const tensor& images) {
+  const std::int64_t n = images.extent(0);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    out.push_back(score(images.sample(i)));
+  }
+  return out;
+}
+
+}  // namespace dv

@@ -1,0 +1,33 @@
+// Common interface for runtime anomaly detectors.
+//
+// A detector maps an input image to a real-valued anomaly score — higher
+// means more likely to be an error-inducing input. Thresholding the score
+// yields the binary valid/invalid decision; the evaluation toolkit computes
+// ROC-AUC directly from the scores.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dv {
+
+class anomaly_detector {
+ public:
+  virtual ~anomaly_detector() = default;
+  anomaly_detector() = default;
+  anomaly_detector(const anomaly_detector&) = delete;
+  anomaly_detector& operator=(const anomaly_detector&) = delete;
+
+  /// Anomaly score of one [C,H,W] image (higher = more anomalous).
+  virtual double score(const tensor& image) = 0;
+
+  /// Scores a batch [N,C,H,W]; the default loops over score(). Detectors
+  /// with cheaper batched paths override this.
+  virtual std::vector<double> score_batch(const tensor& images);
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace dv

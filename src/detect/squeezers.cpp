@@ -1,0 +1,126 @@
+#include "detect/squeezers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dv {
+
+namespace {
+/// Clamped read with edge replication.
+float read_clamped(const float* plane, std::int64_t h, std::int64_t w,
+                   std::int64_t y, std::int64_t x) {
+  y = std::clamp<std::int64_t>(y, 0, h - 1);
+  x = std::clamp<std::int64_t>(x, 0, w - 1);
+  return plane[y * w + x];
+}
+}  // namespace
+
+bit_depth_squeezer::bit_depth_squeezer(int bits) : bits_{bits} {
+  if (bits < 1 || bits > 16) {
+    throw std::invalid_argument{"bit_depth_squeezer: bits in [1,16]"};
+  }
+  levels_ = static_cast<float>((1 << bits) - 1);
+}
+
+tensor bit_depth_squeezer::apply(const tensor& image) const {
+  tensor out = image;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = std::round(out[i] * levels_) / levels_;
+  }
+  return out;
+}
+
+std::string bit_depth_squeezer::name() const {
+  return "bit_depth_" + std::to_string(bits_);
+}
+
+median_squeezer::median_squeezer(int window) : window_{window} {
+  if (window < 2 || window > 9) {
+    throw std::invalid_argument{"median_squeezer: window in [2,9]"};
+  }
+}
+
+tensor median_squeezer::apply(const tensor& image) const {
+  if (image.dim() != 3) {
+    throw std::invalid_argument{"median_squeezer: expected [C,H,W]"};
+  }
+  const std::int64_t c = image.extent(0), h = image.extent(1),
+                     w = image.extent(2);
+  tensor out{image.shape()};
+  std::vector<float> values(static_cast<std::size_t>(window_ * window_));
+  // Window anchored like scipy's median_filter: offset floor((k-1)/2).
+  const int lo = -(window_ - 1) / 2;
+  const int hi = window_ / 2;
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const float* plane = image.data() + ch * h * w;
+    float* oplane = out.data() + ch * h * w;
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        std::size_t k = 0;
+        for (int dy = lo; dy <= hi; ++dy) {
+          for (int dx = lo; dx <= hi; ++dx) {
+            values[k++] = read_clamped(plane, h, w, y + dy, x + dx);
+          }
+        }
+        auto mid = values.begin() + static_cast<std::ptrdiff_t>(values.size() / 2);
+        std::nth_element(values.begin(), mid, values.end());
+        float median = *mid;
+        if (values.size() % 2 == 0) {
+          // Even windows average the two central order statistics.
+          const float upper = median;
+          auto mid2 = values.begin() +
+                      static_cast<std::ptrdiff_t>(values.size() / 2 - 1);
+          std::nth_element(values.begin(), mid2, values.end());
+          median = 0.5f * (upper + *mid2);
+        }
+        oplane[y * w + x] = median;
+      }
+    }
+  }
+  return out;
+}
+
+std::string median_squeezer::name() const {
+  return "median_" + std::to_string(window_) + "x" + std::to_string(window_);
+}
+
+mean_squeezer::mean_squeezer(int window) : window_{window} {
+  if (window < 2 || window > 9) {
+    throw std::invalid_argument{"mean_squeezer: window in [2,9]"};
+  }
+}
+
+tensor mean_squeezer::apply(const tensor& image) const {
+  if (image.dim() != 3) {
+    throw std::invalid_argument{"mean_squeezer: expected [C,H,W]"};
+  }
+  const std::int64_t c = image.extent(0), h = image.extent(1),
+                     w = image.extent(2);
+  tensor out{image.shape()};
+  const int lo = -(window_ - 1) / 2;
+  const int hi = window_ / 2;
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const float* plane = image.data() + ch * h * w;
+    float* oplane = out.data() + ch * h * w;
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        float acc = 0.0f;
+        for (int dy = lo; dy <= hi; ++dy) {
+          for (int dx = lo; dx <= hi; ++dx) {
+            acc += read_clamped(plane, h, w, y + dy, x + dx);
+          }
+        }
+        oplane[y * w + x] = acc * inv;
+      }
+    }
+  }
+  return out;
+}
+
+std::string mean_squeezer::name() const {
+  return "mean_" + std::to_string(window_) + "x" + std::to_string(window_);
+}
+
+}  // namespace dv

@@ -1,0 +1,65 @@
+// Input squeezers for the feature-squeezing baseline (Xu et al., NDSS'18).
+//
+// A squeezer is a cheap "hard-coded" input filter that collapses needless
+// input resolution. bit-depth reduction quantizes the color depth; median
+// smoothing removes pixel-level noise; mean smoothing stands in for the
+// non-local-means spatial smoother used on color datasets (a substitution
+// recorded in DESIGN.md §3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dv {
+
+class squeezer {
+ public:
+  virtual ~squeezer() = default;
+  squeezer() = default;
+  squeezer(const squeezer&) = delete;
+  squeezer& operator=(const squeezer&) = delete;
+
+  /// Applies the squeezer to a [C,H,W] image in [0,1].
+  virtual tensor apply(const tensor& image) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Quantizes pixel values to `bits` bits of depth.
+class bit_depth_squeezer : public squeezer {
+ public:
+  explicit bit_depth_squeezer(int bits);
+  tensor apply(const tensor& image) const override;
+  std::string name() const override;
+
+ private:
+  int bits_;
+  float levels_;
+};
+
+/// k x k median filter with edge-replicate padding, per channel.
+class median_squeezer : public squeezer {
+ public:
+  explicit median_squeezer(int window);
+  tensor apply(const tensor& image) const override;
+  std::string name() const override;
+
+ private:
+  int window_;
+};
+
+/// k x k mean (box) filter with edge-replicate padding; stands in for the
+/// non-local means smoother of the original paper.
+class mean_squeezer : public squeezer {
+ public:
+  explicit mean_squeezer(int window);
+  tensor apply(const tensor& image) const override;
+  std::string name() const override;
+
+ private:
+  int window_;
+};
+
+}  // namespace dv

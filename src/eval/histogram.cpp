@@ -1,0 +1,91 @@
+#include "eval/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dv {
+
+histogram build_histogram(std::span<const double> values, double lo, double hi,
+                          int bins) {
+  if (bins < 1 || hi <= lo) {
+    throw std::invalid_argument{"build_histogram: bad parameters"};
+  }
+  histogram out;
+  out.lo = lo;
+  out.hi = hi;
+  out.density.assign(static_cast<std::size_t>(bins), 0.0);
+  if (values.empty()) return out;
+  const double width = (hi - lo) / bins;
+  for (const double v : values) {
+    auto b = static_cast<std::int64_t>((v - lo) / width);
+    b = std::clamp<std::int64_t>(b, 0, bins - 1);
+    out.density[static_cast<std::size_t>(b)] += 1.0;
+  }
+  for (auto& d : out.density) d /= static_cast<double>(values.size());
+  return out;
+}
+
+void normalize_jointly(std::vector<double>& a, std::vector<double>& b) {
+  if (a.empty() && b.empty()) return;
+  double lo = 1e300, hi = -1e300;
+  for (const double v : a) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (const double v : b) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo;
+  if (span <= 0.0) return;
+  auto rescale = [&](double v) { return 2.0 * (v - lo) / span - 1.0; };
+  for (auto& v : a) v = rescale(v);
+  for (auto& v : b) v = rescale(v);
+}
+
+std::string ascii_overlay(const histogram& a, const histogram& b,
+                          const std::string& label_a,
+                          const std::string& label_b, int height) {
+  if (a.density.size() != b.density.size()) {
+    throw std::invalid_argument{"ascii_overlay: bin count mismatch"};
+  }
+  const std::size_t bins = a.density.size();
+  double peak = 1e-12;
+  for (std::size_t i = 0; i < bins; ++i) {
+    peak = std::max({peak, a.density[i], b.density[i]});
+  }
+  std::ostringstream out;
+  for (int row = height; row >= 1; --row) {
+    const double level = peak * row / height;
+    out << "  |";
+    for (std::size_t i = 0; i < bins; ++i) {
+      const bool in_a = a.density[i] >= level;
+      const bool in_b = b.density[i] >= level;
+      out << (in_a && in_b ? '@' : in_a ? '#' : in_b ? 'o' : ' ');
+    }
+    out << "\n";
+  }
+  out << "  +";
+  for (std::size_t i = 0; i < bins; ++i) out << '-';
+  out << "\n   " << a.lo << " ... " << a.hi << "   ('#' = " << label_a
+      << ", 'o' = " << label_b << ", '@' = both)\n";
+  return out.str();
+}
+
+std::string histogram_csv(const histogram& a, const histogram& b) {
+  if (a.density.size() != b.density.size()) {
+    throw std::invalid_argument{"histogram_csv: bin count mismatch"};
+  }
+  std::ostringstream out;
+  out << "bin_center,density_a,density_b\n";
+  const double width = a.bin_width();
+  for (std::size_t i = 0; i < a.density.size(); ++i) {
+    out << (a.lo + (static_cast<double>(i) + 0.5) * width) << ","
+        << a.density[i] << "," << b.density[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dv

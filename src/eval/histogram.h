@@ -1,0 +1,38 @@
+// Histograms and terminal plots for Figure 3 / Figure 4 style output.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dv {
+
+struct histogram {
+  double lo{0.0};
+  double hi{1.0};
+  std::vector<double> density;  // normalized so the bin masses sum to 1
+
+  double bin_width() const {
+    return (hi - lo) / static_cast<double>(density.size());
+  }
+};
+
+/// Builds a `bins`-bin histogram over [lo, hi]; out-of-range values clamp to
+/// the edge bins (the paper's Figure 3 uses 200 bins).
+histogram build_histogram(std::span<const double> values, double lo, double hi,
+                          int bins);
+
+/// Min-max normalizes values into [-1, 1] jointly over both sets (used to
+/// plot "normalized discrepancy" like Figure 3). Scales in place.
+void normalize_jointly(std::vector<double>& a, std::vector<double>& b);
+
+/// Renders two overlaid histograms as rows of a fixed-height ASCII chart;
+/// `label_a` uses '#' marks, `label_b` uses 'o', overlap uses '@'.
+std::string ascii_overlay(const histogram& a, const histogram& b,
+                          const std::string& label_a,
+                          const std::string& label_b, int height = 12);
+
+/// CSV dump (bin_center, density_a, density_b) for external plotting.
+std::string histogram_csv(const histogram& a, const histogram& b);
+
+}  // namespace dv

@@ -1,0 +1,107 @@
+#include "eval/logistic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dv {
+
+namespace {
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+void logistic_regression::fit(const std::vector<std::vector<double>>& features,
+                              const std::vector<int>& labels,
+                              const logistic_config& config) {
+  if (features.empty() || features.size() != labels.size()) {
+    throw std::invalid_argument{"logistic_regression::fit: bad inputs"};
+  }
+  const std::size_t n = features.size();
+  const std::size_t d = features[0].size();
+  int positives = 0;
+  for (const int y : labels) {
+    if (y != 0 && y != 1) {
+      throw std::invalid_argument{"logistic_regression::fit: labels 0/1"};
+    }
+    positives += y;
+  }
+  if (positives == 0 || positives == static_cast<int>(n)) {
+    throw std::invalid_argument{
+        "logistic_regression::fit: need both classes"};
+  }
+  for (const auto& row : features) {
+    if (row.size() != d) {
+      throw std::invalid_argument{"logistic_regression::fit: ragged rows"};
+    }
+  }
+
+  // Optional standardization for stable step sizes.
+  std::vector<double> mean(d, 0.0), inv_std(d, 1.0);
+  if (config.standardize) {
+    for (const auto& row : features) {
+      for (std::size_t j = 0; j < d; ++j) mean[j] += row[j];
+    }
+    for (auto& m : mean) m /= static_cast<double>(n);
+    std::vector<double> var(d, 0.0);
+    for (const auto& row : features) {
+      for (std::size_t j = 0; j < d; ++j) {
+        const double c = row[j] - mean[j];
+        var[j] += c * c;
+      }
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      var[j] /= static_cast<double>(n);
+      inv_std[j] = var[j] > 1e-12 ? 1.0 / std::sqrt(var[j]) : 1.0;
+    }
+  } else {
+    mean.assign(d, 0.0);
+    inv_std.assign(d, 1.0);
+  }
+
+  std::vector<double> w(d, 0.0);
+  double b = 0.0;
+  std::vector<double> grad(d);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double z = b;
+      for (std::size_t j = 0; j < d; ++j) {
+        z += w[j] * (features[i][j] - mean[j]) * inv_std[j];
+      }
+      const double err = sigmoid(z) - labels[i];
+      for (std::size_t j = 0; j < d; ++j) {
+        grad[j] += err * (features[i][j] - mean[j]) * inv_std[j];
+      }
+      grad_b += err;
+    }
+    const double scale = config.learning_rate / static_cast<double>(n);
+    for (std::size_t j = 0; j < d; ++j) {
+      w[j] -= scale * (grad[j] + config.l2 * w[j] * static_cast<double>(n));
+    }
+    b -= scale * grad_b;
+  }
+
+  // Fold standardization back into raw-space weights.
+  weights_.assign(d, 0.0);
+  bias_ = b;
+  for (std::size_t j = 0; j < d; ++j) {
+    weights_[j] = w[j] * inv_std[j];
+    bias_ -= w[j] * mean[j] * inv_std[j];
+  }
+}
+
+double logistic_regression::decision(std::span<const double> x) const {
+  if (!fitted()) throw std::logic_error{"logistic_regression: not fitted"};
+  if (x.size() != weights_.size()) {
+    throw std::invalid_argument{"logistic_regression: dimension mismatch"};
+  }
+  double z = bias_;
+  for (std::size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
+  return z;
+}
+
+double logistic_regression::probability(std::span<const double> x) const {
+  return sigmoid(decision(x));
+}
+
+}  // namespace dv

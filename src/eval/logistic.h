@@ -1,0 +1,45 @@
+// Binary logistic regression on small dense feature vectors.
+//
+// Used as the combiner for multi-layer detector scores: the LID baseline
+// (Ma et al., 2018) trains a logistic regression over per-layer LID
+// estimates, and the weighted-joint-validator extension (paper §III-B2,
+// "better combination can lead to more precise estimation") learns
+// per-layer weights for the Deep Validation discrepancies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dv {
+
+struct logistic_config {
+  int epochs{300};
+  double learning_rate{0.1};
+  double l2{1e-4};
+  /// Features are standardized internally; weights reported in raw space.
+  bool standardize{true};
+};
+
+class logistic_regression {
+ public:
+  /// Fits on rows of `features` (n x d, row-major) with binary labels.
+  /// Requires at least one positive and one negative example.
+  void fit(const std::vector<std::vector<double>>& features,
+           const std::vector<int>& labels, const logistic_config& config = {});
+
+  /// P(y = 1 | x).
+  double probability(std::span<const double> x) const;
+  /// Linear score w^T x + b (monotone in probability).
+  double decision(std::span<const double> x) const;
+
+  bool fitted() const { return !weights_.empty(); }
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  std::vector<double> weights_;
+  double bias_{0.0};
+};
+
+}  // namespace dv

@@ -1,0 +1,190 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dv {
+
+double roc_auc(std::span<const double> positive_scores,
+               std::span<const double> negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) {
+    throw std::invalid_argument{"roc_auc: empty score set"};
+  }
+  // Rank-based computation over the pooled, sorted scores with midranks for
+  // ties: AUC = (R_pos - n_pos (n_pos + 1) / 2) / (n_pos * n_neg).
+  struct entry {
+    double score;
+    bool positive;
+  };
+  std::vector<entry> pooled;
+  pooled.reserve(positive_scores.size() + negative_scores.size());
+  for (const double s : positive_scores) pooled.push_back({s, true});
+  for (const double s : negative_scores) pooled.push_back({s, false});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const entry& a, const entry& b) { return a.score < b.score; });
+
+  double rank_sum_pos = 0.0;
+  std::size_t i = 0;
+  while (i < pooled.size()) {
+    std::size_t j = i;
+    while (j + 1 < pooled.size() && pooled[j + 1].score == pooled[i].score) {
+      ++j;
+    }
+    // Midrank of the tie group [i, j] (1-based ranks).
+    const double midrank = 0.5 * (static_cast<double>(i + 1) +
+                                  static_cast<double>(j + 1));
+    for (std::size_t k = i; k <= j; ++k) {
+      if (pooled[k].positive) rank_sum_pos += midrank;
+    }
+    i = j + 1;
+  }
+  const auto np = static_cast<double>(positive_scores.size());
+  const auto nn = static_cast<double>(negative_scores.size());
+  return (rank_sum_pos - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+double tpr_at_threshold(std::span<const double> positive_scores,
+                        double threshold) {
+  if (positive_scores.empty()) {
+    throw std::invalid_argument{"tpr_at_threshold: empty scores"};
+  }
+  std::size_t hits = 0;
+  for (const double s : positive_scores) hits += s > threshold ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(positive_scores.size());
+}
+
+double fpr_at_threshold(std::span<const double> negative_scores,
+                        double threshold) {
+  if (negative_scores.empty()) {
+    throw std::invalid_argument{"fpr_at_threshold: empty scores"};
+  }
+  std::size_t hits = 0;
+  for (const double s : negative_scores) hits += s > threshold ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(negative_scores.size());
+}
+
+double centroid_threshold(std::span<const double> positive_scores,
+                          std::span<const double> negative_scores) {
+  return 0.5 * (mean(positive_scores) + mean(negative_scores));
+}
+
+double threshold_for_fpr(std::span<const double> negative_scores,
+                         double target_fpr) {
+  if (negative_scores.empty()) {
+    throw std::invalid_argument{"threshold_for_fpr: empty scores"};
+  }
+  if (target_fpr < 0.0 || target_fpr > 1.0) {
+    throw std::invalid_argument{"threshold_for_fpr: fpr in [0,1]"};
+  }
+  std::vector<double> sorted{negative_scores.begin(), negative_scores.end()};
+  std::sort(sorted.begin(), sorted.end());
+  // Flag anything strictly above the (1 - fpr) quantile.
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sorted.size()) - 1.0,
+                       std::ceil((1.0 - target_fpr) *
+                                 static_cast<double>(sorted.size())) -
+                           1.0));
+  return sorted[std::max<std::size_t>(idx, 0)];
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument{"mean: empty"};
+  double acc = 0.0;
+  for (const double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+std::vector<roc_point> roc_curve(std::span<const double> positive_scores,
+                                 std::span<const double> negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) {
+    throw std::invalid_argument{"roc_curve: empty score set"};
+  }
+  struct entry {
+    double score;
+    bool positive;
+  };
+  std::vector<entry> pooled;
+  pooled.reserve(positive_scores.size() + negative_scores.size());
+  for (const double s : positive_scores) pooled.push_back({s, true});
+  for (const double s : negative_scores) pooled.push_back({s, false});
+  // Descending scores: sweeping the threshold downward admits more flags.
+  std::sort(pooled.begin(), pooled.end(),
+            [](const entry& a, const entry& b) { return a.score > b.score; });
+
+  std::vector<roc_point> curve;
+  curve.push_back({pooled.front().score + 1.0, 0.0, 0.0});
+  const auto np = static_cast<double>(positive_scores.size());
+  const auto nn = static_cast<double>(negative_scores.size());
+  std::size_t tp = 0, fp = 0;
+  std::size_t i = 0;
+  while (i < pooled.size()) {
+    std::size_t j = i;
+    while (j < pooled.size() && pooled[j].score == pooled[i].score) {
+      tp += pooled[j].positive ? 1 : 0;
+      fp += pooled[j].positive ? 0 : 1;
+      ++j;
+    }
+    curve.push_back({pooled[i].score, static_cast<double>(fp) / nn,
+                     static_cast<double>(tp) / np});
+    i = j;
+  }
+  return curve;
+}
+
+double auc_from_curve(const std::vector<roc_point>& curve) {
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    area += (curve[i].fpr - curve[i - 1].fpr) *
+            0.5 * (curve[i].tpr + curve[i - 1].tpr);
+  }
+  return area;
+}
+
+std::vector<pr_point> pr_curve(std::span<const double> positive_scores,
+                               std::span<const double> negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) {
+    throw std::invalid_argument{"pr_curve: empty score set"};
+  }
+  struct entry {
+    double score;
+    bool positive;
+  };
+  std::vector<entry> pooled;
+  pooled.reserve(positive_scores.size() + negative_scores.size());
+  for (const double s : positive_scores) pooled.push_back({s, true});
+  for (const double s : negative_scores) pooled.push_back({s, false});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const entry& a, const entry& b) { return a.score > b.score; });
+
+  std::vector<pr_point> curve;
+  const auto np = static_cast<double>(positive_scores.size());
+  std::size_t tp = 0, fp = 0;
+  std::size_t i = 0;
+  while (i < pooled.size()) {
+    std::size_t j = i;
+    while (j < pooled.size() && pooled[j].score == pooled[i].score) {
+      tp += pooled[j].positive ? 1 : 0;
+      fp += pooled[j].positive ? 0 : 1;
+      ++j;
+    }
+    curve.push_back({pooled[i].score, static_cast<double>(tp) / np,
+                     static_cast<double>(tp) / static_cast<double>(tp + fp)});
+    i = j;
+  }
+  return curve;
+}
+
+double average_precision(std::span<const double> positive_scores,
+                         std::span<const double> negative_scores) {
+  const auto curve = pr_curve(positive_scores, negative_scores);
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  for (const auto& p : curve) {
+    ap += (p.recall - prev_recall) * p.precision;
+    prev_recall = p.recall;
+  }
+  return ap;
+}
+
+}  // namespace dv

@@ -1,0 +1,71 @@
+// Detection metrics (paper §IV-D2).
+//
+// Positives are anomalies (SCCs / SAEs); negatives are legitimate images.
+// Scores are anomaly scores: higher means the detector believes the input is
+// more anomalous.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dv {
+
+/// ROC-AUC via the rank statistic (equivalent to the Mann-Whitney U).
+/// Ties contribute 1/2. Requires both spans non-empty.
+double roc_auc(std::span<const double> positive_scores,
+               std::span<const double> negative_scores);
+
+/// True positive rate at a fixed threshold (score > threshold => flagged).
+double tpr_at_threshold(std::span<const double> positive_scores,
+                        double threshold);
+
+/// False positive rate at a fixed threshold.
+double fpr_at_threshold(std::span<const double> negative_scores,
+                        double threshold);
+
+/// The paper's epsilon heuristic: the midpoint of the two score centroids.
+double centroid_threshold(std::span<const double> positive_scores,
+                          std::span<const double> negative_scores);
+
+/// Threshold achieving (at most) the requested FPR on the negatives:
+/// the (1 - fpr) quantile of negative scores.
+double threshold_for_fpr(std::span<const double> negative_scores,
+                         double target_fpr);
+
+/// Simple mean.
+double mean(std::span<const double> values);
+
+/// One operating point of a detector.
+struct roc_point {
+  double threshold;
+  double fpr;
+  double tpr;
+};
+
+/// The full ROC curve: one point per distinct threshold between samples,
+/// ordered by increasing FPR. Endpoints (0,0) and (1,1) included.
+std::vector<roc_point> roc_curve(std::span<const double> positive_scores,
+                                 std::span<const double> negative_scores);
+
+/// Area under a curve returned by roc_curve (trapezoidal); equals roc_auc
+/// up to floating-point error and is used to cross-check it in tests.
+double auc_from_curve(const std::vector<roc_point>& curve);
+
+/// One precision/recall operating point.
+struct pr_point {
+  double threshold;
+  double recall;
+  double precision;
+};
+
+/// Precision-recall curve, ordered by increasing recall (threshold sweep
+/// from high to low).
+std::vector<pr_point> pr_curve(std::span<const double> positive_scores,
+                               std::span<const double> negative_scores);
+
+/// Average precision: precision integrated over recall steps (the step-wise
+/// definition used by scikit-learn's average_precision_score).
+double average_precision(std::span<const double> positive_scores,
+                         std::span<const double> negative_scores);
+
+}  // namespace dv

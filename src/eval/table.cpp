@@ -1,0 +1,68 @@
+#include "eval/table.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace dv {
+
+text_table::text_table(std::vector<std::string> header)
+    : header_{std::move(header)} {
+  if (header_.empty()) throw std::invalid_argument{"text_table: empty header"};
+}
+
+void text_table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument{"text_table: row arity mismatch"};
+  }
+  rows_.push_back(std::move(row));
+}
+
+void text_table::add_separator() { rows_.emplace_back(); }
+
+std::string text_table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::ostringstream out;
+    out << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      out << " " << std::left << std::setw(static_cast<int>(widths[c])) << cell
+          << " |";
+    }
+    return out.str();
+  };
+  auto separator = [&] {
+    std::ostringstream out;
+    out << "+";
+    for (const auto w : widths) {
+      out << std::string(w + 2, '-') << "+";
+    }
+    return out.str();
+  };
+  std::ostringstream out;
+  out << separator() << "\n" << line(header_) << "\n" << separator() << "\n";
+  for (const auto& row : rows_) {
+    out << (row.empty() ? separator() : line(row)) << "\n";
+  }
+  out << separator() << "\n";
+  return out.str();
+}
+
+std::string text_table::fmt(double value, int precision) {
+  if (std::isnan(value)) return dash();
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+}  // namespace dv

@@ -1,0 +1,32 @@
+// Aligned plain-text table printer for the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dv {
+
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Adds a horizontal separator line.
+  void add_separator();
+
+  /// Renders with column alignment and '|' separators.
+  std::string render() const;
+
+  /// Formats a double with fixed precision ("-" for NaN sentinels).
+  static std::string fmt(double value, int precision = 4);
+  /// The dash cell used for inapplicable entries (paper's "-").
+  static std::string dash() { return "-"; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = separator
+};
+
+}  // namespace dv

@@ -1,0 +1,146 @@
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/layers.h"
+
+namespace dv {
+
+batch_norm::batch_norm(std::int64_t channels, double momentum, double eps)
+    : channels_{channels}, momentum_{momentum}, eps_{eps} {
+  if (channels <= 0) throw std::invalid_argument{"batch_norm: channels"};
+  gamma_ = tensor::full({channels}, 1.0f);
+  beta_ = tensor::zeros({channels});
+  dgamma_ = tensor::zeros({channels});
+  dbeta_ = tensor::zeros({channels});
+  running_mean_ = tensor::zeros({channels});
+  running_var_ = tensor::full({channels}, 1.0f);
+}
+
+tensor batch_norm::forward(const tensor& x, bool training) {
+  const bool spatial = x.dim() == 4;
+  if (!spatial && x.dim() != 2) {
+    throw std::invalid_argument{"batch_norm: expected 2-D or 4-D input"};
+  }
+  if (x.extent(1) != channels_) {
+    throw std::invalid_argument{"batch_norm: channel mismatch"};
+  }
+  input_shape_ = x.shape();
+  last_training_ = training;
+  const std::int64_t n = x.extent(0);
+  const std::int64_t plane = spatial ? x.extent(2) * x.extent(3) : 1;
+  const std::int64_t m = n * plane;  // elements per channel
+
+  batch_mean_.assign(static_cast<std::size_t>(channels_), 0.0f);
+  batch_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
+
+  tensor out{x.shape()};
+  x_hat_ = tensor{x.shape()};
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    double mean, var;
+    if (training) {
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* p = x.data() + (i * channels_ + c) * plane;
+        for (std::int64_t j = 0; j < plane; ++j) acc += p[j];
+      }
+      mean = acc / static_cast<double>(m);
+      double vacc = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* p = x.data() + (i * channels_ + c) * plane;
+        for (std::int64_t j = 0; j < plane; ++j) {
+          const double d = p[j] - mean;
+          vacc += d * d;
+        }
+      }
+      var = vacc / static_cast<double>(m);
+      running_mean_[c] = static_cast<float>(momentum_ * running_mean_[c] +
+                                            (1.0 - momentum_) * mean);
+      running_var_[c] = static_cast<float>(momentum_ * running_var_[c] +
+                                           (1.0 - momentum_) * var);
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+    const double inv_std = 1.0 / std::sqrt(var + eps_);
+    batch_mean_[static_cast<std::size_t>(c)] = static_cast<float>(mean);
+    batch_inv_std_[static_cast<std::size_t>(c)] = static_cast<float>(inv_std);
+    const float g = gamma_[c], b = beta_[c];
+    const float fm = static_cast<float>(mean), fs = static_cast<float>(inv_std);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* p = x.data() + (i * channels_ + c) * plane;
+      float* xh = x_hat_.data() + (i * channels_ + c) * plane;
+      float* o = out.data() + (i * channels_ + c) * plane;
+      for (std::int64_t j = 0; j < plane; ++j) {
+        xh[j] = (p[j] - fm) * fs;
+        o[j] = g * xh[j] + b;
+      }
+    }
+  }
+  if (probe_) cached_output_ = out;
+  return out;
+}
+
+tensor batch_norm::backward(const tensor& grad_out) {
+  if (grad_out.shape() != input_shape_) {
+    throw std::invalid_argument{"batch_norm::backward: shape mismatch"};
+  }
+  const bool spatial = input_shape_.size() == 4;
+  const std::int64_t n = input_shape_[0];
+  const std::int64_t plane = spatial ? input_shape_[2] * input_shape_[3] : 1;
+  const std::int64_t m = n * plane;
+  tensor grad_in{input_shape_};
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* dy = grad_out.data() + (i * channels_ + c) * plane;
+      const float* xh = x_hat_.data() + (i * channels_ + c) * plane;
+      for (std::int64_t j = 0; j < plane; ++j) {
+        sum_dy += dy[j];
+        sum_dy_xhat += static_cast<double>(dy[j]) * xh[j];
+      }
+    }
+    dgamma_[c] += static_cast<float>(sum_dy_xhat);
+    dbeta_[c] += static_cast<float>(sum_dy);
+
+    const float inv_std = batch_inv_std_[static_cast<std::size_t>(c)];
+    const float g = gamma_[c];
+    if (last_training_) {
+      const float k = g * inv_std / static_cast<float>(m);
+      const float fsum_dy = static_cast<float>(sum_dy);
+      const float fsum_dy_xhat = static_cast<float>(sum_dy_xhat);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* dy = grad_out.data() + (i * channels_ + c) * plane;
+        const float* xh = x_hat_.data() + (i * channels_ + c) * plane;
+        float* dx = grad_in.data() + (i * channels_ + c) * plane;
+        for (std::int64_t j = 0; j < plane; ++j) {
+          dx[j] = k * (static_cast<float>(m) * dy[j] - fsum_dy -
+                       xh[j] * fsum_dy_xhat);
+        }
+      }
+    } else {
+      // At inference statistics are constants, so the Jacobian is diagonal.
+      const float k = g * inv_std;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float* dy = grad_out.data() + (i * channels_ + c) * plane;
+        float* dx = grad_in.data() + (i * channels_ + c) * plane;
+        for (std::int64_t j = 0; j < plane; ++j) dx[j] = k * dy[j];
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<param_ref> batch_norm::params() {
+  return {{&gamma_, &dgamma_, "gamma"}, {&beta_, &dbeta_, "beta"}};
+}
+
+std::string batch_norm::describe() const {
+  std::ostringstream out;
+  out << "batch_norm(" << channels_ << ")";
+  return out.str();
+}
+
+}  // namespace dv

@@ -1,0 +1,121 @@
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/layers.h"
+#include "tensor/ops.h"
+
+namespace dv {
+
+conv2d::conv2d(std::int64_t in_c, std::int64_t out_c, std::int64_t kernel,
+               std::int64_t stride, std::int64_t pad, rng& gen, bool bias)
+    : in_c_{in_c},
+      out_c_{out_c},
+      kernel_{kernel},
+      stride_{stride},
+      pad_{pad},
+      has_bias_{bias} {
+  if (in_c <= 0 || out_c <= 0 || kernel <= 0 || stride <= 0 || pad < 0) {
+    throw std::invalid_argument{"conv2d: invalid geometry"};
+  }
+  const std::int64_t fan_in = in_c * kernel * kernel;
+  const float std = std::sqrt(2.0f / static_cast<float>(fan_in));
+  weight_ = tensor::randn({out_c, fan_in}, gen, std);
+  dweight_ = tensor::zeros({out_c, fan_in});
+  if (has_bias_) {
+    bias_ = tensor::zeros({out_c});
+    dbias_ = tensor::zeros({out_c});
+  }
+}
+
+tensor conv2d::forward(const tensor& x, bool /*training*/) {
+  if (x.dim() != 4 || x.extent(1) != in_c_) {
+    throw std::invalid_argument{"conv2d::forward: expected [N," +
+                                std::to_string(in_c_) + ",H,W], got " +
+                                x.shape_string()};
+  }
+  input_ = x;
+  const conv_geometry g{in_c_, x.extent(2), x.extent(3), kernel_, stride_,
+                        pad_};
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument{"conv2d::forward: output collapses to zero"};
+  }
+  const std::int64_t n = x.extent(0);
+  tensor out{{n, out_c_, oh, ow}};
+  if (col_.numel() != g.col_rows() * g.col_cols()) {
+    col_ = tensor{{g.col_rows(), g.col_cols()}};
+  }
+  const std::int64_t in_stride = in_c_ * g.in_h * g.in_w;
+  const std::int64_t out_stride = out_c_ * oh * ow;
+  for (std::int64_t i = 0; i < n; ++i) {
+    im2col(x.data() + i * in_stride, g, col_.data());
+    gemm_nn(out_c_, g.col_cols(), g.col_rows(), 1.0f, weight_.data(),
+            col_.data(), 0.0f, out.data() + i * out_stride);
+  }
+  if (has_bias_) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      float* base = out.data() + i * out_stride;
+      for (std::int64_t c = 0; c < out_c_; ++c) {
+        const float b = bias_[c];
+        float* plane = base + c * oh * ow;
+        for (std::int64_t p = 0; p < oh * ow; ++p) plane[p] += b;
+      }
+    }
+  }
+  if (probe_) cached_output_ = out;
+  return out;
+}
+
+tensor conv2d::backward(const tensor& grad_out) {
+  const conv_geometry g{in_c_, input_.extent(2), input_.extent(3), kernel_,
+                        stride_, pad_};
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t n = input_.extent(0);
+  if (grad_out.dim() != 4 || grad_out.extent(0) != n ||
+      grad_out.extent(1) != out_c_ || grad_out.extent(2) != oh ||
+      grad_out.extent(3) != ow) {
+    throw std::invalid_argument{"conv2d::backward: grad shape mismatch"};
+  }
+  tensor grad_in{input_.shape()};
+  tensor dcol{{g.col_rows(), g.col_cols()}};
+  const std::int64_t in_stride = in_c_ * g.in_h * g.in_w;
+  const std::int64_t out_stride = out_c_ * oh * ow;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* go = grad_out.data() + i * out_stride;
+    // dW += dY * col^T  — recompute col for this sample.
+    im2col(input_.data() + i * in_stride, g, col_.data());
+    gemm_nt(out_c_, g.col_rows(), g.col_cols(), 1.0f, go, col_.data(), 1.0f,
+            dweight_.data());
+    // dcol = W^T * dY, then scatter back to the image.
+    gemm_tn(g.col_rows(), g.col_cols(), out_c_, 1.0f, weight_.data(), go, 0.0f,
+            dcol.data());
+    col2im(dcol.data(), g, grad_in.data() + i * in_stride);
+    if (has_bias_) {
+      for (std::int64_t c = 0; c < out_c_; ++c) {
+        double acc = 0.0;
+        const float* plane = go + c * oh * ow;
+        for (std::int64_t p = 0; p < oh * ow; ++p) acc += plane[p];
+        dbias_[c] += static_cast<float>(acc);
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<param_ref> conv2d::params() {
+  std::vector<param_ref> out{{&weight_, &dweight_, "weight"}};
+  if (has_bias_) out.push_back({&bias_, &dbias_, "bias"});
+  return out;
+}
+
+std::string conv2d::describe() const {
+  std::ostringstream out;
+  out << "conv2d(" << out_c_ << " filters " << kernel_ << "x" << kernel_
+      << ", stride " << stride_ << ", pad " << pad_ << ")";
+  return out.str();
+}
+
+}  // namespace dv

@@ -1,0 +1,197 @@
+#include "nn/dense_block.h"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace dv {
+
+tensor concat_channels(const tensor& a, const tensor& b) {
+  if (a.dim() != 4 || b.dim() != 4 || a.extent(0) != b.extent(0) ||
+      a.extent(2) != b.extent(2) || a.extent(3) != b.extent(3)) {
+    throw std::invalid_argument{"concat_channels: incompatible shapes"};
+  }
+  const std::int64_t n = a.extent(0), ca = a.extent(1), cb = b.extent(1);
+  const std::int64_t plane = a.extent(2) * a.extent(3);
+  tensor out{{n, ca + cb, a.extent(2), a.extent(3)}};
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::memcpy(out.data() + i * (ca + cb) * plane, a.data() + i * ca * plane,
+                static_cast<std::size_t>(ca * plane) * sizeof(float));
+    std::memcpy(out.data() + (i * (ca + cb) + ca) * plane,
+                b.data() + i * cb * plane,
+                static_cast<std::size_t>(cb * plane) * sizeof(float));
+  }
+  return out;
+}
+
+void split_channels(const tensor& x, std::int64_t c_first, tensor& first,
+                    tensor& second) {
+  if (x.dim() != 4 || c_first <= 0 || c_first >= x.extent(1)) {
+    throw std::invalid_argument{"split_channels: bad arguments"};
+  }
+  const std::int64_t n = x.extent(0), c = x.extent(1);
+  const std::int64_t c_second = c - c_first;
+  const std::int64_t plane = x.extent(2) * x.extent(3);
+  first = tensor{{n, c_first, x.extent(2), x.extent(3)}};
+  second = tensor{{n, c_second, x.extent(2), x.extent(3)}};
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::memcpy(first.data() + i * c_first * plane, x.data() + i * c * plane,
+                static_cast<std::size_t>(c_first * plane) * sizeof(float));
+    std::memcpy(second.data() + i * c_second * plane,
+                x.data() + (i * c + c_first) * plane,
+                static_cast<std::size_t>(c_second * plane) * sizeof(float));
+  }
+}
+
+dense_unit::dense_unit(std::int64_t in_c, std::int64_t growth, rng& gen)
+    : growth_{growth},
+      bn_{in_c},
+      conv_{in_c, growth, /*kernel=*/3, /*stride=*/1, /*pad=*/1, gen,
+            /*bias=*/false} {}
+
+tensor dense_unit::forward(const tensor& x, bool training) {
+  tensor h = bn_.forward(x, training);
+  h = act_.forward(h, training);
+  output_ = conv_.forward(h, training);
+  return output_;
+}
+
+tensor dense_unit::backward(const tensor& grad_out) {
+  tensor g = conv_.backward(grad_out);
+  g = act_.backward(g);
+  return bn_.backward(g);
+}
+
+std::vector<param_ref> dense_unit::params() {
+  auto out = bn_.params();
+  for (auto& p : conv_.params()) out.push_back(p);
+  return out;
+}
+
+std::vector<tensor*> dense_unit::state() { return bn_.state(); }
+
+dense_block::dense_block(std::int64_t in_c, std::int64_t growth, int units,
+                         rng& gen)
+    : in_c_{in_c}, growth_{growth} {
+  if (units <= 0) throw std::invalid_argument{"dense_block: units"};
+  std::int64_t c = in_c;
+  for (int u = 0; u < units; ++u) {
+    units_.push_back(std::make_unique<dense_unit>(c, growth, gen));
+    c += growth;
+  }
+  unit_probe_.assign(units_.size(), false);
+}
+
+tensor dense_block::forward(const tensor& x, bool training) {
+  if (x.dim() != 4 || x.extent(1) != in_c_) {
+    throw std::invalid_argument{"dense_block::forward: bad input " +
+                                x.shape_string()};
+  }
+  input_shape_ = x.shape();
+  tensor state = x;
+  for (auto& unit : units_) {
+    tensor y = unit->forward(state, training);
+    state = concat_channels(state, y);
+  }
+  if (probe_) cached_output_ = state;
+  return state;
+}
+
+tensor dense_block::backward(const tensor& grad_out) {
+  const std::int64_t expect_c = out_channels();
+  if (grad_out.dim() != 4 || grad_out.extent(1) != expect_c) {
+    throw std::invalid_argument{"dense_block::backward: bad grad shape"};
+  }
+  tensor g = grad_out;
+  for (auto it = units_.rbegin(); it != units_.rend(); ++it) {
+    tensor g_prev, g_y;
+    split_channels(g, g.extent(1) - growth_, g_prev, g_y);
+    tensor g_input = (*it)->backward(g_y);
+    g_prev += g_input;
+    g = std::move(g_prev);
+  }
+  return g;
+}
+
+std::vector<param_ref> dense_block::params() {
+  std::vector<param_ref> out;
+  for (auto& unit : units_) {
+    for (auto& p : unit->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<tensor*> dense_block::state() {
+  std::vector<tensor*> out;
+  for (auto& unit : units_) {
+    for (auto* t : unit->state()) out.push_back(t);
+  }
+  return out;
+}
+
+std::string dense_block::describe() const {
+  std::ostringstream out;
+  out << "dense_block(" << units_.size() << " units, growth " << growth_
+      << ", " << in_c_ << " -> " << out_channels() << " channels)";
+  return out.str();
+}
+
+void dense_block::collect_probes(std::vector<const tensor*>& out) const {
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    if (unit_probe_[u]) out.push_back(&units_[u]->cached_output());
+  }
+  if (probe_) out.push_back(&cached_output_);
+}
+
+int dense_block::probe_count() const {
+  int n = probe_ ? 1 : 0;
+  for (const bool p : unit_probe_) n += p ? 1 : 0;
+  return n;
+}
+
+void dense_block::set_unit_probes(int n) {
+  const int total = static_cast<int>(units_.size());
+  const int count = (n < 0 || n > total) ? total : n;
+  for (int u = 0; u < total; ++u) {
+    unit_probe_[static_cast<std::size_t>(u)] = u >= total - count;
+  }
+}
+
+transition::transition(std::int64_t in_c, std::int64_t out_c, rng& gen)
+    : out_c_{out_c},
+      bn_{in_c},
+      conv_{in_c, out_c, /*kernel=*/1, /*stride=*/1, /*pad=*/0, gen,
+            /*bias=*/false},
+      pool_{2} {}
+
+tensor transition::forward(const tensor& x, bool training) {
+  tensor h = bn_.forward(x, training);
+  h = act_.forward(h, training);
+  h = conv_.forward(h, training);
+  tensor out = pool_.forward(h, training);
+  if (probe_) cached_output_ = out;
+  return out;
+}
+
+tensor transition::backward(const tensor& grad_out) {
+  tensor g = pool_.backward(grad_out);
+  g = conv_.backward(g);
+  g = act_.backward(g);
+  return bn_.backward(g);
+}
+
+std::vector<param_ref> transition::params() {
+  auto out = bn_.params();
+  for (auto& p : conv_.params()) out.push_back(p);
+  return out;
+}
+
+std::vector<tensor*> transition::state() { return bn_.state(); }
+
+std::string transition::describe() const {
+  std::ostringstream out;
+  out << "transition(conv1x1 -> " << out_c_ << " channels, avg_pool 2x2)";
+  return out.str();
+}
+
+}  // namespace dv

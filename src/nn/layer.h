@@ -1,0 +1,76 @@
+// Base interface for neural-network layers.
+//
+// Layers own their parameters and gradients and cache whatever forward
+// state their backward pass needs. Batches are 4-D [N, C, H, W] for spatial
+// layers and 2-D [N, F] for fully connected ones. A layer can be flagged as
+// a *probe*: after a forward pass its cached output is exposed to the Deep
+// Validation framework as the hidden representation f_i(x) of that layer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dv {
+
+class binary_reader;
+class binary_writer;
+
+/// Non-owning handle to one trainable parameter and its gradient buffer.
+struct param_ref {
+  tensor* value{};
+  tensor* grad{};
+  std::string name;
+};
+
+class layer {
+ public:
+  virtual ~layer() = default;
+  layer() = default;
+  layer(const layer&) = delete;
+  layer& operator=(const layer&) = delete;
+
+  /// Computes the layer output. `training` toggles train-time behaviour
+  /// (dropout masks, batch-norm batch statistics).
+  virtual tensor forward(const tensor& x, bool training) = 0;
+
+  /// Propagates `grad_out` (gradient w.r.t. the last forward output) back,
+  /// accumulating parameter gradients, and returns the gradient w.r.t. the
+  /// last forward input. Must be called after forward on the same batch.
+  virtual tensor backward(const tensor& grad_out) = 0;
+
+  /// Trainable parameters; empty for stateless layers.
+  virtual std::vector<param_ref> params() { return {}; }
+
+  /// Persistent non-trainable buffers (e.g. batch-norm running statistics)
+  /// that must be serialized alongside the parameters.
+  virtual std::vector<tensor*> state() { return {}; }
+
+  /// Short type name, e.g. "conv2d".
+  virtual std::string name() const = 0;
+
+  /// One-line human description used when printing architectures (Table II).
+  virtual std::string describe() const { return name(); }
+
+  /// Appends pointers to the cached probe outputs of this layer (possibly
+  /// several for composite layers). Valid until the next forward pass.
+  virtual void collect_probes(std::vector<const tensor*>& out) const {
+    if (probe_) out.push_back(&cached_output_);
+  }
+
+  /// Number of probe points this layer contributes.
+  virtual int probe_count() const { return probe_ ? 1 : 0; }
+
+  bool is_probe() const { return probe_; }
+  void set_probe(bool p) { probe_ = p; }
+
+ protected:
+  /// Derived classes store the forward result here when flagged as a probe
+  /// (and may do so unconditionally if they need it for backward anyway).
+  tensor cached_output_;
+  bool probe_{false};
+};
+
+}  // namespace dv

@@ -1,0 +1,81 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace dv {
+
+float softmax_cross_entropy(const tensor& logits,
+                            std::span<const std::int64_t> labels,
+                            tensor& grad) {
+  if (logits.dim() != 2) {
+    throw std::invalid_argument{"softmax_cross_entropy: logits must be 2-D"};
+  }
+  const std::int64_t n = logits.extent(0);
+  const std::int64_t c = logits.extent(1);
+  if (static_cast<std::int64_t>(labels.size()) != n) {
+    throw std::invalid_argument{"softmax_cross_entropy: label count mismatch"};
+  }
+  grad = logits;
+  softmax_rows(grad);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    if (y < 0 || y >= c) {
+      throw std::invalid_argument{"softmax_cross_entropy: label out of range"};
+    }
+    float* row = grad.data() + i * c;
+    loss -= std::log(static_cast<double>(row[y]) + 1e-12);
+    row[y] -= 1.0f;
+    for (std::int64_t j = 0; j < c; ++j) row[j] *= inv_n;
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+float softmax_cross_entropy_target(const tensor& logits,
+                                   std::int64_t target_class, tensor& grad) {
+  const std::int64_t labels[1] = {target_class};
+  return softmax_cross_entropy(logits, std::span<const std::int64_t>{labels, 1},
+                               grad);
+}
+
+float reverse_cross_entropy(const tensor& logits,
+                            std::span<const std::int64_t> labels,
+                            tensor& grad) {
+  if (logits.dim() != 2) {
+    throw std::invalid_argument{"reverse_cross_entropy: logits must be 2-D"};
+  }
+  const std::int64_t n = logits.extent(0);
+  const std::int64_t c = logits.extent(1);
+  if (static_cast<std::int64_t>(labels.size()) != n) {
+    throw std::invalid_argument{"reverse_cross_entropy: label count mismatch"};
+  }
+  if (c < 2) {
+    throw std::invalid_argument{"reverse_cross_entropy: needs >= 2 classes"};
+  }
+  grad = logits;
+  softmax_rows(grad);
+  const float off_mass = 1.0f / static_cast<float>(c - 1);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    if (y < 0 || y >= c) {
+      throw std::invalid_argument{"reverse_cross_entropy: label out of range"};
+    }
+    float* row = grad.data() + i * c;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float target = j == y ? 0.0f : off_mass;
+      if (target > 0.0f) {
+        loss -= target * std::log(static_cast<double>(row[j]) + 1e-12);
+      }
+      row[j] = (row[j] - target) * inv_n;  // softmax-CE gradient: p - r
+    }
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+}  // namespace dv

@@ -1,0 +1,33 @@
+// Classification losses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace dv {
+
+/// Mean softmax cross-entropy over a batch.
+/// `logits` is [N, C]; `labels` holds N class indices.
+/// Returns the scalar loss and writes d(loss)/d(logits) into `grad`
+/// (allocated/resized by the callee).
+float softmax_cross_entropy(const tensor& logits,
+                            std::span<const std::int64_t> labels,
+                            tensor& grad);
+
+/// Cross-entropy of explicit target probabilities (used by attacks that
+/// optimize toward a target class); same contract as above.
+float softmax_cross_entropy_target(const tensor& logits,
+                                   std::int64_t target_class, tensor& grad);
+
+/// Reverse cross-entropy (Pang et al., NeurIPS 2018 — cited by the paper as
+/// an enhancer for kernel-density detection): the target distribution puts
+/// zero mass on the true class and uniform mass 1/(K-1) on the others, which
+/// pushes non-true logits toward a flat profile and sharpens the feature
+/// statistics detectors rely on. Same contract as softmax_cross_entropy.
+float reverse_cross_entropy(const tensor& logits,
+                            std::span<const std::int64_t> labels,
+                            tensor& grad);
+
+}  // namespace dv

@@ -1,0 +1,132 @@
+#include "nn/model.h"
+
+#include <sstream>
+
+#include "tensor/ops.h"
+#include "util/serialize.h"
+
+namespace dv {
+
+namespace {
+constexpr const char* k_model_magic = "dv-model-v1";
+}
+
+layer& sequential::add(std::unique_ptr<layer> l, bool probe) {
+  l->set_probe(probe);
+  layers_.push_back(std::move(l));
+  return *layers_.back();
+}
+
+tensor sequential::forward(const tensor& x, bool training) {
+  tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, training);
+  return h;
+}
+
+tensor sequential::backward(const tensor& grad_logits) {
+  tensor g = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+tensor sequential::probabilities(const tensor& x, bool training) {
+  tensor logits = forward(x, training);
+  softmax_rows(logits);
+  return logits;
+}
+
+std::vector<std::int64_t> sequential::predict(const tensor& x) {
+  return argmax_rows(forward(x, false));
+}
+
+std::vector<const tensor*> sequential::probes() const {
+  std::vector<const tensor*> out;
+  for (const auto& l : layers_) l->collect_probes(out);
+  return out;
+}
+
+int sequential::probe_count() const {
+  int n = 0;
+  for (const auto& l : layers_) n += l->probe_count();
+  return n;
+}
+
+std::vector<param_ref> sequential::params() {
+  std::vector<param_ref> out;
+  for (auto& l : layers_) {
+    for (auto& p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<tensor*> sequential::state() {
+  std::vector<tensor*> out;
+  for (auto& l : layers_) {
+    for (auto* t : l->state()) out.push_back(t);
+  }
+  return out;
+}
+
+std::int64_t sequential::param_count() {
+  std::int64_t n = 0;
+  for (auto& p : params()) n += p.value->numel();
+  return n;
+}
+
+void sequential::zero_grad() {
+  for (auto& p : params()) p.grad->fill(0.0f);
+}
+
+std::string sequential::describe() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    out << "  " << (i + 1) << ". " << layers_[i]->describe();
+    if (layers_[i]->probe_count() > 0) {
+      out << "   [probe x" << layers_[i]->probe_count() << "]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void sequential::save_params(const std::string& path) const {
+  binary_writer w{path, k_model_magic};
+  auto& self = const_cast<sequential&>(*this);
+  const auto ps = self.params();
+  w.write_u64(ps.size());
+  for (const auto& p : ps) p.value->save(w);
+  const auto st = self.state();
+  w.write_u64(st.size());
+  for (const auto* t : st) t->save(w);
+  w.finish();
+}
+
+void sequential::load_params(const std::string& path) {
+  binary_reader r{path, k_model_magic};
+  const auto ps = params();
+  if (r.read_u64() != ps.size()) {
+    throw serialize_error{"model load: parameter count mismatch"};
+  }
+  for (const auto& p : ps) {
+    tensor t = tensor::load(r);
+    if (t.shape() != p.value->shape()) {
+      throw serialize_error{"model load: shape mismatch for " + p.name};
+    }
+    *p.value = std::move(t);
+  }
+  const auto st = state();
+  if (r.read_u64() != st.size()) {
+    throw serialize_error{"model load: state count mismatch"};
+  }
+  for (auto* dst : st) {
+    tensor t = tensor::load(r);
+    if (t.shape() != dst->shape()) {
+      throw serialize_error{"model load: state shape mismatch"};
+    }
+    *dst = std::move(t);
+  }
+}
+
+}  // namespace dv

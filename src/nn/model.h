@@ -1,0 +1,71 @@
+// Sequential CNN model with Deep Validation probes.
+//
+// The model matches the paper's formulation f(x) = f_L(...f_1(x)): a stack
+// of layers ending in a logits layer. Softmax is applied outside the stack
+// (by `probabilities` / the loss), matching the convention that layer L is
+// the softmax output layer and layers 1..L-1 are hidden layers whose outputs
+// are validated.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dv {
+
+class sequential {
+ public:
+  sequential() = default;
+
+  /// Appends a layer; `probe` marks it as a Deep Validation probe point.
+  layer& add(std::unique_ptr<layer> l, bool probe = false);
+
+  /// Forward pass to logits [N, num_classes].
+  tensor forward(const tensor& x, bool training = false);
+
+  /// Backward pass from logits gradient; returns gradient w.r.t. the input.
+  tensor backward(const tensor& grad_logits);
+
+  /// Softmax probabilities [N, num_classes].
+  tensor probabilities(const tensor& x, bool training = false);
+
+  /// Argmax class predictions.
+  std::vector<std::int64_t> predict(const tensor& x);
+
+  /// Hidden representations captured by probe layers during the most recent
+  /// forward pass, in network order. Pointers are valid until the next
+  /// forward pass.
+  std::vector<const tensor*> probes() const;
+
+  /// Total number of probe points in the network.
+  int probe_count() const;
+
+  /// All trainable parameters.
+  std::vector<param_ref> params();
+  /// All persistent buffers (batch-norm statistics).
+  std::vector<tensor*> state();
+  /// Total number of trainable scalars.
+  std::int64_t param_count();
+
+  /// Zeroes all parameter gradients.
+  void zero_grad();
+
+  std::size_t layer_count() const { return layers_.size(); }
+  layer& at(std::size_t i) { return *layers_[i]; }
+
+  /// Multi-line architecture summary (used to print Table II).
+  std::string describe() const;
+
+  /// Saves parameters + state to `path`; the architecture itself is rebuilt
+  /// in code by the caller before loading.
+  void save_params(const std::string& path) const;
+  /// Loads parameters + state; throws serialize_error on shape mismatch.
+  void load_params(const std::string& path);
+
+ private:
+  std::vector<std::unique_ptr<layer>> layers_;
+};
+
+}  // namespace dv

@@ -1,0 +1,97 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace dv {
+
+void optimizer::zero_grad() {
+  for (auto& p : params_) p.grad->fill(0.0f);
+}
+
+sgd::sgd(std::vector<param_ref> params, float lr, float momentum,
+         float weight_decay)
+    : optimizer{std::move(params)},
+      lr_{lr},
+      momentum_{momentum},
+      weight_decay_{weight_decay} {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.emplace_back(p.value->shape());
+}
+
+void sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    float* w = params_[i].value->data();
+    const float* g = params_[i].grad->data();
+    float* v = velocity_[i].data();
+    const std::int64_t n = params_[i].value->numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      v[j] = momentum_ * v[j] - lr_ * grad;
+      w[j] += v[j];
+    }
+  }
+}
+
+adadelta::adadelta(std::vector<param_ref> params, float lr, float rho,
+                   float eps)
+    : optimizer{std::move(params)}, lr_{lr}, rho_{rho}, eps_{eps} {
+  accum_grad_.reserve(params_.size());
+  accum_update_.reserve(params_.size());
+  for (const auto& p : params_) {
+    accum_grad_.emplace_back(p.value->shape());
+    accum_update_.emplace_back(p.value->shape());
+  }
+}
+
+void adadelta::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    float* w = params_[i].value->data();
+    const float* g = params_[i].grad->data();
+    float* eg = accum_grad_[i].data();
+    float* eu = accum_update_[i].data();
+    const std::int64_t n = params_[i].value->numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      eg[j] = rho_ * eg[j] + (1.0f - rho_) * g[j] * g[j];
+      const float update = -std::sqrt((eu[j] + eps_) / (eg[j] + eps_)) * g[j];
+      eu[j] = rho_ * eu[j] + (1.0f - rho_) * update * update;
+      w[j] += lr_ * update;
+    }
+  }
+}
+
+adam::adam(std::vector<param_ref> params, float lr, float beta1, float beta2,
+           float eps)
+    : optimizer{std::move(params)},
+      lr_{lr},
+      beta1_{beta1},
+      beta2_{beta2},
+      eps_{eps} {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value->shape());
+    v_.emplace_back(p.value->shape());
+  }
+}
+
+void adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    float* w = params_[i].value->data();
+    const float* g = params_[i].grad->data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const std::int64_t n = params_[i].value->numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mh = m[j] / bc1;
+      const float vh = v[j] / bc2;
+      w[j] -= lr_ * mh / (std::sqrt(vh) + eps_);
+    }
+  }
+}
+
+}  // namespace dv

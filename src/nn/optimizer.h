@@ -1,0 +1,70 @@
+// First-order optimizers over a model's parameter set.
+//
+// Adadelta (Zeiler 2012) is the paper's training optimizer (lr 1.0,
+// rho 0.95); SGD-with-momentum and Adam are provided for the test suite,
+// ablations, and the CW attacks' inner optimization loop.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dv {
+
+class optimizer {
+ public:
+  explicit optimizer(std::vector<param_ref> params)
+      : params_{std::move(params)} {}
+  virtual ~optimizer() = default;
+  optimizer(const optimizer&) = delete;
+  optimizer& operator=(const optimizer&) = delete;
+
+  /// Applies one update from the currently accumulated gradients.
+  virtual void step() = 0;
+
+  /// Zeroes all tracked gradients.
+  void zero_grad();
+
+ protected:
+  std::vector<param_ref> params_;
+};
+
+class sgd : public optimizer {
+ public:
+  sgd(std::vector<param_ref> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float lr_, momentum_, weight_decay_;
+  std::vector<tensor> velocity_;
+};
+
+class adadelta : public optimizer {
+ public:
+  adadelta(std::vector<param_ref> params, float lr = 1.0f, float rho = 0.95f,
+           float eps = 1e-6f);
+  void step() override;
+
+  /// Multiplies the learning rate by `factor` (the paper decays by 0.95).
+  void decay_lr(float factor) { lr_ *= factor; }
+  float learning_rate() const { return lr_; }
+
+ private:
+  float lr_, rho_, eps_;
+  std::vector<tensor> accum_grad_, accum_update_;
+};
+
+class adam : public optimizer {
+ public:
+  adam(std::vector<param_ref> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::int64_t t_{0};
+  std::vector<tensor> m_, v_;
+};
+
+}  // namespace dv

@@ -1,0 +1,180 @@
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/layers.h"
+
+namespace dv {
+
+max_pool2d::max_pool2d(std::int64_t window) : window_{window} {
+  if (window <= 1) throw std::invalid_argument{"max_pool2d: window must be >1"};
+}
+
+tensor max_pool2d::forward(const tensor& x, bool /*training*/) {
+  if (x.dim() != 4) throw std::invalid_argument{"max_pool2d: expected 4-D"};
+  input_shape_ = x.shape();
+  const std::int64_t n = x.extent(0), c = x.extent(1), h = x.extent(2),
+                     w = x.extent(3);
+  const std::int64_t oh = h / window_, ow = w / window_;
+  if (oh == 0 || ow == 0) {
+    throw std::invalid_argument{"max_pool2d: input smaller than window"};
+  }
+  tensor out{{n, c, oh, ow}};
+  argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  std::int64_t oi = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + (i * c + ch) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ky = 0; ky < window_; ++ky) {
+            const std::int64_t iy = oy * window_ + ky;
+            for (std::int64_t kx = 0; kx < window_; ++kx) {
+              const std::int64_t ix = ox * window_ + kx;
+              const std::int64_t idx = iy * w + ix;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          out[oi] = best;
+          argmax_[static_cast<std::size_t>(oi)] =
+              (i * c + ch) * h * w + best_idx;
+        }
+      }
+    }
+  }
+  if (probe_) cached_output_ = out;
+  return out;
+}
+
+tensor max_pool2d::backward(const tensor& grad_out) {
+  if (static_cast<std::size_t>(grad_out.numel()) != argmax_.size()) {
+    throw std::invalid_argument{"max_pool2d::backward: shape mismatch"};
+  }
+  tensor grad_in{input_shape_};
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    grad_in[argmax_[static_cast<std::size_t>(i)]] += grad_out[i];
+  }
+  return grad_in;
+}
+
+std::string max_pool2d::describe() const {
+  std::ostringstream out;
+  out << "max_pool2d(" << window_ << "x" << window_ << ")";
+  return out.str();
+}
+
+tensor global_avg_pool::forward(const tensor& x, bool /*training*/) {
+  if (x.dim() != 4) throw std::invalid_argument{"global_avg_pool: expected 4-D"};
+  input_shape_ = x.shape();
+  const std::int64_t n = x.extent(0), c = x.extent(1);
+  const std::int64_t plane = x.extent(2) * x.extent(3);
+  tensor out{{n, c}};
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* p = x.data() + (i * c + ch) * plane;
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < plane; ++j) acc += p[j];
+      out.at2(i, ch) = static_cast<float>(acc / static_cast<double>(plane));
+    }
+  }
+  if (probe_) cached_output_ = out;
+  return out;
+}
+
+tensor global_avg_pool::backward(const tensor& grad_out) {
+  const std::int64_t n = input_shape_[0], c = input_shape_[1];
+  const std::int64_t plane = input_shape_[2] * input_shape_[3];
+  if (grad_out.dim() != 2 || grad_out.extent(0) != n ||
+      grad_out.extent(1) != c) {
+    throw std::invalid_argument{"global_avg_pool::backward: shape mismatch"};
+  }
+  tensor grad_in{input_shape_};
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out.at2(i, ch) * inv;
+      float* p = grad_in.data() + (i * c + ch) * plane;
+      for (std::int64_t j = 0; j < plane; ++j) p[j] = g;
+    }
+  }
+  return grad_in;
+}
+
+avg_pool2d::avg_pool2d(std::int64_t window) : window_{window} {
+  if (window <= 1) throw std::invalid_argument{"avg_pool2d: window must be >1"};
+}
+
+tensor avg_pool2d::forward(const tensor& x, bool /*training*/) {
+  if (x.dim() != 4) throw std::invalid_argument{"avg_pool2d: expected 4-D"};
+  input_shape_ = x.shape();
+  const std::int64_t n = x.extent(0), c = x.extent(1), h = x.extent(2),
+                     w = x.extent(3);
+  const std::int64_t oh = h / window_, ow = w / window_;
+  if (oh == 0 || ow == 0) {
+    throw std::invalid_argument{"avg_pool2d: input smaller than window"};
+  }
+  tensor out{{n, c, oh, ow}};
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + (i * c + ch) * h * w;
+      float* oplane = out.data() + (i * c + ch) * oh * ow;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (std::int64_t ky = 0; ky < window_; ++ky) {
+            for (std::int64_t kx = 0; kx < window_; ++kx) {
+              acc += plane[(oy * window_ + ky) * w + ox * window_ + kx];
+            }
+          }
+          oplane[oy * ow + ox] = acc * inv;
+        }
+      }
+    }
+  }
+  if (probe_) cached_output_ = out;
+  return out;
+}
+
+tensor avg_pool2d::backward(const tensor& grad_out) {
+  const std::int64_t n = input_shape_[0], c = input_shape_[1],
+                     h = input_shape_[2], w = input_shape_[3];
+  const std::int64_t oh = h / window_, ow = w / window_;
+  if (grad_out.dim() != 4 || grad_out.extent(0) != n ||
+      grad_out.extent(1) != c || grad_out.extent(2) != oh ||
+      grad_out.extent(3) != ow) {
+    throw std::invalid_argument{"avg_pool2d::backward: shape mismatch"};
+  }
+  tensor grad_in{input_shape_};
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* gplane = grad_out.data() + (i * c + ch) * oh * ow;
+      float* plane = grad_in.data() + (i * c + ch) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const float g = gplane[oy * ow + ox] * inv;
+          for (std::int64_t ky = 0; ky < window_; ++ky) {
+            for (std::int64_t kx = 0; kx < window_; ++kx) {
+              plane[(oy * window_ + ky) * w + ox * window_ + kx] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::string avg_pool2d::describe() const {
+  std::ostringstream out;
+  out << "avg_pool2d(" << window_ << "x" << window_ << ")";
+  return out.str();
+}
+
+}  // namespace dv

@@ -1,0 +1,146 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dv {
+
+namespace {
+std::unique_ptr<optimizer> make_optimizer(sequential& model,
+                                          const train_config& config) {
+  switch (config.optimizer) {
+    case train_config::opt_kind::adadelta:
+      return std::make_unique<adadelta>(model.params(), config.lr);
+    case train_config::opt_kind::sgd:
+      return std::make_unique<sgd>(model.params(), config.lr, config.momentum);
+    case train_config::opt_kind::adam:
+      return std::make_unique<adam>(model.params(), config.lr);
+  }
+  return nullptr;
+}
+
+tensor gather_batch(const tensor& images, const std::vector<std::size_t>& order,
+                    std::int64_t begin, std::int64_t end) {
+  std::vector<std::int64_t> shape = images.shape();
+  shape[0] = end - begin;
+  tensor out{shape};
+  const std::int64_t stride = images.numel() / images.extent(0);
+  for (std::int64_t i = begin; i < end; ++i) {
+    const auto src = static_cast<std::int64_t>(order[static_cast<std::size_t>(i)]);
+    std::copy_n(images.data() + src * stride, stride,
+                out.data() + (i - begin) * stride);
+  }
+  return out;
+}
+}  // namespace
+
+train_report fit(sequential& model, const tensor& images,
+                 const std::vector<std::int64_t>& labels,
+                 const train_config& config) {
+  const std::int64_t n = images.extent(0);
+  auto opt = make_optimizer(model, config);
+  auto* ada = dynamic_cast<adadelta*>(opt.get());
+
+  std::vector<std::size_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng shuffle_gen{config.shuffle_seed};
+
+  train_report report;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    shuffle_gen.shuffle_indices(order.size(), [&](std::size_t a, std::size_t b) {
+      std::swap(order[a], order[b]);
+    });
+    double loss_sum = 0.0;
+    std::int64_t correct = 0;
+    std::int64_t batches = 0;
+    for (std::int64_t begin = 0; begin < n; begin += config.batch_size) {
+      const std::int64_t end = std::min<std::int64_t>(n, begin + config.batch_size);
+      tensor batch = gather_batch(images, order, begin, end);
+      std::vector<std::int64_t> batch_labels(
+          static_cast<std::size_t>(end - begin));
+      for (std::int64_t i = begin; i < end; ++i) {
+        batch_labels[static_cast<std::size_t>(i - begin)] =
+            labels[order[static_cast<std::size_t>(i)]];
+      }
+      tensor logits = model.forward(batch, /*training=*/true);
+      tensor grad;
+      const float loss = softmax_cross_entropy(logits, batch_labels, grad);
+      const auto preds = argmax_rows(logits);
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        correct += preds[i] == batch_labels[i] ? 1 : 0;
+      }
+      model.zero_grad();
+      model.backward(grad);
+      opt->step();
+      loss_sum += loss;
+      ++batches;
+    }
+    if (ada != nullptr) ada->decay_lr(config.lr_decay);
+    const float epoch_loss = static_cast<float>(loss_sum / std::max<std::int64_t>(1, batches));
+    const float epoch_acc =
+        static_cast<float>(correct) / static_cast<float>(std::max<std::int64_t>(1, n));
+    report.epoch_loss.push_back(epoch_loss);
+    report.epoch_accuracy.push_back(epoch_acc);
+    if (config.verbose) {
+      log_info() << "epoch " << (epoch + 1) << "/" << config.epochs
+                 << " loss " << epoch_loss << " acc " << epoch_acc;
+    }
+  }
+  return report;
+}
+
+double accuracy(sequential& model, const tensor& images,
+                const std::vector<std::int64_t>& labels, int batch_size) {
+  const std::int64_t n = images.extent(0);
+  std::int64_t correct = 0;
+  for (std::int64_t begin = 0; begin < n; begin += batch_size) {
+    const std::int64_t end = std::min<std::int64_t>(n, begin + batch_size);
+    tensor batch = images.slice_rows(begin, end);
+    const auto preds = model.predict(batch);
+    for (std::int64_t i = begin; i < end; ++i) {
+      correct +=
+          preds[static_cast<std::size_t>(i - begin)] ==
+                  labels[static_cast<std::size_t>(i)]
+              ? 1
+              : 0;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+tensor batched_probabilities(sequential& model, const tensor& images,
+                             int batch_size) {
+  const std::int64_t n = images.extent(0);
+  tensor all;
+  for (std::int64_t begin = 0; begin < n; begin += batch_size) {
+    const std::int64_t end = std::min<std::int64_t>(n, begin + batch_size);
+    tensor probs = model.probabilities(images.slice_rows(begin, end));
+    if (all.empty()) {
+      all = tensor{{n, probs.extent(1)}};
+    }
+    std::copy_n(probs.data(), probs.numel(), all.data() + begin * probs.extent(1));
+  }
+  return all;
+}
+
+double mean_top1_confidence(sequential& model, const tensor& images,
+                            int batch_size) {
+  tensor probs = batched_probabilities(model, images, batch_size);
+  const std::int64_t n = probs.extent(0);
+  const std::int64_t c = probs.extent(1);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = probs.data() + i * c;
+    acc += *std::max_element(row, row + c);
+  }
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace dv

@@ -1,0 +1,48 @@
+// Mini-batch training loop and batched evaluation helpers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace dv {
+
+struct train_config {
+  int epochs{10};
+  int batch_size{64};
+  /// Optimizer selection. The paper trains with Adadelta (lr 1.0, decay
+  /// 0.95 per epoch); Adam is often faster on the small synthetic tasks.
+  enum class opt_kind { adadelta, sgd, adam };
+  opt_kind optimizer{opt_kind::adadelta};
+  float lr{1.0f};
+  float lr_decay{0.95f};   // per-epoch multiplicative decay (adadelta only)
+  float momentum{0.9f};    // sgd only
+  std::uint64_t shuffle_seed{1};
+  bool verbose{true};
+};
+
+struct train_report {
+  std::vector<float> epoch_loss;
+  std::vector<float> epoch_accuracy;  // training accuracy
+};
+
+/// Trains `model` in place on (images [N,C,H,W], labels).
+train_report fit(sequential& model, const tensor& images,
+                 const std::vector<std::int64_t>& labels,
+                 const train_config& config);
+
+/// Top-1 accuracy evaluated in mini-batches.
+double accuracy(sequential& model, const tensor& images,
+                const std::vector<std::int64_t>& labels, int batch_size = 128);
+
+/// Softmax probabilities for a whole set, evaluated in mini-batches.
+tensor batched_probabilities(sequential& model, const tensor& images,
+                             int batch_size = 128);
+
+/// Mean of the maximum softmax entry over the set (Table III / V column).
+double mean_top1_confidence(sequential& model, const tensor& images,
+                            int batch_size = 128);
+
+}  // namespace dv

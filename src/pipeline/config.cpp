@@ -1,0 +1,70 @@
+#include "pipeline/config.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/serialize.h"
+
+namespace dv {
+
+bool fast_mode() {
+  const char* v = std::getenv("DV_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+double scale_factor() {
+  const char* v = std::getenv("DV_SCALE");
+  if (v == nullptr) return 1.0;
+  const double s = std::atof(v);
+  return s > 0.0 ? s : 1.0;
+}
+
+experiment_config standard_config(dataset_kind kind) {
+  experiment_config out;
+  out.data.kind = kind;
+  const double s = fast_mode() ? 0.25 : scale_factor();
+  out.data.train_size = static_cast<std::int64_t>(3000 * s);
+  out.data.test_size = static_cast<std::int64_t>(1200 * s);
+  out.data.seed = 2019;
+  out.seed_images = fast_mode() ? 40 : 200;
+
+  out.train.optimizer = train_config::opt_kind::adadelta;
+  out.train.lr = 1.0f;
+  out.train.lr_decay = 0.95f;
+  out.train.batch_size = 64;
+  out.train.epochs = fast_mode() ? 6 : (kind == dataset_kind::objects ? 6 : 8);
+  out.train.shuffle_seed = 7;
+  out.train.verbose = true;
+
+  out.validator.svm.nu = 0.1;
+  out.validator.svm.gamma = 0.0;  // heuristic
+  out.validator.spatial = 1;     // GAP reducer for conv probes
+  out.validator.max_train_per_class = fast_mode() ? 60 : 250;
+  // The paper validates only the last six layers of DenseNet (§IV-C).
+  out.validator.last_probes = kind == dataset_kind::objects ? 6 : 0;
+  out.validator.seed = 17;
+  return out;
+}
+
+std::string artifact_directory() {
+  const char* v = std::getenv("DV_ARTIFACT_DIR");
+  std::string dir = v != nullptr ? v : "artifacts";
+  if (fast_mode()) dir += "-fast";
+  ensure_directory(dir);
+  return dir;
+}
+
+std::string experiment_config::summary() const {
+  std::ostringstream out;
+  out << dataset_kind_name(data.kind) << " (stand-in for "
+      << dataset_kind_paper_name(data.kind) << "): train " << data.train_size
+      << ", test " << data.test_size << ", seeds " << seed_images
+      << ", epochs " << train.epochs << ", svm nu " << validator.svm.nu
+      << ", reducer spatial " << validator.spatial
+      << (validator.last_probes > 0
+              ? ", last " + std::to_string(validator.last_probes) + " probes"
+              : std::string{});
+  return out.str();
+}
+
+}  // namespace dv

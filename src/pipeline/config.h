@@ -1,0 +1,43 @@
+// Standard experiment configuration shared by every bench and example.
+//
+// Sizes default to a single-core CPU budget; setting the environment
+// variable DV_SCALE (a float, default 1.0) scales dataset sizes, and
+// DV_FAST=1 switches to a much smaller smoke-test configuration. Every
+// bench prints the configuration it actually ran.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/deep_validator.h"
+#include "data/factory.h"
+#include "nn/trainer.h"
+
+namespace dv {
+
+struct experiment_config {
+  dataset_split_spec data;
+  train_config train;
+  deep_validator_config validator;
+  /// Seed-image count for corner-case generation (paper: 200).
+  std::int64_t seed_images{200};
+  std::uint64_t model_seed{99};
+  std::uint64_t seed_selection_seed{41};
+
+  std::string summary() const;
+};
+
+/// The per-dataset standard configuration used across benches.
+experiment_config standard_config(dataset_kind kind);
+
+/// Directory where trained artifacts are cached (DV_ARTIFACT_DIR or
+/// "artifacts"); created on demand.
+std::string artifact_directory();
+
+/// True when DV_FAST=1 is set.
+bool fast_mode();
+
+/// DV_SCALE environment scaling factor (default 1.0).
+double scale_factor();
+
+}  // namespace dv

@@ -1,0 +1,207 @@
+#include "pipeline/corner_suite.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+#include "util/serialize.h"
+#include "util/stopwatch.h"
+
+namespace dv {
+
+namespace {
+constexpr const char* k_suite_magic = "dv-corner-suite-v1";
+
+void save_dataset(binary_writer& w, const dataset& d) {
+  d.images.save(w);
+  w.write_i64_vector(d.labels);
+  w.write_i32(d.num_classes);
+  w.write_string(d.name);
+}
+
+dataset load_dataset(binary_reader& r) {
+  dataset d;
+  d.images = tensor::load(r);
+  d.labels = r.read_i64_vector();
+  d.num_classes = r.read_i32();
+  d.name = r.read_string();
+  return d;
+}
+
+void save_chain(binary_writer& w, const transform_chain& chain) {
+  w.write_u64(chain.size());
+  for (const auto& step : chain) {
+    w.write_u8(static_cast<std::uint8_t>(step.kind));
+    w.write_f32(step.p1);
+    w.write_f32(step.p2);
+  }
+}
+
+transform_chain load_chain(binary_reader& r) {
+  transform_chain chain(r.read_u64());
+  for (auto& step : chain) {
+    step.kind = static_cast<transform_kind>(r.read_u8());
+    step.p1 = r.read_f32();
+    step.p2 = r.read_f32();
+  }
+  return chain;
+}
+
+std::string suite_path(const experiment_config& config) {
+  return artifact_directory() + "/corners-" +
+         dataset_kind_name(config.data.kind) + ".bin";
+}
+}  // namespace
+
+namespace {
+dataset filter_cases(const corner_entry& entry, bool want_misclassified) {
+  std::vector<std::int64_t> rows;
+  for (std::int64_t i = 0; i < entry.cases.size(); ++i) {
+    const bool miss = entry.misclassified[static_cast<std::size_t>(i)] != 0;
+    if (miss == want_misclassified) rows.push_back(i);
+  }
+  return entry.cases.subset(rows);
+}
+}  // namespace
+
+dataset corner_entry::sccs() const { return filter_cases(*this, true); }
+
+dataset corner_entry::fccs() const { return filter_cases(*this, false); }
+
+dataset corner_suite::pooled_sccs() const {
+  dataset out;
+  bool first = true;
+  std::int64_t total = 0;
+  for (const auto& e : entries) {
+    if (!e.usable) continue;
+    for (const auto m : e.misclassified) total += m;
+  }
+  std::int64_t cursor = 0;
+  for (const auto& e : entries) {
+    if (!e.usable) continue;
+    for (std::int64_t i = 0; i < e.cases.size(); ++i) {
+      if (!e.misclassified[static_cast<std::size_t>(i)]) continue;
+      if (first) {
+        std::vector<std::int64_t> shape = e.cases.images.shape();
+        shape[0] = total;
+        out.images = tensor{shape};
+        out.num_classes = e.cases.num_classes;
+        out.name = seeds.name + ":pooled_sccs";
+        out.labels.reserve(static_cast<std::size_t>(total));
+        first = false;
+      }
+      out.images.set_sample(cursor++, e.cases.images.sample(i));
+      out.labels.push_back(e.cases.labels[static_cast<std::size_t>(i)]);
+    }
+  }
+  return out;
+}
+
+int corner_suite::usable_count() const {
+  int n = 0;
+  for (const auto& e : entries) n += e.usable ? 1 : 0;
+  return n;
+}
+
+void corner_suite::save(const std::string& path) const {
+  binary_writer w{path, k_suite_magic};
+  save_dataset(w, seeds);
+  w.write_u64(entries.size());
+  for (const auto& e : entries) {
+    w.write_u8(static_cast<std::uint8_t>(e.kind));
+    w.write_u8(e.combined ? 1 : 0);
+    w.write_u8(e.usable ? 1 : 0);
+    save_chain(w, e.chain);
+    w.write_f64(e.success_rate);
+    w.write_f64(e.mean_confidence);
+    w.write_string(e.range_description);
+    save_dataset(w, e.cases);
+    w.write_u64(e.misclassified.size());
+    for (const auto m : e.misclassified) w.write_u8(m);
+  }
+  w.finish();
+}
+
+corner_suite corner_suite::load(const std::string& path) {
+  binary_reader r{path, k_suite_magic};
+  corner_suite out;
+  out.seeds = load_dataset(r);
+  const auto n = r.read_u64();
+  out.entries.resize(n);
+  for (auto& e : out.entries) {
+    e.kind = static_cast<transform_kind>(r.read_u8());
+    e.combined = r.read_u8() != 0;
+    e.usable = r.read_u8() != 0;
+    e.chain = load_chain(r);
+    e.success_rate = r.read_f64();
+    e.mean_confidence = r.read_f64();
+    e.range_description = r.read_string();
+    e.cases = load_dataset(r);
+    e.misclassified.resize(r.read_u64());
+    for (auto& m : e.misclassified) m = r.read_u8();
+  }
+  return out;
+}
+
+corner_suite load_or_generate_corners(const experiment_config& config,
+                                      sequential& model, const dataset& test) {
+  const std::string path = suite_path(config);
+  if (file_exists(path)) {
+    log_info() << "loaded cached corner suite from " << path;
+    return corner_suite::load(path);
+  }
+
+  stopwatch timer;
+  corner_suite suite;
+  suite.seeds = select_seeds(model, test, config.seed_images,
+                             config.seed_selection_seed);
+
+  std::vector<transform_chain> usable_singles;
+  for (const auto kind : applicable_transforms(config.data.kind)) {
+    const auto space = standard_search_space(kind, config.data.kind);
+    corner_search_result res =
+        search_corner_cases(model, suite.seeds, space);
+    corner_entry entry;
+    entry.kind = kind;
+    entry.usable = res.usable;
+    entry.chain = res.chosen;
+    entry.success_rate = res.success_rate;
+    entry.mean_confidence = res.mean_confidence;
+    entry.range_description = space.range_description;
+    entry.cases = std::move(res.corner_cases);
+    entry.misclassified = std::move(res.misclassified);
+    log_info() << "corner search " << transform_kind_name(kind) << ": "
+               << (entry.usable ? describe_chain(entry.chain) : "unusable")
+               << " success " << entry.success_rate;
+    if (entry.usable) usable_singles.push_back(entry.chain);
+    suite.entries.push_back(std::move(entry));
+  }
+
+  // Combined transformation (paper Table V last row per dataset). Falls back
+  // gracefully when a component transformation was unusable on this model.
+  try {
+    const transform_chain combo =
+        combined_transform(config.data.kind, usable_singles);
+    corner_search_result res = evaluate_chain(model, suite.seeds, combo);
+    corner_entry entry;
+    entry.combined = true;
+    entry.usable = res.success_rate >= 0.3;
+    entry.chain = combo;
+    entry.success_rate = res.success_rate;
+    entry.mean_confidence = res.mean_confidence;
+    entry.range_description = "components from single-transform search";
+    entry.cases = std::move(res.corner_cases);
+    entry.misclassified = std::move(res.misclassified);
+    log_info() << "combined transformation: " << describe_chain(entry.chain)
+               << " success " << entry.success_rate;
+    suite.entries.push_back(std::move(entry));
+  } catch (const std::invalid_argument& e) {
+    log_warn() << "combined transformation skipped: " << e.what();
+  }
+
+  log_info() << "corner suite generated in " << timer.seconds() << "s";
+  suite.save(path);
+  log_info() << "saved corner suite to " << path;
+  return suite;
+}
+
+}  // namespace dv

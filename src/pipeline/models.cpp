@@ -1,0 +1,111 @@
+#include "pipeline/models.h"
+
+#include <stdexcept>
+
+#include "nn/dense_block.h"
+#include "nn/layers.h"
+
+namespace dv {
+
+std::unique_ptr<sequential> make_digits_cnn(std::uint64_t seed) {
+  rng gen{seed};
+  auto model = std::make_unique<sequential>();
+  // Block 1: conv + relu (probe 1)
+  model->add(std::make_unique<conv2d>(1, 8, 3, 1, 1, gen));
+  model->add(std::make_unique<relu>(), /*probe=*/true);
+  // Block 2: conv + relu + pool (probe 2)
+  model->add(std::make_unique<conv2d>(8, 8, 3, 1, 1, gen));
+  model->add(std::make_unique<relu>());
+  model->add(std::make_unique<max_pool2d>(2), /*probe=*/true);
+  // Block 3: conv + relu (probe 3)
+  model->add(std::make_unique<conv2d>(8, 16, 3, 1, 1, gen));
+  model->add(std::make_unique<relu>(), /*probe=*/true);
+  // Block 4: conv + relu + pool (probe 4)
+  model->add(std::make_unique<conv2d>(16, 16, 3, 1, 1, gen));
+  model->add(std::make_unique<relu>());
+  model->add(std::make_unique<max_pool2d>(2), /*probe=*/true);
+  model->add(std::make_unique<flatten>());
+  // FC blocks (probes 5, 6)
+  model->add(std::make_unique<dense>(16 * 7 * 7, 64, gen));
+  model->add(std::make_unique<relu>(), /*probe=*/true);
+  model->add(std::make_unique<dense>(64, 64, gen));
+  model->add(std::make_unique<relu>(), /*probe=*/true);
+  // Logits (layer L; softmax applied by the loss / probabilities()).
+  model->add(std::make_unique<dense>(64, 10, gen));
+  return model;
+}
+
+std::unique_ptr<sequential> make_street_cnn(std::uint64_t seed) {
+  rng gen{seed};
+  auto model = std::make_unique<sequential>();
+  // Table II, widths scaled 64->16, 128->32, 256->96.
+  model->add(std::make_unique<conv2d>(3, 16, 3, 1, 1, gen));
+  model->add(std::make_unique<relu>(), /*probe=*/true);
+  model->add(std::make_unique<conv2d>(16, 16, 3, 1, 1, gen));
+  model->add(std::make_unique<relu>());
+  model->add(std::make_unique<max_pool2d>(2), /*probe=*/true);
+  model->add(std::make_unique<conv2d>(16, 32, 3, 1, 1, gen));
+  model->add(std::make_unique<relu>(), /*probe=*/true);
+  model->add(std::make_unique<conv2d>(32, 32, 3, 1, 1, gen));
+  model->add(std::make_unique<relu>());
+  model->add(std::make_unique<max_pool2d>(2), /*probe=*/true);
+  model->add(std::make_unique<flatten>());
+  model->add(std::make_unique<dense>(32 * 8 * 8, 96, gen));
+  model->add(std::make_unique<relu>(), /*probe=*/true);
+  model->add(std::make_unique<dense>(96, 96, gen));
+  model->add(std::make_unique<relu>(), /*probe=*/true);
+  model->add(std::make_unique<dense>(96, 10, gen));
+  return model;
+}
+
+std::unique_ptr<sequential> make_objects_densenet(std::uint64_t seed) {
+  rng gen{seed};
+  auto model = std::make_unique<sequential>();
+  constexpr std::int64_t growth = 6;
+  constexpr int units = 3;
+
+  model->add(std::make_unique<conv2d>(3, 12, 3, 1, 1, gen, /*bias=*/false));
+
+  auto block1 = std::make_unique<dense_block>(12, growth, units, gen);
+  block1->set_unit_probes(-1);
+  const std::int64_t c1 = block1->out_channels();
+  model->add(std::move(block1));
+  model->add(std::make_unique<transition>(c1, c1 / 2, gen), /*probe=*/true);
+
+  auto block2 = std::make_unique<dense_block>(c1 / 2, growth, units, gen);
+  block2->set_unit_probes(-1);
+  const std::int64_t c2 = block2->out_channels();
+  model->add(std::move(block2));
+  model->add(std::make_unique<transition>(c2, c2 / 2, gen), /*probe=*/true);
+
+  auto block3 = std::make_unique<dense_block>(c2 / 2, growth, units, gen);
+  block3->set_unit_probes(-1);
+  const std::int64_t c3 = block3->out_channels();
+  model->add(std::move(block3));
+
+  model->add(std::make_unique<batch_norm>(c3));
+  model->add(std::make_unique<relu>());
+  model->add(std::make_unique<global_avg_pool>(), /*probe=*/true);
+  model->add(std::make_unique<dense>(c3, 10, gen));
+  return model;
+}
+
+std::unique_ptr<sequential> make_model(dataset_kind kind, std::uint64_t seed) {
+  switch (kind) {
+    case dataset_kind::digits: return make_digits_cnn(seed);
+    case dataset_kind::objects: return make_objects_densenet(seed);
+    case dataset_kind::street: return make_street_cnn(seed);
+  }
+  throw std::invalid_argument{"make_model: bad kind"};
+}
+
+const char* model_name(dataset_kind kind) {
+  switch (kind) {
+    case dataset_kind::digits: return "seven-layer CNN";
+    case dataset_kind::objects: return "DenseNet";
+    case dataset_kind::street: return "seven-layer CNN (Table II)";
+  }
+  throw std::invalid_argument{"model_name: bad kind"};
+}
+
+}  // namespace dv

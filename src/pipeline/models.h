@@ -1,0 +1,40 @@
+// Model factories for the three target classifiers (paper §IV-A).
+//
+// Architectures follow the paper: a seven-layer CNN for the MNIST-like and
+// SVHN-like datasets (the latter exactly Table II's layout) and a DenseNet
+// for the CIFAR-10-like dataset. Channel widths are scaled down from the
+// paper's (which were sized for GPU training) to fit single-core CPU
+// training; the layer structure, probe placement, and the DenseNet's
+// concatenative connectivity are preserved (DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "data/factory.h"
+#include "nn/model.h"
+
+namespace dv {
+
+/// Seven-layer CNN for the MNIST-like dataset (after Xu et al.'s MNIST
+/// model): conv-conv-pool-conv-conv-pool-fc-fc-logits, probes after each of
+/// the six hidden blocks.
+std::unique_ptr<sequential> make_digits_cnn(std::uint64_t seed);
+
+/// Table II architecture for the SVHN-like dataset (widths scaled):
+/// [conv+relu, conv+relu+pool] x2, fc+relu x2, logits; six probes.
+std::unique_ptr<sequential> make_street_cnn(std::uint64_t seed);
+
+/// DenseNet for the CIFAR-10-like dataset: initial conv, three dense blocks
+/// with transitions, BN-ReLU-GAP head. Every dense unit, every transition,
+/// and the GAP output are probe points; Deep Validation is configured to use
+/// only the last six, as the paper does for DenseNet.
+std::unique_ptr<sequential> make_objects_densenet(std::uint64_t seed);
+
+/// Factory keyed by dataset kind.
+std::unique_ptr<sequential> make_model(dataset_kind kind, std::uint64_t seed);
+
+/// Human-readable name of the model used for a dataset kind.
+const char* model_name(dataset_kind kind);
+
+}  // namespace dv

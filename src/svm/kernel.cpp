@@ -1,0 +1,62 @@
+#include "svm/kernel.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace dv {
+
+double rbf_kernel(const float* a, const float* b, std::int64_t d,
+                  double gamma) {
+  return std::exp(-gamma * squared_distance(a, b, d));
+}
+
+double kernel_value(kernel_kind kind, const float* a, const float* b,
+                    std::int64_t d, double gamma) {
+  switch (kind) {
+    case kernel_kind::rbf: return rbf_kernel(a, b, d, gamma);
+    case kernel_kind::linear: return dot(a, b, d);
+  }
+  throw std::invalid_argument{"kernel_value: bad kind"};
+}
+
+tensor kernel_matrix(kernel_kind kind, const tensor& samples, double gamma) {
+  if (samples.dim() != 2) {
+    throw std::invalid_argument{"kernel_matrix: samples must be [n, d]"};
+  }
+  const std::int64_t n = samples.extent(0);
+  const std::int64_t d = samples.extent(1);
+  tensor k{{n, n}};
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* xi = samples.data() + i * d;
+    for (std::int64_t j = 0; j <= i; ++j) {
+      const float* xj = samples.data() + j * d;
+      const auto v =
+          static_cast<float>(kernel_value(kind, xi, xj, d, gamma));
+      k.at2(i, j) = v;
+      k.at2(j, i) = v;
+    }
+  }
+  return k;
+}
+
+double gamma_scale_heuristic(const tensor& samples) {
+  if (samples.dim() != 2) {
+    throw std::invalid_argument{"gamma_scale_heuristic: samples must be 2-D"};
+  }
+  const std::int64_t d = samples.extent(1);
+  double mean = 0.0;
+  for (std::int64_t i = 0; i < samples.numel(); ++i) mean += samples[i];
+  mean /= static_cast<double>(samples.numel());
+  double var = 0.0;
+  for (std::int64_t i = 0; i < samples.numel(); ++i) {
+    const double dev = samples[i] - mean;
+    var += dev * dev;
+  }
+  var /= static_cast<double>(samples.numel());
+  if (var < 1e-12) return 1.0 / static_cast<double>(d);
+  return 1.0 / (static_cast<double>(d) * var);
+}
+
+}  // namespace dv

@@ -1,0 +1,29 @@
+// Kernel functions for the one-class SVM.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace dv {
+
+enum class kernel_kind { rbf, linear };
+
+/// RBF kernel exp(-gamma * ||a-b||^2).
+double rbf_kernel(const float* a, const float* b, std::int64_t d,
+                  double gamma);
+
+/// Evaluates the configured kernel between two vectors.
+double kernel_value(kernel_kind kind, const float* a, const float* b,
+                    std::int64_t d, double gamma);
+
+/// Full symmetric kernel matrix of a sample set [n, d] -> [n, n].
+tensor kernel_matrix(kernel_kind kind, const tensor& samples, double gamma);
+
+/// The sklearn-style "scale" gamma heuristic: 1 / (d * var(X)), where
+/// var(X) is the variance of all entries pooled. Returns a fallback of
+/// 1/d when the variance is degenerate.
+double gamma_scale_heuristic(const tensor& samples);
+
+}  // namespace dv

@@ -1,0 +1,179 @@
+#include "svm/one_class_svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace dv {
+
+void one_class_svm::fit(const tensor& samples,
+                        const one_class_svm_config& config) {
+  if (samples.dim() != 2 || samples.extent(0) < 2) {
+    throw std::invalid_argument{"one_class_svm::fit: need [n>=2, d] samples"};
+  }
+  if (config.nu <= 0.0 || config.nu > 1.0) {
+    throw std::invalid_argument{"one_class_svm::fit: nu must be in (0, 1]"};
+  }
+  const std::int64_t n = samples.extent(0);
+  const std::int64_t d = samples.extent(1);
+  kernel_ = config.kernel;
+  gamma_ = config.gamma > 0.0 ? config.gamma : gamma_scale_heuristic(samples);
+
+  const double c_upper = 1.0 / (config.nu * static_cast<double>(n));
+  // Initialization per Schölkopf: the first floor(nu*l) points at the upper
+  // bound, one fractional point, the rest at zero; sums to exactly one.
+  std::vector<double> alpha(static_cast<std::size_t>(n), 0.0);
+  {
+    double remaining = 1.0;
+    for (std::int64_t i = 0; i < n && remaining > 0.0; ++i) {
+      const double take = std::min(c_upper, remaining);
+      alpha[static_cast<std::size_t>(i)] = take;
+      remaining -= take;
+    }
+  }
+
+  const tensor q = kernel_matrix(kernel_, samples, gamma_);
+
+  // Gradient of the objective: G_i = sum_j alpha_j Q_ij.
+  std::vector<double> grad(static_cast<std::size_t>(n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    const float* row = q.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      acc += alpha[static_cast<std::size_t>(j)] * row[j];
+    }
+    grad[static_cast<std::size_t>(i)] = acc;
+  }
+
+  // SMO over maximal violating pairs.
+  std::int64_t iter = 0;
+  for (; iter < config.max_iterations; ++iter) {
+    // i: smallest gradient among alpha_i < C (most room to grow),
+    // j: largest gradient among alpha_j > 0 (most room to shrink).
+    std::int64_t best_i = -1, best_j = -1;
+    double min_up = std::numeric_limits<double>::infinity();
+    double max_low = -std::numeric_limits<double>::infinity();
+    for (std::int64_t t = 0; t < n; ++t) {
+      const double a = alpha[static_cast<std::size_t>(t)];
+      const double g = grad[static_cast<std::size_t>(t)];
+      if (a < c_upper - 1e-15 && g < min_up) {
+        min_up = g;
+        best_i = t;
+      }
+      if (a > 1e-15 && g > max_low) {
+        max_low = g;
+        best_j = t;
+      }
+    }
+    if (best_i < 0 || best_j < 0 || max_low - min_up <= config.tolerance) {
+      break;
+    }
+    const std::int64_t i = best_i, j = best_j;
+    const float* qi = q.data() + i * n;
+    const float* qj = q.data() + j * n;
+    double curvature =
+        static_cast<double>(qi[i]) + qj[j] - 2.0 * static_cast<double>(qi[j]);
+    if (curvature <= 1e-12) curvature = 1e-12;
+    double step = (grad[static_cast<std::size_t>(j)] -
+                   grad[static_cast<std::size_t>(i)]) /
+                  curvature;
+    step = std::min(step, c_upper - alpha[static_cast<std::size_t>(i)]);
+    step = std::min(step, alpha[static_cast<std::size_t>(j)]);
+    if (step <= 0.0) break;
+    alpha[static_cast<std::size_t>(i)] += step;
+    alpha[static_cast<std::size_t>(j)] -= step;
+    for (std::int64_t t = 0; t < n; ++t) {
+      grad[static_cast<std::size_t>(t)] +=
+          step * (static_cast<double>(qi[t]) - qj[t]);
+    }
+  }
+  iterations_ = iter;
+
+  // rho from KKT conditions: G_i == rho on free support vectors.
+  double free_sum = 0.0;
+  std::int64_t free_count = 0;
+  double upper_max = -std::numeric_limits<double>::infinity();  // alpha == C
+  double lower_min = std::numeric_limits<double>::infinity();   // alpha == 0
+  for (std::int64_t t = 0; t < n; ++t) {
+    const double a = alpha[static_cast<std::size_t>(t)];
+    const double g = grad[static_cast<std::size_t>(t)];
+    if (a > 1e-12 && a < c_upper - 1e-12) {
+      free_sum += g;
+      ++free_count;
+    } else if (a >= c_upper - 1e-12) {
+      upper_max = std::max(upper_max, g);
+    } else {
+      lower_min = std::min(lower_min, g);
+    }
+  }
+  if (free_count > 0) {
+    rho_ = free_sum / static_cast<double>(free_count);
+  } else {
+    rho_ = 0.5 * (upper_max + lower_min);
+  }
+
+  // Keep only support vectors.
+  std::vector<std::int64_t> sv;
+  for (std::int64_t t = 0; t < n; ++t) {
+    if (alpha[static_cast<std::size_t>(t)] > 1e-12) sv.push_back(t);
+  }
+  support_vectors_ = tensor{{static_cast<std::int64_t>(sv.size()), d}};
+  alpha_.resize(sv.size());
+  for (std::size_t k = 0; k < sv.size(); ++k) {
+    std::copy_n(samples.data() + sv[k] * d, d,
+                support_vectors_.data() + static_cast<std::int64_t>(k) * d);
+    alpha_[k] = alpha[static_cast<std::size_t>(sv[k])];
+  }
+  fitted_ = true;
+  log_debug() << "one_class_svm: n=" << n << " d=" << d << " sv=" << sv.size()
+              << " iters=" << iter << " rho=" << rho_;
+}
+
+double one_class_svm::decision(std::span<const float> x) const {
+  if (!fitted_) throw std::logic_error{"one_class_svm::decision: not fitted"};
+  const std::int64_t d = support_vectors_.extent(1);
+  if (static_cast<std::int64_t>(x.size()) != d) {
+    throw std::invalid_argument{"one_class_svm::decision: dimension mismatch"};
+  }
+  double acc = 0.0;
+  const std::int64_t m = support_vectors_.extent(0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    acc += alpha_[static_cast<std::size_t>(i)] *
+           kernel_value(kernel_, support_vectors_.data() + i * d, x.data(), d,
+                        gamma_);
+  }
+  return acc - rho_;
+}
+
+void one_class_svm::save(binary_writer& w) const {
+  if (!fitted_) throw std::logic_error{"one_class_svm::save: not fitted"};
+  w.write_u8(static_cast<std::uint8_t>(kernel_));
+  w.write_f64(gamma_);
+  w.write_f64(rho_);
+  w.write_i64(iterations_);
+  support_vectors_.save(w);
+  w.write_f64_vector(alpha_);
+}
+
+one_class_svm one_class_svm::load(binary_reader& r) {
+  one_class_svm out;
+  out.kernel_ = static_cast<kernel_kind>(r.read_u8());
+  out.gamma_ = r.read_f64();
+  out.rho_ = r.read_f64();
+  out.iterations_ = r.read_i64();
+  out.support_vectors_ = tensor::load(r);
+  out.alpha_ = r.read_f64_vector();
+  if (out.support_vectors_.dim() != 2 ||
+      static_cast<std::size_t>(out.support_vectors_.extent(0)) !=
+          out.alpha_.size()) {
+    throw serialize_error{"one_class_svm::load: inconsistent artifact"};
+  }
+  out.fitted_ = true;
+  return out;
+}
+
+}  // namespace dv

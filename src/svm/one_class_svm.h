@@ -1,0 +1,69 @@
+// One-class support vector machine (Schölkopf et al., Neural Computation
+// 2001), the reference-distribution model behind Deep Validation.
+//
+// Solves  min_a  1/2 a^T Q a   s.t.  0 <= a_i <= 1/(nu*l),  sum a_i = 1,
+// with Q_ij = k(x_i, x_j), by sequential minimal optimization over maximal
+// violating pairs (the same solver family as libsvm). The decision function
+//   t(x) = sum_i a_i k(x_i, x) - rho
+// is non-negative on the estimated support of the training distribution and
+// negative outside; Deep Validation defines the layer discrepancy as -t(x).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "svm/kernel.h"
+#include "tensor/tensor.h"
+
+namespace dv {
+
+class binary_reader;
+class binary_writer;
+
+struct one_class_svm_config {
+  /// Upper bound on the fraction of outliers / lower bound on the fraction
+  /// of support vectors.
+  double nu{0.1};
+  /// RBF width; <= 0 selects the 1/(d*var) heuristic from the data.
+  double gamma{0.0};
+  kernel_kind kernel{kernel_kind::rbf};
+  /// KKT violation tolerance for the stopping rule.
+  double tolerance{1e-4};
+  /// Hard cap on SMO iterations.
+  std::int64_t max_iterations{200000};
+};
+
+class one_class_svm {
+ public:
+  one_class_svm() = default;
+
+  /// Fits on `samples` [n, d]. Requires n >= 2 and nu in (0, 1].
+  void fit(const tensor& samples, const one_class_svm_config& config);
+
+  /// Signed decision value t(x); requires a fitted model.
+  double decision(std::span<const float> x) const;
+
+  bool fitted() const { return fitted_; }
+  std::int64_t support_count() const { return support_vectors_.empty() ? 0 : support_vectors_.extent(0); }
+  double rho() const { return rho_; }
+  double gamma() const { return gamma_; }
+  std::int64_t dimension() const {
+    return support_vectors_.empty() ? 0 : support_vectors_.extent(1);
+  }
+  std::int64_t iterations_used() const { return iterations_; }
+
+  void save(binary_writer& w) const;
+  static one_class_svm load(binary_reader& r);
+
+ private:
+  tensor support_vectors_;       // [m, d]
+  std::vector<double> alpha_;    // m coefficients
+  double rho_{0.0};
+  double gamma_{0.0};
+  kernel_kind kernel_{kernel_kind::rbf};
+  std::int64_t iterations_{0};
+  bool fitted_{false};
+};
+
+}  // namespace dv

@@ -1,0 +1,131 @@
+#include "tensor/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dv {
+
+std::vector<double> column_means(const tensor& samples) {
+  if (samples.dim() != 2 || samples.extent(0) < 1) {
+    throw std::invalid_argument{"column_means: need [n>=1, d]"};
+  }
+  const std::int64_t n = samples.extent(0);
+  const std::int64_t d = samples.extent(1);
+  std::vector<double> out(static_cast<std::size_t>(d), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = samples.data() + i * d;
+    for (std::int64_t j = 0; j < d; ++j) out[static_cast<std::size_t>(j)] += row[j];
+  }
+  for (auto& v : out) v /= static_cast<double>(n);
+  return out;
+}
+
+std::vector<double> covariance(const tensor& samples,
+                               const std::vector<double>& means,
+                               double ridge) {
+  const std::int64_t n = samples.extent(0);
+  const std::int64_t d = samples.extent(1);
+  if (static_cast<std::int64_t>(means.size()) != d) {
+    throw std::invalid_argument{"covariance: mean dimension mismatch"};
+  }
+  std::vector<double> cov(static_cast<std::size_t>(d * d), 0.0);
+  std::vector<double> centered(static_cast<std::size_t>(d));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = samples.data() + i * d;
+    for (std::int64_t j = 0; j < d; ++j) {
+      centered[static_cast<std::size_t>(j)] =
+          row[j] - means[static_cast<std::size_t>(j)];
+    }
+    for (std::int64_t a = 0; a < d; ++a) {
+      const double ca = centered[static_cast<std::size_t>(a)];
+      double* crow = cov.data() + a * d;
+      for (std::int64_t b = 0; b < d; ++b) {
+        crow[b] += ca * centered[static_cast<std::size_t>(b)];
+      }
+    }
+  }
+  for (auto& v : cov) v /= static_cast<double>(n);
+  for (std::int64_t j = 0; j < d; ++j) cov[static_cast<std::size_t>(j * d + j)] += ridge;
+  return cov;
+}
+
+void cholesky_decompose(std::vector<double>& a, std::int64_t d) {
+  if (static_cast<std::int64_t>(a.size()) != d * d) {
+    throw std::invalid_argument{"cholesky_decompose: size mismatch"};
+  }
+  for (std::int64_t j = 0; j < d; ++j) {
+    double diag = a[static_cast<std::size_t>(j * d + j)];
+    for (std::int64_t k = 0; k < j; ++k) {
+      const double l = a[static_cast<std::size_t>(j * d + k)];
+      diag -= l * l;
+    }
+    if (diag <= 0.0) {
+      throw std::domain_error{"cholesky_decompose: not positive definite"};
+    }
+    const double ljj = std::sqrt(diag);
+    a[static_cast<std::size_t>(j * d + j)] = ljj;
+    for (std::int64_t i = j + 1; i < d; ++i) {
+      double acc = a[static_cast<std::size_t>(i * d + j)];
+      for (std::int64_t k = 0; k < j; ++k) {
+        acc -= a[static_cast<std::size_t>(i * d + k)] *
+               a[static_cast<std::size_t>(j * d + k)];
+      }
+      a[static_cast<std::size_t>(i * d + j)] = acc / ljj;
+    }
+    // Zero the upper triangle for cleanliness.
+    for (std::int64_t k = j + 1; k < d; ++k) {
+      a[static_cast<std::size_t>(j * d + k)] = 0.0;
+    }
+  }
+}
+
+std::vector<double> cholesky_solve(const std::vector<double>& l,
+                                   std::int64_t d,
+                                   const std::vector<double>& b) {
+  if (static_cast<std::int64_t>(b.size()) != d) {
+    throw std::invalid_argument{"cholesky_solve: rhs size mismatch"};
+  }
+  std::vector<double> y(static_cast<std::size_t>(d));
+  // Forward solve L y = b.
+  for (std::int64_t i = 0; i < d; ++i) {
+    double acc = b[static_cast<std::size_t>(i)];
+    for (std::int64_t k = 0; k < i; ++k) {
+      acc -= l[static_cast<std::size_t>(i * d + k)] *
+             y[static_cast<std::size_t>(k)];
+    }
+    y[static_cast<std::size_t>(i)] = acc / l[static_cast<std::size_t>(i * d + i)];
+  }
+  // Backward solve L^T x = y.
+  std::vector<double> x(static_cast<std::size_t>(d));
+  for (std::int64_t i = d - 1; i >= 0; --i) {
+    double acc = y[static_cast<std::size_t>(i)];
+    for (std::int64_t k = i + 1; k < d; ++k) {
+      acc -= l[static_cast<std::size_t>(k * d + i)] *
+             x[static_cast<std::size_t>(k)];
+    }
+    x[static_cast<std::size_t>(i)] = acc / l[static_cast<std::size_t>(i * d + i)];
+  }
+  return x;
+}
+
+double mahalanobis_squared(const std::vector<double>& l, std::int64_t d,
+                           std::span<const float> x,
+                           const std::vector<double>& mu) {
+  if (static_cast<std::int64_t>(x.size()) != d ||
+      static_cast<std::int64_t>(mu.size()) != d) {
+    throw std::invalid_argument{"mahalanobis_squared: dimension mismatch"};
+  }
+  std::vector<double> diff(static_cast<std::size_t>(d));
+  for (std::int64_t j = 0; j < d; ++j) {
+    diff[static_cast<std::size_t>(j)] = x[static_cast<std::size_t>(j)] -
+                                        mu[static_cast<std::size_t>(j)];
+  }
+  const std::vector<double> solved = cholesky_solve(l, d, diff);
+  double acc = 0.0;
+  for (std::int64_t j = 0; j < d; ++j) {
+    acc += diff[static_cast<std::size_t>(j)] * solved[static_cast<std::size_t>(j)];
+  }
+  return acc;
+}
+
+}  // namespace dv

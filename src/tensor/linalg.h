@@ -1,0 +1,36 @@
+// Small dense linear-algebra helpers for the statistical detectors:
+// covariance estimation and Cholesky factorization/solves for Mahalanobis
+// distances. Sized for feature dimensions in the tens-to-hundreds.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace dv {
+
+/// Column means of [n, d] -> [d].
+std::vector<double> column_means(const tensor& samples);
+
+/// Sample covariance (divides by n) of [n, d] about the provided means,
+/// with `ridge` added to the diagonal for conditioning. Returns [d, d]
+/// row-major doubles.
+std::vector<double> covariance(const tensor& samples,
+                               const std::vector<double>& means,
+                               double ridge = 1e-3);
+
+/// In-place Cholesky factorization A = L L^T of a symmetric positive
+/// definite row-major [d, d] matrix; the lower triangle of `a` becomes L.
+/// Throws std::domain_error if the matrix is not positive definite.
+void cholesky_decompose(std::vector<double>& a, std::int64_t d);
+
+/// Solves L L^T x = b given the factor from cholesky_decompose.
+std::vector<double> cholesky_solve(const std::vector<double>& l,
+                                   std::int64_t d,
+                                   const std::vector<double>& b);
+
+/// Squared Mahalanobis distance (x - mu)^T Sigma^{-1} (x - mu) using the
+/// Cholesky factor of Sigma.
+double mahalanobis_squared(const std::vector<double>& l, std::int64_t d,
+                           std::span<const float> x,
+                           const std::vector<double>& mu);
+
+}  // namespace dv

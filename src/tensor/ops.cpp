@@ -1,0 +1,161 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace dv {
+
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (beta == 0.0f) {
+      std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    const float* arow = a + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = alpha * arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * crow[j]);
+    }
+  }
+}
+
+void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+  if (beta == 0.0f) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;  // A is [K, M]
+    const float* brow = b + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = alpha * arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void im2col(const float* image, const conv_geometry& g, float* col) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    const float* plane = image + c * g.in_h * g.in_w;
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        float* out = col + row * oh * ow;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= g.in_h) {
+            std::memset(out + oy * ow, 0,
+                        static_cast<std::size_t>(ow) * sizeof(float));
+            continue;
+          }
+          const float* src = plane + iy * g.in_w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * g.stride + kx - g.pad;
+            out[oy * ow + ox] =
+                (ix >= 0 && ix < g.in_w) ? src[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, const conv_geometry& g, float* image) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    float* plane = image + c * g.in_h * g.in_w;
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const float* src = col + row * oh * ow;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* dst = plane + iy * g.in_w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * g.stride + kx - g.pad;
+            if (ix >= 0 && ix < g.in_w) dst[ix] += src[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+void softmax_rows(tensor& logits) {
+  if (logits.dim() != 2) throw std::invalid_argument{"softmax_rows: not 2-D"};
+  const std::int64_t rows = logits.extent(0);
+  const std::int64_t cols = logits.extent(1);
+  float* data = logits.data();
+  for (std::int64_t i = 0; i < rows; ++i) {
+    float* row = data + i * cols;
+    const float m = *std::max_element(row, row + cols);
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - m);
+      sum += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::int64_t j = 0; j < cols; ++j) row[j] *= inv;
+  }
+}
+
+std::vector<std::int64_t> argmax_rows(const tensor& t) {
+  if (t.dim() != 2) throw std::invalid_argument{"argmax_rows: not 2-D"};
+  const std::int64_t rows = t.extent(0);
+  const std::int64_t cols = t.extent(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float* row = t.data() + i * cols;
+    out[static_cast<std::size_t>(i)] =
+        std::max_element(row, row + cols) - row;
+  }
+  return out;
+}
+
+double squared_distance(const float* a, const float* b, std::int64_t n) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double dot(const float* a, const float* b, std::int64_t n) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+}  // namespace dv

@@ -1,0 +1,63 @@
+// Numerical kernels on raw tensors: GEMM, im2col/col2im, softmax.
+//
+// These are the hot loops behind the neural-network substrate. All matrices
+// are row-major. The GEMM variants are written in register-friendly loop
+// orders so that a single core with -O2 auto-vectorization sustains the
+// training workloads in this repository.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace dv {
+
+/// C[M,N] = alpha * A[M,K] * B[K,N] + beta * C.
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c);
+
+/// C[M,N] = alpha * A[M,K] * B[N,K]^T + beta * C (B stored row-major [N,K]).
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c);
+
+/// C[M,N] = alpha * A[K,M]^T * B[K,N] + beta * C (A stored row-major [K,M]).
+void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c);
+
+/// Geometry of a 2-D convolution / pooling window.
+struct conv_geometry {
+  std::int64_t in_c{}, in_h{}, in_w{};
+  std::int64_t kernel{};   // square kernel size
+  std::int64_t stride{1};
+  std::int64_t pad{0};
+
+  std::int64_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  /// Rows of the im2col matrix: one per (channel, ky, kx).
+  std::int64_t col_rows() const { return in_c * kernel * kernel; }
+  /// Columns of the im2col matrix: one per output pixel.
+  std::int64_t col_cols() const { return out_h() * out_w(); }
+};
+
+/// Unfolds one CHW image into the [col_rows, col_cols] im2col matrix.
+/// `col` must hold col_rows()*col_cols() floats.
+void im2col(const float* image, const conv_geometry& g, float* col);
+
+/// Accumulates a col matrix back into a CHW image gradient (adjoint of
+/// im2col). `image` must be zeroed by the caller if accumulation from zero is
+/// desired.
+void col2im(const float* col, const conv_geometry& g, float* image);
+
+/// In-place numerically stable softmax over the last axis of a 2-D tensor.
+void softmax_rows(tensor& logits);
+
+/// Row-wise argmax of a 2-D tensor.
+std::vector<std::int64_t> argmax_rows(const tensor& t);
+
+/// Squared Euclidean distance between two equal-length float arrays.
+double squared_distance(const float* a, const float* b, std::int64_t n);
+
+/// Dot product of two equal-length float arrays (double accumulator).
+double dot(const float* a, const float* b, std::int64_t n);
+
+}  // namespace dv

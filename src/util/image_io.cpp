@@ -1,0 +1,84 @@
+#include "util/image_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace dv {
+
+namespace {
+unsigned char to_byte(float v) {
+  const float c = std::clamp(v, 0.0f, 1.0f);
+  return static_cast<unsigned char>(c * 255.0f + 0.5f);
+}
+}  // namespace
+
+void write_pgm(const std::string& path, std::span<const float> pixels, int h,
+               int w) {
+  if (static_cast<int>(pixels.size()) != h * w) {
+    throw std::invalid_argument{"write_pgm: size mismatch"};
+  }
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error{"write_pgm: cannot open " + path};
+  out << "P5\n" << w << " " << h << "\n255\n";
+  for (const float v : pixels) out.put(static_cast<char>(to_byte(v)));
+  if (!out) throw std::runtime_error{"write_pgm: write failed " + path};
+}
+
+void write_ppm(const std::string& path, std::span<const float> chw, int h,
+               int w) {
+  if (static_cast<int>(chw.size()) != 3 * h * w) {
+    throw std::invalid_argument{"write_ppm: size mismatch"};
+  }
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error{"write_ppm: cannot open " + path};
+  out << "P6\n" << w << " " << h << "\n255\n";
+  const int plane = h * w;
+  for (int i = 0; i < plane; ++i) {
+    out.put(static_cast<char>(to_byte(chw[i])));
+    out.put(static_cast<char>(to_byte(chw[plane + i])));
+    out.put(static_cast<char>(to_byte(chw[2 * plane + i])));
+  }
+  if (!out) throw std::runtime_error{"write_ppm: write failed " + path};
+}
+
+void write_image(const std::string& path, std::span<const float> chw,
+                 int channels, int h, int w) {
+  if (channels == 1) {
+    write_pgm(path, chw, h, w);
+  } else if (channels == 3) {
+    write_ppm(path, chw, h, w);
+  } else {
+    throw std::invalid_argument{"write_image: channels must be 1 or 3"};
+  }
+}
+
+std::string ascii_art(std::span<const float> chw, int channels, int h, int w) {
+  static const char ramp[] = " .:-=+*#%@";
+  constexpr int ramp_n = 10;
+  if (static_cast<int>(chw.size()) != channels * h * w) {
+    throw std::invalid_argument{"ascii_art: size mismatch"};
+  }
+  const int plane = h * w;
+  std::string out;
+  out.reserve(static_cast<std::size_t>(h) * (w + 1));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int i = y * w + x;
+      float luma = 0.0f;
+      if (channels == 1) {
+        luma = chw[i];
+      } else {
+        luma = 0.299f * chw[i] + 0.587f * chw[plane + i] +
+               0.114f * chw[2 * plane + i];
+      }
+      const int idx = std::clamp(static_cast<int>(luma * ramp_n), 0, ramp_n - 1);
+      out.push_back(ramp[idx]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace dv

@@ -1,0 +1,30 @@
+// Image export helpers for the figure/example binaries.
+//
+// Operates on raw float planes in CHW order with values in [0, 1] so it does
+// not depend on the tensor library. Supports binary PGM (1 channel), PPM
+// (3 channels), and a coarse ASCII rendering for terminal output.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace dv {
+
+/// Writes a greyscale image (`h*w` floats, row-major, values clamped to
+/// [0,1]) as a binary PGM file.
+void write_pgm(const std::string& path, std::span<const float> pixels, int h,
+               int w);
+
+/// Writes an RGB image (CHW planes, `3*h*w` floats) as a binary PPM file.
+void write_ppm(const std::string& path, std::span<const float> chw, int h,
+               int w);
+
+/// Writes either PGM or PPM depending on `channels` (1 or 3).
+void write_image(const std::string& path, std::span<const float> chw,
+                 int channels, int h, int w);
+
+/// Renders a greyscale or RGB (luma-converted) image as ASCII art, one
+/// character per pixel, dark-to-light ramp. Useful in terminal demos.
+std::string ascii_art(std::span<const float> chw, int channels, int h, int w);
+
+}  // namespace dv

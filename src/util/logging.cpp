@@ -1,0 +1,37 @@
+#include "util/logging.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace dv {
+
+namespace {
+log_level g_level = log_level::info;
+
+const char* level_tag(log_level level) {
+  switch (level) {
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO ";
+    case log_level::warn: return "WARN ";
+    case log_level::error: return "ERROR";
+    default: return "?????";
+  }
+}
+
+double elapsed_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+}  // namespace
+
+void set_log_level(log_level level) { g_level = level; }
+log_level get_log_level() { return g_level; }
+
+void log_message(log_level level, const std::string& text) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%8.2fs] %s %s\n", elapsed_seconds(), level_tag(level),
+               text.c_str());
+}
+
+}  // namespace dv

@@ -1,0 +1,46 @@
+// Minimal leveled logger used across the library.
+//
+// The benches and examples narrate long-running work (training, SVM fitting)
+// through this logger; tests silence it by lowering the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dv {
+
+enum class log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(log_level level);
+log_level get_log_level();
+
+/// Emits one line to stderr with a level prefix and elapsed-time stamp.
+void log_message(log_level level, const std::string& text);
+
+namespace detail {
+class log_line {
+ public:
+  explicit log_line(log_level level) : level_{level} {}
+  ~log_line() { log_message(level_, stream_.str()); }
+  log_line(const log_line&) = delete;
+  log_line& operator=(const log_line&) = delete;
+
+  template <typename T>
+  log_line& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  log_level level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::log_line log_debug() { return detail::log_line{log_level::debug}; }
+inline detail::log_line log_info() { return detail::log_line{log_level::info}; }
+inline detail::log_line log_warn() { return detail::log_line{log_level::warn}; }
+inline detail::log_line log_error() { return detail::log_line{log_level::error}; }
+
+}  // namespace dv

@@ -1,0 +1,24 @@
+// Wall-clock stopwatch for coarse timing of pipeline stages.
+#pragma once
+
+#include <chrono>
+
+namespace dv {
+
+class stopwatch {
+ public:
+  stopwatch() : start_{clock::now()} {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dv

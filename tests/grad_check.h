@@ -1,0 +1,88 @@
+// Numerical gradient checking utilities for layer tests.
+//
+// For a layer y = f(x; theta) and a fixed random weighting w, define the
+// scalar loss L = <w, f(x)>. The analytic input gradient is backward(w); the
+// analytic parameter gradients are accumulated in the layer. Both are
+// compared against central finite differences.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layer.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace dv::testing {
+
+inline double layer_loss(layer& l, const tensor& x, const tensor& w,
+                         bool training) {
+  tensor y = l.forward(x, training);
+  EXPECT_TRUE(y.same_shape(w)) << "loss weighting shape mismatch";
+  return dot(y.data(), w.data(), y.numel());
+}
+
+/// Checks d<w, f(x)>/dx against central differences at `samples` random
+/// coordinates. Returns the maximum relative error observed.
+inline void check_input_gradient(layer& l, tensor x, const tensor& w,
+                                 bool training = true, double eps = 1e-3,
+                                 double tol = 2e-2, int samples = 24,
+                                 std::uint64_t seed = 99) {
+  (void)layer_loss(l, x, w, training);  // populate forward caches
+  for (auto& p : l.params()) p.grad->fill(0.0f);
+  const tensor analytic = l.backward(w);
+  ASSERT_TRUE(analytic.same_shape(x));
+
+  rng gen{seed};
+  for (int s = 0; s < samples; ++s) {
+    const auto i = static_cast<std::int64_t>(
+        gen.next_u64() % static_cast<std::uint64_t>(x.numel()));
+    const float original = x[i];
+    x[i] = original + static_cast<float>(eps);
+    const double up = layer_loss(l, x, w, training);
+    x[i] = original - static_cast<float>(eps);
+    const double down = layer_loss(l, x, w, training);
+    x[i] = original;
+    const double numeric = (up - down) / (2.0 * eps);
+    const double denom = std::max({1.0, std::abs(numeric),
+                                   std::abs(static_cast<double>(analytic[i]))});
+    EXPECT_NEAR(analytic[i], numeric, tol * denom)
+        << "input coordinate " << i;
+  }
+  // Restore caches for any follow-up use.
+  (void)layer_loss(l, x, w, training);
+}
+
+/// Checks every parameter gradient against central differences at `samples`
+/// random coordinates per parameter tensor.
+inline void check_param_gradients(layer& l, const tensor& x, const tensor& w,
+                                  bool training = true, double eps = 1e-3,
+                                  double tol = 2e-2, int samples = 16,
+                                  std::uint64_t seed = 123) {
+  (void)layer_loss(l, x, w, training);
+  for (auto& p : l.params()) p.grad->fill(0.0f);
+  (void)l.backward(w);
+
+  rng gen{seed};
+  for (auto& p : l.params()) {
+    for (int s = 0; s < samples; ++s) {
+      const auto i = static_cast<std::int64_t>(
+          gen.next_u64() % static_cast<std::uint64_t>(p.value->numel()));
+      const float analytic = (*p.grad)[i];
+      const float original = (*p.value)[i];
+      (*p.value)[i] = original + static_cast<float>(eps);
+      const double up = layer_loss(l, x, w, training);
+      (*p.value)[i] = original - static_cast<float>(eps);
+      const double down = layer_loss(l, x, w, training);
+      (*p.value)[i] = original;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double denom =
+          std::max({1.0, std::abs(numeric), std::abs(static_cast<double>(analytic))});
+      EXPECT_NEAR(analytic, numeric, tol * denom)
+          << p.name << " coordinate " << i;
+    }
+  }
+}
+
+}  // namespace dv::testing

@@ -1,0 +1,149 @@
+#include "augment/affine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace dv {
+namespace {
+
+constexpr float k_pi = std::numbers::pi_v<float>;
+
+TEST(AffineMatrix, IdentityMapsPointsToThemselves) {
+  const affine_matrix id = affine_matrix::identity();
+  const auto [x, y] = id.apply(3.5f, -2.0f);
+  EXPECT_FLOAT_EQ(x, 3.5f);
+  EXPECT_FLOAT_EQ(y, -2.0f);
+}
+
+TEST(AffineMatrix, RotationQuarterTurn) {
+  // Paper Table I convention: x' = x cos + y sin, y' = -x sin + y cos,
+  // so (1, 0) maps to (0, -1) for a quarter turn.
+  const affine_matrix r = affine_matrix::rotation(k_pi / 2.0f);
+  const auto [x, y] = r.apply(1.0f, 0.0f);
+  EXPECT_NEAR(x, 0.0f, 1e-6f);
+  EXPECT_NEAR(y, -1.0f, 1e-6f);
+}
+
+TEST(AffineMatrix, ScaleAndTranslation) {
+  const affine_matrix s = affine_matrix::scale(2.0f, 3.0f);
+  const auto [sx, sy] = s.apply(1.0f, 1.0f);
+  EXPECT_FLOAT_EQ(sx, 2.0f);
+  EXPECT_FLOAT_EQ(sy, 3.0f);
+  const affine_matrix t = affine_matrix::translation(5.0f, -1.0f);
+  const auto [tx, ty] = t.apply(0.0f, 0.0f);
+  EXPECT_FLOAT_EQ(tx, 5.0f);
+  EXPECT_FLOAT_EQ(ty, -1.0f);
+}
+
+TEST(AffineMatrix, ShearMatchesPaperTableI) {
+  const affine_matrix sh = affine_matrix::shear(0.5f, 0.25f);
+  const auto [x, y] = sh.apply(2.0f, 4.0f);
+  EXPECT_FLOAT_EQ(x, 2.0f + 0.5f * 4.0f);
+  EXPECT_FLOAT_EQ(y, 0.25f * 2.0f + 4.0f);
+}
+
+TEST(AffineMatrix, ComposeAppliesRightFirst) {
+  const affine_matrix t = affine_matrix::translation(1.0f, 0.0f);
+  const affine_matrix s = affine_matrix::scale(2.0f, 2.0f);
+  // scale-then-translate vs translate-then-scale differ.
+  const auto [x1, y1] = t.compose(s).apply(1.0f, 0.0f);  // scale first
+  EXPECT_FLOAT_EQ(x1, 3.0f);
+  const auto [x2, y2] = s.compose(t).apply(1.0f, 0.0f);  // translate first
+  EXPECT_FLOAT_EQ(x2, 4.0f);
+  (void)y1;
+  (void)y2;
+}
+
+TEST(AffineMatrix, InverseRoundTrip) {
+  rng gen{1};
+  for (int trial = 0; trial < 20; ++trial) {
+    const affine_matrix m =
+        affine_matrix::rotation(static_cast<float>(gen.uniform(-1.0, 1.0)))
+            .compose(affine_matrix::scale(
+                static_cast<float>(gen.uniform(0.5, 2.0)),
+                static_cast<float>(gen.uniform(0.5, 2.0))))
+            .compose(affine_matrix::translation(
+                static_cast<float>(gen.uniform(-5.0, 5.0)),
+                static_cast<float>(gen.uniform(-5.0, 5.0))));
+    const affine_matrix inv = m.inverse();
+    const float px = static_cast<float>(gen.uniform(-3.0, 3.0));
+    const float py = static_cast<float>(gen.uniform(-3.0, 3.0));
+    const auto [fx, fy] = m.apply(px, py);
+    const auto [bx, by] = inv.apply(fx, fy);
+    EXPECT_NEAR(bx, px, 1e-4f);
+    EXPECT_NEAR(by, py, 1e-4f);
+  }
+}
+
+TEST(AffineMatrix, SingularInverseThrows) {
+  const affine_matrix z = affine_matrix::scale(1.0f, 1.0f);
+  affine_matrix singular = z;
+  singular.m = {1, 2, 0, 2, 4, 0, 0, 0, 1};  // rank deficient
+  EXPECT_THROW(singular.inverse(), std::domain_error);
+}
+
+TEST(WarpAffine, IdentityPreservesImage) {
+  rng gen{2};
+  const tensor img = tensor::uniform({2, 6, 6}, gen, 0.0f, 1.0f);
+  const tensor out = warp_affine(img, affine_matrix::identity());
+  for (std::int64_t i = 0; i < img.numel(); ++i) {
+    EXPECT_NEAR(out[i], img[i], 1e-5f);
+  }
+}
+
+TEST(WarpAffine, TranslationMovesImpulse) {
+  tensor img{{1, 7, 7}};
+  img.at3(0, 3, 3) = 1.0f;
+  // Forward translation by (+2, +1): the impulse should land at (x+2, y+1).
+  const tensor out = warp_affine(img, affine_matrix::translation(2.0f, 1.0f));
+  EXPECT_NEAR(out.at3(0, 4, 5), 1.0f, 1e-5f);
+  EXPECT_NEAR(out.at3(0, 3, 3), 0.0f, 1e-5f);
+}
+
+TEST(WarpAffine, RotationIsAboutCenter) {
+  tensor img{{1, 9, 9}};
+  img.at3(0, 4, 4) = 1.0f;  // center pixel
+  const tensor out = warp_affine(img, affine_matrix::rotation(k_pi / 3.0f));
+  EXPECT_NEAR(out.at3(0, 4, 4), 1.0f, 1e-4f);
+}
+
+TEST(WarpAffine, QuarterRotationMovesOffCenterPixel) {
+  tensor img{{1, 9, 9}};
+  img.at3(0, 4, 8) = 1.0f;  // (x=+4, y=0) from center
+  const tensor out = warp_affine(img, affine_matrix::rotation(k_pi / 2.0f));
+  // Table I convention maps (4, 0) -> (0, -4): four rows above the center.
+  EXPECT_NEAR(out.at3(0, 0, 4), 1.0f, 1e-3f);
+}
+
+TEST(WarpAffine, OutOfBoundsReadsFill) {
+  tensor img = tensor::full({1, 4, 4}, 1.0f);
+  const tensor out =
+      warp_affine(img, affine_matrix::translation(10.0f, 0.0f), 0.25f);
+  // Whole image shifted out; all pixels read fill.
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_FLOAT_EQ(out[i], 0.25f);
+  }
+}
+
+TEST(WarpAffine, ScaleUpMagnifies) {
+  // A 2x scale about the center keeps the center pixel and spreads mass.
+  tensor img{{1, 9, 9}};
+  img.at3(0, 4, 4) = 1.0f;
+  const tensor out = warp_affine(img, affine_matrix::scale(2.0f, 2.0f));
+  EXPECT_GT(out.at3(0, 4, 4), 0.9f);
+  // Total mass grows roughly by the Jacobian (4x) for an interior impulse.
+  EXPECT_GT(out.sum(), 2.0f);
+}
+
+TEST(WarpAffine, RequiresChw) {
+  tensor img{{4, 4}};
+  EXPECT_THROW(warp_affine(img, affine_matrix::identity()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dv

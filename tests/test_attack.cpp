@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/bim.h"
+#include "attack/cw.h"
+#include "attack/fgsm.h"
+#include "attack/jsma.h"
+#include "nn/loss.h"
+#include "test_util.h"
+
+namespace dv {
+namespace {
+
+using dv::testing::shared_tiny_world;
+
+/// First test image the tiny model classifies correctly.
+std::pair<tensor, std::int64_t> correctly_classified_seed(std::int64_t skip = 0) {
+  const auto& world = shared_tiny_world();
+  std::int64_t found = 0;
+  for (std::int64_t i = 0; i < world.test.size(); ++i) {
+    const tensor img = world.test.images.sample(i);
+    const auto pred =
+        world.model->predict(img.reshaped({1, 1, 28, 28})).front();
+    if (pred == world.test.labels[static_cast<std::size_t>(i)]) {
+      if (found++ == skip) return {img, pred};
+    }
+  }
+  throw std::runtime_error{"no correctly classified test image"};
+}
+
+TEST(AttackTargets, NextClassWrapsAround) {
+  const auto& world = shared_tiny_world();
+  const auto [img, label] = correctly_classified_seed();
+  const auto target = select_target(*world.model, img, label,
+                                    attack_target::next_class);
+  EXPECT_EQ(target, (label + 1) % 10);
+  EXPECT_EQ(select_target(*world.model, img, label,
+                          attack_target::untargeted),
+            -1);
+}
+
+TEST(AttackTargets, LeastLikelyIsNotPrediction) {
+  const auto& world = shared_tiny_world();
+  const auto [img, label] = correctly_classified_seed();
+  const auto ll = select_target(*world.model, img, label,
+                                attack_target::least_likely);
+  EXPECT_GE(ll, 0);
+  EXPECT_LT(ll, 10);
+  EXPECT_NE(ll, label);
+}
+
+TEST(AttackTargets, NamesStable) {
+  EXPECT_STREQ(attack_target_name(attack_target::untargeted), "untargeted");
+  EXPECT_STREQ(attack_target_name(attack_target::next_class), "next");
+  EXPECT_STREQ(attack_target_name(attack_target::least_likely), "LL");
+}
+
+TEST(InputGradient, MatchesFiniteDifferences) {
+  const auto& world = shared_tiny_world();
+  const auto [img, label] = correctly_classified_seed();
+  const tensor grad = input_gradient(*world.model, img, label);
+  ASSERT_TRUE(grad.same_shape(img));
+  // Check a few coordinates by central differences on the CE loss.
+  rng gen{1};
+  for (int s = 0; s < 8; ++s) {
+    const auto i = static_cast<std::int64_t>(
+        gen.next_u64() % static_cast<std::uint64_t>(img.numel()));
+    auto loss_at = [&](float delta) {
+      tensor x = img;
+      x[i] += delta;
+      tensor logits = world.model->forward(x.reshaped({1, 1, 28, 28}), false);
+      tensor g;
+      return softmax_cross_entropy_target(logits, label, g);
+    };
+    const double numeric =
+        (loss_at(1e-2f) - loss_at(-1e-2f)) / (2.0 * 1e-2);
+    EXPECT_NEAR(grad[i], numeric, 5e-2 * std::max(1.0, std::abs(numeric)));
+  }
+}
+
+TEST(Fgsm, PerturbationBoundedByEpsilon) {
+  const auto& world = shared_tiny_world();
+  const auto [img, label] = correctly_classified_seed();
+  fgsm_attack attack{0.2f};
+  const attack_result res = attack.run(*world.model, img, label, -1);
+  EXPECT_LE(res.distortion_linf, 0.2 + 1e-5);
+  EXPECT_GE(res.adversarial.min(), 0.0f);
+  EXPECT_LE(res.adversarial.max(), 1.0f);
+}
+
+TEST(Fgsm, LargeEpsilonBreaksManySeeds) {
+  const auto& world = shared_tiny_world();
+  fgsm_attack attack{0.4f};
+  int successes = 0, tried = 0;
+  for (std::int64_t skip = 0; skip < 20; ++skip) {
+    const auto [img, label] = correctly_classified_seed(skip);
+    const attack_result res = attack.run(*world.model, img, label, -1);
+    successes += res.success ? 1 : 0;
+    ++tried;
+  }
+  EXPECT_GT(static_cast<double>(successes) / tried, 0.3);
+}
+
+TEST(Bim, StaysInsideEpsilonBallAndBeatsFgsm) {
+  const auto& world = shared_tiny_world();
+  bim_attack bim{0.25f, 0.05f, 10};
+  fgsm_attack fgsm{0.25f};
+  int bim_wins = 0, fgsm_wins = 0;
+  for (std::int64_t skip = 0; skip < 10; ++skip) {
+    const auto [img, label] = correctly_classified_seed(skip);
+    const attack_result rb = bim.run(*world.model, img, label, -1);
+    const attack_result rf = fgsm.run(*world.model, img, label, -1);
+    EXPECT_LE(rb.distortion_linf, 0.25 + 1e-5);
+    bim_wins += rb.success ? 1 : 0;
+    fgsm_wins += rf.success ? 1 : 0;
+  }
+  EXPECT_GE(bim_wins, fgsm_wins);  // iterative dominates one-shot
+}
+
+TEST(Jsma, ModifiesFewPixelsOnly) {
+  const auto& world = shared_tiny_world();
+  const auto [img, label] = correctly_classified_seed();
+  jsma_attack attack{0.1f};
+  const auto target = (label + 1) % 10;
+  const attack_result res = attack.run(*world.model, img, label, target);
+  // L0 budget: gamma fraction of 784 pixels.
+  EXPECT_LE(res.distortion_l0, static_cast<std::int64_t>(0.1 * 784) + 2);
+  // Pixels only increased (increasing-pixel variant).
+  for (std::int64_t i = 0; i < img.numel(); ++i) {
+    EXPECT_GE(res.adversarial[i], img[i] - 1e-6f);
+  }
+}
+
+TEST(Jsma, RequiresTarget) {
+  const auto& world = shared_tiny_world();
+  const auto [img, label] = correctly_classified_seed();
+  jsma_attack attack;
+  EXPECT_THROW(attack.run(*world.model, img, label, -1),
+               std::invalid_argument);
+}
+
+TEST(Cw2, ReachesTargetOnEasySeeds) {
+  const auto& world = shared_tiny_world();
+  cw_config cfg;
+  cfg.iterations = 80;
+  cw2_attack attack{cfg};
+  int hits = 0;
+  for (std::int64_t skip = 0; skip < 3; ++skip) {
+    const auto [img, label] = correctly_classified_seed(skip);
+    const auto target = (label + 1) % 10;
+    const attack_result res = attack.run(*world.model, img, label, target);
+    hits += res.hit_target ? 1 : 0;
+    if (res.hit_target) {
+      EXPECT_GT(res.distortion_l2, 0.0);
+      EXPECT_LT(res.distortion_l2, 28.0);  // far below max possible
+    }
+  }
+  EXPECT_GE(hits, 2);
+}
+
+TEST(CwInf, SuccessHasModestLinf) {
+  const auto& world = shared_tiny_world();
+  cw_config cfg;
+  cfg.iterations = 60;
+  cwinf_attack attack{cfg};
+  const auto [img, label] = correctly_classified_seed(1);
+  const auto target = (label + 1) % 10;
+  const attack_result res = attack.run(*world.model, img, label, target);
+  if (res.hit_target) {
+    EXPECT_LT(res.distortion_linf, 1.0);
+  }
+  EXPECT_GE(res.adversarial.min(), 0.0f);
+  EXPECT_LE(res.adversarial.max(), 1.0f);
+}
+
+TEST(Cw0, SparserThanCw2) {
+  const auto& world = shared_tiny_world();
+  cw_config cfg;
+  cfg.iterations = 60;
+  cw2_attack cw2{cfg};
+  cw0_attack cw0{cfg};
+  const auto [img, label] = correctly_classified_seed(2);
+  const auto target = (label + 1) % 10;
+  const attack_result r2 = cw2.run(*world.model, img, label, target);
+  const attack_result r0 = cw0.run(*world.model, img, label, target);
+  if (r2.hit_target && r0.hit_target) {
+    EXPECT_LT(r0.distortion_l0, r2.distortion_l0);
+  }
+}
+
+TEST(AttackResult, FinalizeComputesDistortions) {
+  const auto& world = shared_tiny_world();
+  const auto [img, label] = correctly_classified_seed();
+  attack_result res;
+  res.adversarial = img;
+  res.adversarial[0] += 0.5f;
+  res.adversarial[1] -= 0.25f;
+  finalize_attack_result(*world.model, img, label, -1, res);
+  EXPECT_EQ(res.distortion_l0, 2);
+  EXPECT_NEAR(res.distortion_linf, 0.5, 1e-6);
+  EXPECT_NEAR(res.distortion_l2, std::sqrt(0.25 + 0.0625), 1e-5);
+}
+
+}  // namespace
+}  // namespace dv

@@ -1,0 +1,143 @@
+#include "augment/corner_case.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dv {
+namespace {
+
+using dv::testing::shared_tiny_world;
+
+TEST(SearchSpace, SchedulesMatchTableIV) {
+  const auto rot =
+      standard_search_space(transform_kind::rotation, dataset_kind::digits);
+  ASSERT_FALSE(rot.schedule.empty());
+  EXPECT_EQ(rot.schedule.front().kind, transform_kind::rotation);
+  EXPECT_GT(rot.schedule.front().p1, 0.0f);
+  EXPECT_LE(rot.schedule.back().p1, 70.0f + 1e-3f);
+  // Monotonically increasing distortion.
+  for (std::size_t i = 1; i < rot.schedule.size(); ++i) {
+    EXPECT_GT(rot.schedule[i].p1, rot.schedule[i - 1].p1);
+  }
+}
+
+TEST(SearchSpace, ScaleDecreasesTowardPaperLimit) {
+  const auto sc =
+      standard_search_space(transform_kind::scale, dataset_kind::digits);
+  EXPECT_LT(sc.schedule.front().p1, 1.0f);
+  EXPECT_NEAR(sc.schedule.back().p1, 0.4f, 0.051f);
+  for (std::size_t i = 1; i < sc.schedule.size(); ++i) {
+    EXPECT_LT(sc.schedule[i].p1, sc.schedule[i - 1].p1);
+  }
+}
+
+TEST(SearchSpace, ComplementOnlyForGreyscale) {
+  EXPECT_NO_THROW(
+      standard_search_space(transform_kind::complement, dataset_kind::digits));
+  EXPECT_THROW(
+      standard_search_space(transform_kind::complement, dataset_kind::objects),
+      std::invalid_argument);
+}
+
+TEST(SearchSpace, ApplicableTransformsPerKind) {
+  const auto digits = applicable_transforms(dataset_kind::digits);
+  const auto objects = applicable_transforms(dataset_kind::objects);
+  EXPECT_EQ(digits.size(), 7u);  // includes complement
+  EXPECT_EQ(objects.size(), 6u);
+}
+
+TEST(CombinedTransform, PerDatasetComposition) {
+  const transform_chain complement{{transform_kind::complement, 0, 0}};
+  const transform_chain scale{{transform_kind::scale, 0.7f, 0.7f}};
+  const transform_chain brightness{{transform_kind::brightness, 0.5f, 0}};
+  const auto digits = combined_transform(dataset_kind::digits,
+                                         {complement, scale, brightness});
+  ASSERT_EQ(digits.size(), 2u);
+  EXPECT_EQ(digits[0].kind, transform_kind::complement);
+  EXPECT_EQ(digits[1].kind, transform_kind::scale);
+  const auto street =
+      combined_transform(dataset_kind::street, {scale, brightness});
+  EXPECT_EQ(street[0].kind, transform_kind::brightness);
+  EXPECT_EQ(street[1].kind, transform_kind::scale);
+  EXPECT_THROW(combined_transform(dataset_kind::street, {scale}),
+               std::invalid_argument);
+}
+
+TEST(SelectSeeds, AllSeedsCorrectlyClassified) {
+  const auto& world = shared_tiny_world();
+  const dataset seeds = select_seeds(*world.model, world.test, 30, 5);
+  EXPECT_EQ(seeds.size(), 30);
+  const auto preds = world.model->predict(seeds.images);
+  for (std::int64_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(preds[static_cast<std::size_t>(i)],
+              seeds.labels[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(SelectSeeds, DeterministicForSeed) {
+  const auto& world = shared_tiny_world();
+  const dataset a = select_seeds(*world.model, world.test, 10, 5);
+  const dataset b = select_seeds(*world.model, world.test, 10, 5);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(SelectSeeds, TooManyRequestedThrows) {
+  const auto& world = shared_tiny_world();
+  EXPECT_THROW(select_seeds(*world.model, world.test, 100000, 5),
+               std::runtime_error);
+}
+
+TEST(EvaluateChain, IdentityChainHasZeroSuccess) {
+  const auto& world = shared_tiny_world();
+  const dataset seeds = select_seeds(*world.model, world.test, 20, 5);
+  const corner_search_result res = evaluate_chain(*world.model, seeds, {});
+  EXPECT_DOUBLE_EQ(res.success_rate, 0.0);
+  EXPECT_EQ(res.misclassified.size(), 20u);
+  EXPECT_GT(res.mean_confidence, 0.3);
+}
+
+TEST(EvaluateChain, ComplementBreaksTinyModel) {
+  const auto& world = shared_tiny_world();
+  const dataset seeds = select_seeds(*world.model, world.test, 20, 5);
+  const corner_search_result res = evaluate_chain(
+      *world.model, seeds, {{transform_kind::complement, 0, 0}});
+  // The model never saw inverted digits; most predictions should break.
+  EXPECT_GT(res.success_rate, 0.5);
+}
+
+TEST(SearchCornerCases, StopsNearTargetSuccess) {
+  const auto& world = shared_tiny_world();
+  const dataset seeds = select_seeds(*world.model, world.test, 20, 5);
+  const auto space =
+      standard_search_space(transform_kind::rotation, dataset_kind::digits);
+  const corner_search_result res =
+      search_corner_cases(*world.model, seeds, space, 0.6, 0.3);
+  EXPECT_GT(res.steps_evaluated, 0);
+  if (res.usable) {
+    EXPECT_GE(res.success_rate, 0.3);
+    ASSERT_EQ(res.chosen.size(), 1u);
+    EXPECT_EQ(res.chosen[0].kind, transform_kind::rotation);
+    // Did not run past the target by much: stopped at the first crossing.
+    EXPECT_LE(res.steps_evaluated,
+              static_cast<int>(space.schedule.size()));
+  }
+}
+
+TEST(SearchCornerCases, MildScheduleIsDiscarded) {
+  const auto& world = shared_tiny_world();
+  const dataset seeds = select_seeds(*world.model, world.test, 20, 5);
+  // A schedule of tiny rotations never breaks the model.
+  corner_search_space space;
+  space.kind = transform_kind::rotation;
+  for (float t = 0.5f; t <= 2.0f; t += 0.5f) {
+    space.schedule.push_back({transform_kind::rotation, t, 0});
+  }
+  const corner_search_result res =
+      search_corner_cases(*world.model, seeds, space, 0.6, 0.3);
+  EXPECT_FALSE(res.usable);
+  EXPECT_LT(res.success_rate, 0.3);
+}
+
+}  // namespace
+}  // namespace dv

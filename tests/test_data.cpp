@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/factory.h"
+#include "data/glyphs.h"
+#include "data/synth_digits.h"
+#include "data/synth_objects.h"
+#include "data/synth_street.h"
+#include "tensor/ops.h"
+
+namespace dv {
+namespace {
+
+// -- Glyph rasterizer ---------------------------------------------------------
+
+TEST(Glyphs, AllDigitsHaveStrokes) {
+  for (int d = 0; d < 10; ++d) {
+    EXPECT_FALSE(digit_strokes(d).empty()) << "digit " << d;
+  }
+  EXPECT_THROW(digit_strokes(10), std::invalid_argument);
+  EXPECT_THROW(digit_strokes(-1), std::invalid_argument);
+}
+
+TEST(Glyphs, RenderProducesInk) {
+  std::vector<float> buf(28 * 28, 0.0f);
+  glyph_style style;
+  render_digit(3, style, buf, 28, 28);
+  float total = 0.0f;
+  for (const float v : buf) total += v;
+  EXPECT_GT(total, 10.0f);  // a visible glyph
+  for (const float v : buf) EXPECT_LE(v, 1.0f);
+}
+
+TEST(Glyphs, DifferentDigitsDiffer) {
+  std::vector<float> a(28 * 28, 0.0f), b(28 * 28, 0.0f);
+  glyph_style style;
+  render_digit(0, style, a, 28, 28);
+  render_digit(1, style, b, 28, 28);
+  double dist = squared_distance(a.data(), b.data(), 28 * 28);
+  EXPECT_GT(dist, 1.0);
+}
+
+TEST(Glyphs, StyleOffsetsMoveInk) {
+  std::vector<float> a(28 * 28, 0.0f), b(28 * 28, 0.0f);
+  glyph_style style;
+  render_digit(7, style, a, 28, 28);
+  style.offset_x = 4.0f;
+  render_digit(7, style, b, 28, 28);
+  auto center_x = [](const std::vector<float>& img) {
+    double cx = 0.0, mass = 0.0;
+    for (int y = 0; y < 28; ++y) {
+      for (int x = 0; x < 28; ++x) {
+        cx += x * img[static_cast<std::size_t>(y * 28 + x)];
+        mass += img[static_cast<std::size_t>(y * 28 + x)];
+      }
+    }
+    return cx / mass;
+  };
+  EXPECT_NEAR(center_x(b) - center_x(a), 4.0, 1.0);
+}
+
+TEST(Glyphs, RandomStyleWithinBounds) {
+  rng gen{1};
+  for (int i = 0; i < 100; ++i) {
+    const glyph_style s = random_style(gen);
+    EXPECT_GT(s.scale, 0.5f);
+    EXPECT_LT(s.scale, 1.5f);
+    EXPECT_GE(s.thickness, 1.0f);
+    EXPECT_LE(s.intensity, 1.0f);
+  }
+}
+
+// -- Dataset generators (parameterized over kinds) ----------------------------
+
+class DatasetKinds : public ::testing::TestWithParam<dataset_kind> {};
+
+TEST_P(DatasetKinds, ShapeLabelsAndRange) {
+  dataset_split_spec spec;
+  spec.kind = GetParam();
+  spec.train_size = 60;
+  spec.test_size = 30;
+  const dataset_bundle bundle = make_dataset(spec);
+  EXPECT_EQ(bundle.train.size(), 60);
+  EXPECT_EQ(bundle.test.size(), 30);
+  EXPECT_EQ(bundle.train.num_classes, 10);
+  EXPECT_NO_THROW(bundle.train.check());
+  EXPECT_GE(bundle.train.images.min(), 0.0f);
+  EXPECT_LE(bundle.train.images.max(), 1.0f);
+  const std::int64_t expect_c = GetParam() == dataset_kind::digits ? 1 : 3;
+  EXPECT_EQ(bundle.train.channels(), expect_c);
+}
+
+TEST_P(DatasetKinds, BalancedLabels) {
+  dataset_split_spec spec;
+  spec.kind = GetParam();
+  spec.train_size = 100;
+  spec.test_size = 10;
+  const dataset_bundle bundle = make_dataset(spec);
+  std::vector<int> counts(10, 0);
+  for (const auto y : bundle.train.labels) {
+    counts[static_cast<std::size_t>(y)]++;
+  }
+  for (const int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST_P(DatasetKinds, DeterministicForSameSeed) {
+  dataset_split_spec spec;
+  spec.kind = GetParam();
+  spec.train_size = 20;
+  spec.test_size = 10;
+  spec.seed = 77;
+  const dataset_bundle a = make_dataset(spec);
+  const dataset_bundle b = make_dataset(spec);
+  ASSERT_EQ(a.train.images.numel(), b.train.images.numel());
+  for (std::int64_t i = 0; i < a.train.images.numel(); ++i) {
+    ASSERT_EQ(a.train.images[i], b.train.images[i]) << "at " << i;
+  }
+}
+
+TEST_P(DatasetKinds, TrainTestDisjointStreams) {
+  dataset_split_spec spec;
+  spec.kind = GetParam();
+  spec.train_size = 20;
+  spec.test_size = 20;
+  const dataset_bundle bundle = make_dataset(spec);
+  double dist = squared_distance(bundle.train.images.data(),
+                                 bundle.test.images.data(),
+                                 bundle.train.images.numel());
+  EXPECT_GT(dist, 1.0);
+}
+
+TEST_P(DatasetKinds, ClassesAreSeparable) {
+  // Nearest-centroid classification on raw pixels must beat chance by a wide
+  // margin; this guards against degenerate generators.
+  dataset_split_spec spec;
+  spec.kind = GetParam();
+  spec.train_size = 300;
+  spec.test_size = 100;
+  const dataset_bundle bundle = make_dataset(spec);
+  const std::int64_t d = bundle.train.images.numel() / bundle.train.size();
+  std::vector<std::vector<double>> centroids(
+      10, std::vector<double>(static_cast<std::size_t>(d), 0.0));
+  std::vector<int> counts(10, 0);
+  for (std::int64_t i = 0; i < bundle.train.size(); ++i) {
+    const auto y = static_cast<std::size_t>(
+        bundle.train.labels[static_cast<std::size_t>(i)]);
+    const float* img = bundle.train.images.data() + i * d;
+    for (std::int64_t j = 0; j < d; ++j) {
+      centroids[y][static_cast<std::size_t>(j)] += img[j];
+    }
+    counts[y]++;
+  }
+  for (std::size_t k = 0; k < 10; ++k) {
+    for (auto& v : centroids[k]) v /= counts[k];
+  }
+  int correct = 0;
+  for (std::int64_t i = 0; i < bundle.test.size(); ++i) {
+    const float* img = bundle.test.images.data() + i * d;
+    int best = 0;
+    double best_dist = 1e300;
+    for (int k = 0; k < 10; ++k) {
+      double dist = 0.0;
+      for (std::int64_t j = 0; j < d; ++j) {
+        const double diff = img[j] -
+                            centroids[static_cast<std::size_t>(k)]
+                                     [static_cast<std::size_t>(j)];
+        dist += diff * diff;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = k;
+      }
+    }
+    correct += best == bundle.test.labels[static_cast<std::size_t>(i)] ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / bundle.test.size(), 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DatasetKinds,
+                         ::testing::Values(dataset_kind::digits,
+                                           dataset_kind::objects,
+                                           dataset_kind::street));
+
+// -- Dataset container ---------------------------------------------------------
+
+TEST(Dataset, SubsetPreservesOrderAndLabels) {
+  synth_digits_config cfg;
+  cfg.count = 20;
+  const dataset d = make_synth_digits(cfg);
+  const dataset s = d.subset({5, 2, 9});
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.labels[0], d.labels[5]);
+  EXPECT_EQ(s.labels[1], d.labels[2]);
+  const tensor expect = d.images.sample(9);
+  const tensor got = s.images.sample(2);
+  for (std::int64_t i = 0; i < expect.numel(); ++i) {
+    EXPECT_EQ(got[i], expect[i]);
+  }
+}
+
+TEST(Dataset, SubsetOutOfRangeThrows) {
+  synth_digits_config cfg;
+  cfg.count = 5;
+  const dataset d = make_synth_digits(cfg);
+  EXPECT_THROW(d.subset({5}), std::out_of_range);
+}
+
+TEST(Dataset, SplitPartitions) {
+  synth_digits_config cfg;
+  cfg.count = 10;
+  const dataset d = make_synth_digits(cfg);
+  const auto [head, tail] = d.split(4);
+  EXPECT_EQ(head.size(), 4);
+  EXPECT_EQ(tail.size(), 6);
+  EXPECT_EQ(tail.labels[0], d.labels[4]);
+}
+
+TEST(Dataset, CheckCatchesBrokenLabels) {
+  synth_digits_config cfg;
+  cfg.count = 4;
+  dataset d = make_synth_digits(cfg);
+  d.labels[0] = 17;
+  EXPECT_THROW(d.check(), std::invalid_argument);
+  d.labels.pop_back();
+  EXPECT_THROW(d.check(), std::invalid_argument);
+}
+
+TEST(Dataset, SampleIndicesUniqueAndBounded) {
+  rng gen{3};
+  const auto idx = sample_indices(100, 30, gen);
+  EXPECT_EQ(idx.size(), 30u);
+  std::set<std::int64_t> unique{idx.begin(), idx.end()};
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto i : idx) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 100);
+  }
+  EXPECT_THROW(sample_indices(5, 6, gen), std::invalid_argument);
+}
+
+TEST(Factory, NamesAreStable) {
+  EXPECT_STREQ(dataset_kind_name(dataset_kind::digits), "digits");
+  EXPECT_STREQ(dataset_kind_paper_name(dataset_kind::objects), "CIFAR-10");
+  EXPECT_STREQ(dataset_kind_paper_name(dataset_kind::street), "SVHN");
+}
+
+TEST(SynthObjects, ClassNamesDistinct) {
+  std::set<std::string> names;
+  for (int k = 0; k < 10; ++k) names.insert(synth_object_class_name(k));
+  EXPECT_EQ(names.size(), 10u);
+  EXPECT_THROW(synth_object_class_name(10), std::invalid_argument);
+}
+
+TEST(SynthStreet, IsNoisierThanDigits) {
+  // The SVHN stand-in must look busier than the MNIST stand-in (the paper
+  // leans on SVHN being a "noisy" dataset): brighter on average (textured
+  // background everywhere) and with non-trivial pixel variance.
+  synth_digits_config dc;
+  dc.count = 50;
+  synth_street_config sc;
+  sc.count = 50;
+  const dataset digits = make_synth_digits(dc);
+  const dataset street = make_synth_street(sc);
+  auto variance = [](const dataset& d) {
+    const float m = d.images.mean();
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < d.images.numel(); ++i) {
+      const double dev = d.images[i] - m;
+      acc += dev * dev;
+    }
+    return acc / static_cast<double>(d.images.numel());
+  };
+  EXPECT_GT(street.images.mean(), digits.images.mean() * 1.5f);
+  EXPECT_GT(variance(street), 0.01);
+}
+
+}  // namespace
+}  // namespace dv

@@ -1,0 +1,124 @@
+// Tests for the extension baselines: Mahalanobis (Lee et al.) and LID
+// (Ma et al.) detectors.
+#include <gtest/gtest.h>
+
+#include "attack/fgsm.h"
+#include "detect/lid.h"
+#include "detect/mahalanobis.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace dv {
+namespace {
+
+using dv::testing::shared_tiny_world;
+
+mahalanobis_config tiny_maha_config() {
+  mahalanobis_config cfg;
+  cfg.max_train_per_class = 30;
+  return cfg;
+}
+
+TEST(Mahalanobis, CleanImagesCloserThanNoise) {
+  const auto& world = shared_tiny_world();
+  mahalanobis_detector det{*world.model, world.train, tiny_maha_config()};
+  rng gen{1};
+  const tensor noise = tensor::uniform({30, 1, 28, 28}, gen, 0.0f, 1.0f);
+  const auto clean = det.score_batch(world.test.images.slice_rows(0, 30));
+  const auto anomalous = det.score_batch(noise);
+  EXPECT_GT(mean(anomalous), mean(clean));
+  EXPECT_GT(roc_auc(anomalous, clean), 0.8);
+}
+
+TEST(Mahalanobis, ScoresAreNonNegative) {
+  const auto& world = shared_tiny_world();
+  mahalanobis_detector det{*world.model, world.train, tiny_maha_config()};
+  const auto scores = det.score_batch(world.test.images.slice_rows(0, 10));
+  for (const double s : scores) EXPECT_GE(s, 0.0);
+}
+
+TEST(Mahalanobis, SingleMatchesBatch) {
+  const auto& world = shared_tiny_world();
+  mahalanobis_detector det{*world.model, world.train, tiny_maha_config()};
+  const double single = det.score(world.test.images.sample(4));
+  const auto batch = det.score_batch(world.test.images.slice_rows(4, 5));
+  EXPECT_NEAR(single, batch.front(), 1e-9);
+  EXPECT_EQ(det.num_classes(), 10);
+  EXPECT_EQ(det.name(), "mahalanobis");
+}
+
+lid_config tiny_lid_config() {
+  lid_config cfg;
+  cfg.reference_size = 120;
+  cfg.neighbors = 12;
+  return cfg;
+}
+
+struct lid_fixture {
+  tensor positives;  // FGSM adversarials
+  tensor negatives;  // clean images
+};
+
+const lid_fixture& shared_lid_fixture() {
+  static const lid_fixture fx = [] {
+    const auto& world = shared_tiny_world();
+    lid_fixture out;
+    fgsm_attack attack{0.3f};
+    std::vector<tensor> advs;
+    for (std::int64_t i = 0; i < 40 && advs.size() < 25; ++i) {
+      const tensor img = world.test.images.sample(i);
+      const auto res = attack.run(*world.model, img,
+                                  world.test.labels[static_cast<std::size_t>(i)],
+                                  -1);
+      if (res.success) advs.push_back(res.adversarial);
+    }
+    out.positives = tensor{{static_cast<std::int64_t>(advs.size()), 1, 28, 28}};
+    for (std::size_t i = 0; i < advs.size(); ++i) {
+      out.positives.set_sample(static_cast<std::int64_t>(i), advs[i]);
+    }
+    out.negatives = world.test.images.slice_rows(100, 130);
+    return out;
+  }();
+  return fx;
+}
+
+TEST(Lid, FitsAndSeparatesKnownAttack) {
+  const auto& world = shared_tiny_world();
+  const auto& fx = shared_lid_fixture();
+  if (fx.positives.extent(0) < 10) GTEST_SKIP() << "too few adversarials";
+  lid_detector det{*world.model, world.train, fx.positives, fx.negatives,
+                   tiny_lid_config()};
+  EXPECT_EQ(det.layers(), 3);
+  // In-sample separation of the known attack should be strong.
+  const auto pos = det.score_batch(fx.positives);
+  const auto neg = det.score_batch(world.test.images.slice_rows(130, 160));
+  EXPECT_GT(roc_auc(pos, neg), 0.75);
+}
+
+TEST(Lid, FeatureRowsHaveOneEntryPerLayer) {
+  const auto& world = shared_tiny_world();
+  const auto& fx = shared_lid_fixture();
+  if (fx.positives.extent(0) < 10) GTEST_SKIP() << "too few adversarials";
+  lid_detector det{*world.model, world.train, fx.positives, fx.negatives,
+                   tiny_lid_config()};
+  const auto rows = det.lid_features(world.test.images.slice_rows(0, 5));
+  ASSERT_EQ(rows.size(), 5u);
+  for (const auto& row : rows) {
+    ASSERT_EQ(row.size(), 3u);
+    for (const double v : row) EXPECT_GT(v, 0.0);  // LID estimates positive
+  }
+}
+
+TEST(Lid, SingleMatchesBatch) {
+  const auto& world = shared_tiny_world();
+  const auto& fx = shared_lid_fixture();
+  if (fx.positives.extent(0) < 10) GTEST_SKIP() << "too few adversarials";
+  lid_detector det{*world.model, world.train, fx.positives, fx.negatives,
+                   tiny_lid_config()};
+  const double single = det.score(world.test.images.sample(7));
+  const auto batch = det.score_batch(world.test.images.slice_rows(7, 8));
+  EXPECT_NEAR(single, batch.front(), 1e-9);
+}
+
+}  // namespace
+}  // namespace dv

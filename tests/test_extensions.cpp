@@ -1,0 +1,154 @@
+// Tests for the paper's stated extensions: the weighted joint validator
+// (§III-B2 / §IV-D3 future-work remark) and the PGD / DeepFool attacks.
+#include <gtest/gtest.h>
+
+#include "attack/deepfool.h"
+#include "attack/pgd.h"
+#include "core/weighted_joint.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace dv {
+namespace {
+
+using dv::testing::shared_tiny_world;
+
+const deep_validator& shared_base_validator() {
+  static const deep_validator dv = [] {
+    const auto& world = shared_tiny_world();
+    deep_validator out;
+    deep_validator_config cfg;
+    cfg.max_train_per_class = 50;
+    out.fit(*world.model, world.train, cfg);
+    return out;
+  }();
+  return dv;
+}
+
+TEST(WeightedJoint, FitsOnNoiseOutliers) {
+  const auto& world = shared_tiny_world();
+  const auto& base = shared_base_validator();
+  weighted_joint_validator wj;
+  const tensor outliers =
+      weighted_joint_validator::make_noise_outliers({60, 1, 28, 28}, 5);
+  wj.fit(*world.model, base, world.test.images.slice_rows(0, 60), outliers);
+  ASSERT_TRUE(wj.fitted());
+  EXPECT_EQ(wj.weights().size(), 3u);
+}
+
+TEST(WeightedJoint, SeparatesNoiseFromClean) {
+  const auto& world = shared_tiny_world();
+  const auto& base = shared_base_validator();
+  weighted_joint_validator wj;
+  const tensor outliers =
+      weighted_joint_validator::make_noise_outliers({60, 1, 28, 28}, 5);
+  wj.fit(*world.model, base, world.test.images.slice_rows(0, 60), outliers);
+
+  const tensor fresh_noise =
+      weighted_joint_validator::make_noise_outliers({30, 1, 28, 28}, 99);
+  const auto pos = wj.score_batch(*world.model, base, fresh_noise);
+  const auto neg = wj.score_batch(*world.model, base,
+                                  world.test.images.slice_rows(60, 120));
+  EXPECT_GT(roc_auc(pos, neg), 0.9);
+}
+
+TEST(WeightedJoint, AtLeastMatchesUnweightedOnHeldOutNoise) {
+  const auto& world = shared_tiny_world();
+  const auto& base = shared_base_validator();
+  weighted_joint_validator wj;
+  const tensor outliers =
+      weighted_joint_validator::make_noise_outliers({60, 1, 28, 28}, 5);
+  wj.fit(*world.model, base, world.test.images.slice_rows(0, 60), outliers);
+
+  const tensor fresh_noise =
+      weighted_joint_validator::make_noise_outliers({40, 1, 28, 28}, 77);
+  const tensor clean = world.test.images.slice_rows(60, 160);
+  const double weighted_auc =
+      roc_auc(wj.score_batch(*world.model, base, fresh_noise),
+              wj.score_batch(*world.model, base, clean));
+  const double unweighted_auc =
+      roc_auc(base.evaluate(*world.model, fresh_noise).joint,
+              base.evaluate(*world.model, clean).joint);
+  EXPECT_GE(weighted_auc, unweighted_auc - 0.05);
+}
+
+TEST(WeightedJoint, UnfittedThrows) {
+  const auto& world = shared_tiny_world();
+  const auto& base = shared_base_validator();
+  weighted_joint_validator wj;
+  EXPECT_THROW(
+      wj.score_batch(*world.model, base, world.test.images.slice_rows(0, 1)),
+      std::logic_error);
+}
+
+std::pair<tensor, std::int64_t> correct_seed(std::int64_t skip) {
+  const auto& world = shared_tiny_world();
+  std::int64_t found = 0;
+  for (std::int64_t i = 0; i < world.test.size(); ++i) {
+    const tensor img = world.test.images.sample(i);
+    const auto pred =
+        world.model->predict(img.reshaped({1, 1, 28, 28})).front();
+    if (pred == world.test.labels[static_cast<std::size_t>(i)] &&
+        found++ == skip) {
+      return {img, pred};
+    }
+  }
+  throw std::runtime_error{"no seed"};
+}
+
+TEST(Pgd, StaysInEpsilonBallAndBeatsChance) {
+  const auto& world = shared_tiny_world();
+  pgd_attack attack{0.25f, 0.05f, 10, 2};
+  int successes = 0;
+  for (std::int64_t s = 0; s < 8; ++s) {
+    const auto [img, label] = correct_seed(s);
+    const attack_result res = attack.run(*world.model, img, label, -1);
+    EXPECT_LE(res.distortion_linf, 0.25 + 1e-5);
+    EXPECT_GE(res.adversarial.min(), 0.0f);
+    EXPECT_LE(res.adversarial.max(), 1.0f);
+    successes += res.success ? 1 : 0;
+  }
+  EXPECT_GE(successes, 2);
+}
+
+TEST(DeepFool, FindsSmallPerturbations) {
+  const auto& world = shared_tiny_world();
+  deepfool_attack attack{30};
+  int successes = 0;
+  double total_l2 = 0.0;
+  for (std::int64_t s = 0; s < 6; ++s) {
+    const auto [img, label] = correct_seed(s);
+    const attack_result res = attack.run(*world.model, img, label, -1);
+    if (res.success) {
+      ++successes;
+      total_l2 += res.distortion_l2;
+    }
+  }
+  EXPECT_GE(successes, 4);  // DeepFool is a strong untargeted attack
+  // Minimal-norm attack: average distortion well below the image norm.
+  if (successes > 0) {
+    EXPECT_LT(total_l2 / successes, 5.0);
+  }
+}
+
+TEST(DeepFool, AlreadyMisclassifiedInputIsFixedPoint) {
+  const auto& world = shared_tiny_world();
+  // Find a misclassified test image (tiny model is imperfect).
+  for (std::int64_t i = 0; i < world.test.size(); ++i) {
+    const tensor img = world.test.images.sample(i);
+    const auto pred =
+        world.model->predict(img.reshaped({1, 1, 28, 28})).front();
+    const auto label = world.test.labels[static_cast<std::size_t>(i)];
+    if (pred != label) {
+      deepfool_attack attack;
+      const attack_result res = attack.run(*world.model, img, label, -1);
+      EXPECT_EQ(res.iterations, 0);  // breaks immediately
+      EXPECT_EQ(res.distortion_l0, 0);
+      return;
+    }
+  }
+  GTEST_SKIP() << "tiny model classified everything correctly";
+}
+
+}  // namespace
+}  // namespace dv

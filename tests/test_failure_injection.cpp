@@ -1,0 +1,112 @@
+// Failure injection: corrupted or mismatched artifacts must fail loudly
+// (serialize_error), never silently load garbage into a deployed detector.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/deep_validator.h"
+#include "pipeline/corner_suite.h"
+#include "test_util.h"
+#include "util/serialize.h"
+
+namespace dv {
+namespace {
+
+using dv::testing::shared_tiny_world;
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void truncate_file(const std::string& path, std::size_t keep_bytes) {
+  std::ifstream in{path, std::ios::binary};
+  std::string content{std::istreambuf_iterator<char>{in},
+                      std::istreambuf_iterator<char>{}};
+  content.resize(std::min(keep_bytes, content.size()));
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out << content;
+}
+
+void flip_byte(const std::string& path, std::size_t offset) {
+  std::fstream f{path, std::ios::binary | std::ios::in | std::ios::out};
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c{};
+  f.get(c);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(static_cast<char>(c ^ 0x5a));
+}
+
+deep_validator make_fitted_validator() {
+  const auto& world = shared_tiny_world();
+  deep_validator dv;
+  deep_validator_config cfg;
+  cfg.max_train_per_class = 25;
+  dv.fit(*world.model, world.train, cfg);
+  return dv;
+}
+
+TEST(FailureInjection, ValidatorWrongMagicRejected) {
+  const std::string path = temp_path("fi_magic.bin");
+  {
+    binary_writer w{path, "not-a-validator"};
+    w.write_i32(42);
+    w.finish();
+  }
+  EXPECT_THROW(deep_validator::load(path), serialize_error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, TruncatedValidatorRejected) {
+  const std::string path = temp_path("fi_trunc.bin");
+  make_fitted_validator().save(path);
+  truncate_file(path, 200);
+  EXPECT_THROW(deep_validator::load(path), serialize_error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, MissingValidatorFileRejected) {
+  EXPECT_THROW(deep_validator::load(temp_path("does_not_exist.bin")),
+               serialize_error);
+}
+
+TEST(FailureInjection, TruncatedModelParamsRejected) {
+  const auto& world = shared_tiny_world();
+  const std::string path = temp_path("fi_model.bin");
+  world.model->save_params(path);
+  truncate_file(path, 100);
+  auto fresh = dv::testing::make_tiny_model(1);
+  EXPECT_THROW(fresh->load_params(path), serialize_error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, CorruptedSuiteLengthFieldRejected) {
+  const std::string path = temp_path("fi_suite.bin");
+  corner_suite suite;
+  suite.seeds.images = tensor{{1, 1, 2, 2}};
+  suite.seeds.labels = {0};
+  suite.seeds.num_classes = 10;
+  suite.save(path);
+  // Flip a byte inside the header region (after the magic string) — either
+  // the read fails structurally or downstream length checks trip.
+  flip_byte(path, 30);
+  EXPECT_THROW((void)corner_suite::load(path), serialize_error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, ValidatorSurvivesRoundTripAfterSave) {
+  // Control case: an untouched artifact loads and scores identically.
+  const auto& world = shared_tiny_world();
+  const std::string path = temp_path("fi_ok.bin");
+  deep_validator dv = make_fitted_validator();
+  dv.save(path);
+  const deep_validator loaded = deep_validator::load(path);
+  const tensor img = world.test.images.slice_rows(0, 3);
+  const auto a = dv.evaluate(*world.model, img).joint;
+  const auto b = loaded.evaluate(*world.model, img).joint;
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dv

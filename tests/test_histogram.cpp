@@ -1,0 +1,106 @@
+#include "eval/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dv {
+namespace {
+
+TEST(Histogram, MassSumsToOne) {
+  const std::vector<double> values{0.1, 0.2, 0.3, 0.9};
+  const histogram h = build_histogram(values, 0.0, 1.0, 10);
+  double total = 0.0;
+  for (const double d : h.density) total += d;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, BinPlacement) {
+  const std::vector<double> values{0.05, 0.15, 0.15};
+  const histogram h = build_histogram(values, 0.0, 1.0, 10);
+  EXPECT_NEAR(h.density[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.density[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  const std::vector<double> values{-5.0, 5.0};
+  const histogram h = build_histogram(values, 0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.density.front(), 0.5);
+  EXPECT_DOUBLE_EQ(h.density.back(), 0.5);
+}
+
+TEST(Histogram, EmptyInputYieldsZeroDensity) {
+  const std::vector<double> values{};
+  const histogram h = build_histogram(values, 0.0, 1.0, 4);
+  for (const double d : h.density) EXPECT_EQ(d, 0.0);
+}
+
+TEST(Histogram, BadParamsThrow) {
+  const std::vector<double> values{0.5};
+  EXPECT_THROW(build_histogram(values, 0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(build_histogram(values, 1.0, 0.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, BinWidth) {
+  const std::vector<double> values{0.5};
+  const histogram h = build_histogram(values, -1.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 0.5);
+}
+
+TEST(NormalizeJointly, MapsToMinusOneOne) {
+  std::vector<double> a{0.0, 10.0};
+  std::vector<double> b{5.0};
+  normalize_jointly(a, b);
+  EXPECT_DOUBLE_EQ(a[0], -1.0);
+  EXPECT_DOUBLE_EQ(a[1], 1.0);
+  EXPECT_DOUBLE_EQ(b[0], 0.0);
+}
+
+TEST(NormalizeJointly, DegenerateAndEmptyAreSafe) {
+  std::vector<double> a{3.0, 3.0};
+  std::vector<double> b{3.0};
+  normalize_jointly(a, b);  // span 0: unchanged
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+  std::vector<double> e1, e2;
+  normalize_jointly(e1, e2);  // no crash
+}
+
+TEST(AsciiOverlay, ShapeAndMarkers) {
+  const std::vector<double> left{0.1, 0.1};
+  const std::vector<double> right{0.9, 0.9};
+  const histogram a = build_histogram(left, 0.0, 1.0, 10);
+  const histogram b = build_histogram(right, 0.0, 1.0, 10);
+  const std::string art = ascii_overlay(a, b, "legit", "scc", 5);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('o'), std::string::npos);
+  EXPECT_NE(art.find("legit"), std::string::npos);
+  EXPECT_NE(art.find("scc"), std::string::npos);
+}
+
+TEST(AsciiOverlay, OverlapUsesAtSign) {
+  const std::vector<double> same{0.5};
+  const histogram a = build_histogram(same, 0.0, 1.0, 4);
+  const histogram b = build_histogram(same, 0.0, 1.0, 4);
+  const std::string art = ascii_overlay(a, b, "a", "b", 3);
+  EXPECT_NE(art.find('@'), std::string::npos);
+}
+
+TEST(AsciiOverlay, MismatchedBinsThrow) {
+  const std::vector<double> v{0.5};
+  const histogram a = build_histogram(v, 0.0, 1.0, 4);
+  const histogram b = build_histogram(v, 0.0, 1.0, 8);
+  EXPECT_THROW(ascii_overlay(a, b, "a", "b"), std::invalid_argument);
+}
+
+TEST(HistogramCsv, HeaderAndRows) {
+  const std::vector<double> v{0.5};
+  const histogram a = build_histogram(v, 0.0, 1.0, 2);
+  const histogram b = build_histogram(v, 0.0, 1.0, 2);
+  const std::string csv = histogram_csv(a, b);
+  EXPECT_EQ(csv.substr(0, 31), "bin_center,density_a,density_b\n");
+  // Two data rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace dv

@@ -1,0 +1,86 @@
+#include "util/image_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace dv {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+}
+
+TEST(ImageIo, PgmHeaderAndPayload) {
+  const std::string path = ::testing::TempDir() + "/t.pgm";
+  const std::vector<float> px{0.0f, 0.5f, 1.0f, 2.0f};  // 2x2; 2.0 clamps
+  write_pgm(path, px, 2, 2);
+  const std::string content = read_file(path);
+  EXPECT_EQ(content.substr(0, 3), "P5\n");
+  EXPECT_NE(content.find("2 2\n255\n"), std::string::npos);
+  // Payload: 4 bytes after the header.
+  const auto payload = content.substr(content.size() - 4);
+  EXPECT_EQ(static_cast<unsigned char>(payload[0]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(payload[1]), 128);
+  EXPECT_EQ(static_cast<unsigned char>(payload[2]), 255);
+  EXPECT_EQ(static_cast<unsigned char>(payload[3]), 255);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PpmInterleavesChannels) {
+  const std::string path = ::testing::TempDir() + "/t.ppm";
+  // 1x1 RGB with distinct channel values in CHW order.
+  const std::vector<float> chw{1.0f, 0.5f, 0.0f};
+  write_ppm(path, chw, 1, 1);
+  const std::string content = read_file(path);
+  EXPECT_EQ(content.substr(0, 3), "P6\n");
+  const auto payload = content.substr(content.size() - 3);
+  EXPECT_EQ(static_cast<unsigned char>(payload[0]), 255);
+  EXPECT_EQ(static_cast<unsigned char>(payload[1]), 128);
+  EXPECT_EQ(static_cast<unsigned char>(payload[2]), 0);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, SizeMismatchThrows) {
+  const std::vector<float> px{0.0f, 0.0f};
+  EXPECT_THROW(write_pgm("/tmp/x.pgm", px, 2, 2), std::invalid_argument);
+  EXPECT_THROW(write_ppm("/tmp/x.ppm", px, 1, 1), std::invalid_argument);
+}
+
+TEST(ImageIo, WriteImageDispatchesOnChannels) {
+  const std::string pgm = ::testing::TempDir() + "/d.pgm";
+  const std::string ppm = ::testing::TempDir() + "/d.ppm";
+  const std::vector<float> grey(4, 0.5f);
+  const std::vector<float> rgb(12, 0.5f);
+  write_image(pgm, grey, 1, 2, 2);
+  write_image(ppm, rgb, 3, 2, 2);
+  EXPECT_EQ(read_file(pgm).substr(0, 2), "P5");
+  EXPECT_EQ(read_file(ppm).substr(0, 2), "P6");
+  EXPECT_THROW(write_image("/tmp/x", grey, 2, 2, 1), std::invalid_argument);
+  std::remove(pgm.c_str());
+  std::remove(ppm.c_str());
+}
+
+TEST(ImageIo, AsciiArtShapeAndRamp) {
+  const std::vector<float> px{0.0f, 1.0f, 0.5f, 0.0f};
+  const std::string art = ascii_art(px, 1, 2, 2);
+  // Two rows of two chars plus newlines.
+  EXPECT_EQ(art.size(), 6u);
+  EXPECT_EQ(art[0], ' ');   // dark pixel
+  EXPECT_EQ(art[1], '@');   // bright pixel
+  EXPECT_EQ(art[2], '\n');
+}
+
+TEST(ImageIo, AsciiArtRgbUsesLuma) {
+  // Pure green pixel has luma 0.587 -> mid-ramp character, not blank.
+  const std::vector<float> chw{0.0f, 1.0f, 0.0f};
+  const std::string art = ascii_art(chw, 3, 1, 1);
+  EXPECT_NE(art[0], ' ');
+  EXPECT_NE(art[0], '@');
+}
+
+}  // namespace
+}  // namespace dv

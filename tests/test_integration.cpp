@@ -1,0 +1,164 @@
+// End-to-end integration tests: the full Deep Validation pipeline on the
+// shared tiny world, exercising the same paths the benches use but at a
+// seconds-scale budget.
+#include <gtest/gtest.h>
+
+#include "attack/fgsm.h"
+#include "augment/corner_case.h"
+#include "core/deep_validator.h"
+#include "detect/dv_adapter.h"
+#include "detect/feature_squeeze.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace dv {
+namespace {
+
+using dv::testing::shared_tiny_world;
+
+struct fitted_world {
+  deep_validator dv;
+  dataset seeds;
+};
+
+const fitted_world& shared_fitted() {
+  static const fitted_world fw = [] {
+    const auto& world = shared_tiny_world();
+    fitted_world out;
+    deep_validator_config cfg;
+    cfg.max_train_per_class = 50;
+    out.dv.fit(*world.model, world.train, cfg);
+    out.seeds = select_seeds(*world.model, world.test, 40, 9);
+    return out;
+  }();
+  return fw;
+}
+
+/// ROC-AUC of a detector on (anomalous positives vs clean negatives).
+double detector_auc(anomaly_detector& det, const tensor& anomalous,
+                    const tensor& clean) {
+  const auto pos = det.score_batch(anomalous);
+  const auto neg = det.score_batch(clean);
+  return roc_auc(pos, neg);
+}
+
+TEST(Integration, DeepValidationDetectsComplementSccs) {
+  const auto& world = shared_tiny_world();
+  const auto& fw = shared_fitted();
+  const corner_search_result corner = evaluate_chain(
+      *world.model, fw.seeds, {{transform_kind::complement, 0, 0}});
+  ASSERT_GT(corner.success_rate, 0.3);
+
+  // SCCs only, per the paper's positive definition.
+  std::vector<std::int64_t> scc_rows;
+  for (std::int64_t i = 0; i < corner.corner_cases.size(); ++i) {
+    if (corner.misclassified[static_cast<std::size_t>(i)]) scc_rows.push_back(i);
+  }
+  const dataset sccs = corner.corner_cases.subset(scc_rows);
+
+  deep_validation_detector det{*world.model, fw.dv};
+  const double auc =
+      detector_auc(det, sccs.images, world.test.images.slice_rows(0, 100));
+  EXPECT_GT(auc, 0.85);
+}
+
+TEST(Integration, DeepValidationDetectsRotationSccs) {
+  const auto& world = shared_tiny_world();
+  const auto& fw = shared_fitted();
+  const corner_search_result corner = evaluate_chain(
+      *world.model, fw.seeds, {{transform_kind::rotation, 55.0f, 0}});
+  if (corner.success_rate < 0.2) GTEST_SKIP() << "model too robust";
+  std::vector<std::int64_t> scc_rows;
+  for (std::int64_t i = 0; i < corner.corner_cases.size(); ++i) {
+    if (corner.misclassified[static_cast<std::size_t>(i)]) scc_rows.push_back(i);
+  }
+  const dataset sccs = corner.corner_cases.subset(scc_rows);
+  deep_validation_detector det{*world.model, fw.dv};
+  const double auc =
+      detector_auc(det, sccs.images, world.test.images.slice_rows(0, 100));
+  EXPECT_GT(auc, 0.7);
+}
+
+TEST(Integration, JointBeatsWorstSingleValidator) {
+  const auto& world = shared_tiny_world();
+  const auto& fw = shared_fitted();
+  const corner_search_result corner = evaluate_chain(
+      *world.model, fw.seeds, {{transform_kind::complement, 0, 0}});
+  std::vector<std::int64_t> scc_rows;
+  for (std::int64_t i = 0; i < corner.corner_cases.size(); ++i) {
+    if (corner.misclassified[static_cast<std::size_t>(i)]) scc_rows.push_back(i);
+  }
+  const dataset sccs = corner.corner_cases.subset(scc_rows);
+  const tensor clean = world.test.images.slice_rows(0, 100);
+
+  const auto pos = fw.dv.evaluate(*world.model, sccs.images);
+  const auto neg = fw.dv.evaluate(*world.model, clean);
+  const double joint_auc = roc_auc(pos.joint, neg.joint);
+  double worst_single = 1.0;
+  for (int v = 0; v < fw.dv.validated_layers(); ++v) {
+    worst_single = std::min(
+        worst_single,
+        roc_auc(pos.per_layer[static_cast<std::size_t>(v)],
+                neg.per_layer[static_cast<std::size_t>(v)]));
+  }
+  EXPECT_GE(joint_auc, worst_single);
+}
+
+TEST(Integration, ThresholdGivesUsableOperatingPoint) {
+  const auto& world = shared_tiny_world();
+  const auto& fw = shared_fitted();
+  deep_validator dv = fw.dv;  // copy to set threshold locally
+  const auto clean =
+      dv.evaluate(*world.model, world.test.images.slice_rows(0, 150)).joint;
+  dv.set_threshold(threshold_for_fpr(clean, 0.1));
+  EXPECT_LE(fpr_at_threshold(clean, dv.threshold()), 0.1 + 1e-9);
+
+  const corner_search_result corner = evaluate_chain(
+      *world.model, fw.seeds, {{transform_kind::complement, 0, 0}});
+  std::vector<std::int64_t> scc_rows;
+  for (std::int64_t i = 0; i < corner.corner_cases.size(); ++i) {
+    if (corner.misclassified[static_cast<std::size_t>(i)]) scc_rows.push_back(i);
+  }
+  const auto scc_scores =
+      dv.evaluate(*world.model, corner.corner_cases.subset(scc_rows).images)
+          .joint;
+  EXPECT_GT(tpr_at_threshold(scc_scores, dv.threshold()), 0.5);
+}
+
+TEST(Integration, DeepValidationScoresFgsmAdversarialsHigh) {
+  const auto& world = shared_tiny_world();
+  const auto& fw = shared_fitted();
+  fgsm_attack attack{0.3f};
+  std::vector<double> adv_scores;
+  for (std::int64_t i = 0; i < 15; ++i) {
+    const tensor img = fw.seeds.images.sample(i);
+    const auto label = fw.seeds.labels[static_cast<std::size_t>(i)];
+    const attack_result res = attack.run(*world.model, img, label, -1);
+    if (!res.success) continue;
+    adv_scores.push_back(
+        fw.dv.joint_discrepancy(*world.model, res.adversarial));
+  }
+  if (adv_scores.size() < 3) GTEST_SKIP() << "attack too weak on tiny model";
+  const auto clean =
+      fw.dv.evaluate(*world.model, world.test.images.slice_rows(0, 100)).joint;
+  EXPECT_GT(roc_auc(adv_scores, clean), 0.7);
+}
+
+TEST(Integration, FeatureSqueezingRunsOnSameEvaluationSet) {
+  const auto& world = shared_tiny_world();
+  const auto& fw = shared_fitted();
+  const corner_search_result corner = evaluate_chain(
+      *world.model, fw.seeds, {{transform_kind::complement, 0, 0}});
+  feature_squeezing_detector fs{
+      *world.model, feature_squeezing_detector::standard_bank(true)};
+  const auto pos = fs.score_batch(corner.corner_cases.images);
+  const auto neg = fs.score_batch(world.test.images.slice_rows(0, 50));
+  const double auc = roc_auc(pos, neg);
+  // FS must at least run and produce a sane AUC value; its relative quality
+  // vs Deep Validation is measured by the Table VII bench.
+  EXPECT_GE(auc, 0.0);
+  EXPECT_LE(auc, 1.0);
+}
+
+}  // namespace
+}  // namespace dv

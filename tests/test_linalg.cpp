@@ -1,0 +1,128 @@
+#include "tensor/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace dv {
+namespace {
+
+TEST(Linalg, ColumnMeans) {
+  const tensor x = tensor::from_data({3, 2}, {1, 10, 2, 20, 3, 30});
+  const auto m = column_means(x);
+  EXPECT_DOUBLE_EQ(m[0], 2.0);
+  EXPECT_DOUBLE_EQ(m[1], 20.0);
+}
+
+TEST(Linalg, CovarianceOfKnownData) {
+  // Two perfectly anti-correlated columns.
+  const tensor x = tensor::from_data({4, 2}, {1, -1, -1, 1, 2, -2, -2, 2});
+  const auto m = column_means(x);
+  const auto cov = covariance(x, m, 0.0);
+  EXPECT_NEAR(cov[0], 2.5, 1e-9);   // var of col 0
+  EXPECT_NEAR(cov[3], 2.5, 1e-9);   // var of col 1
+  EXPECT_NEAR(cov[1], -2.5, 1e-9);  // covariance
+  EXPECT_NEAR(cov[2], -2.5, 1e-9);
+}
+
+TEST(Linalg, CovarianceRidgeOnDiagonal) {
+  const tensor x = tensor::from_data({2, 2}, {0, 0, 0, 0});
+  const auto cov = covariance(x, {0.0, 0.0}, 0.5);
+  EXPECT_DOUBLE_EQ(cov[0], 0.5);
+  EXPECT_DOUBLE_EQ(cov[3], 0.5);
+  EXPECT_DOUBLE_EQ(cov[1], 0.0);
+}
+
+TEST(Linalg, CholeskyOfKnownMatrix) {
+  // A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]].
+  std::vector<double> a{4, 2, 2, 3};
+  cholesky_decompose(a, 2);
+  EXPECT_NEAR(a[0], 2.0, 1e-12);
+  EXPECT_NEAR(a[2], 1.0, 1e-12);
+  EXPECT_NEAR(a[3], std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(a[1], 0.0);  // upper triangle cleared
+}
+
+TEST(Linalg, CholeskyRejectsIndefinite) {
+  std::vector<double> a{1, 2, 2, 1};  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky_decompose(a, 2), std::domain_error);
+}
+
+TEST(Linalg, SolveRecoversKnownSolution) {
+  // A = [[4, 2], [2, 3]], x = [1, 2] => b = A x = [8, 8].
+  std::vector<double> a{4, 2, 2, 3};
+  cholesky_decompose(a, 2);
+  const auto x = cholesky_solve(a, 2, {8.0, 8.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+TEST(Linalg, SolveRandomSpdRoundTrip) {
+  rng gen{3};
+  constexpr std::int64_t d = 8;
+  // Build SPD A = B B^T + I.
+  std::vector<double> b(d * d);
+  for (auto& v : b) v = gen.normal();
+  std::vector<double> a(d * d, 0.0);
+  for (std::int64_t i = 0; i < d; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      double acc = i == j ? 1.0 : 0.0;
+      for (std::int64_t k = 0; k < d; ++k) {
+        acc += b[static_cast<std::size_t>(i * d + k)] *
+               b[static_cast<std::size_t>(j * d + k)];
+      }
+      a[static_cast<std::size_t>(i * d + j)] = acc;
+    }
+  }
+  std::vector<double> x_true(d);
+  for (auto& v : x_true) v = gen.normal();
+  std::vector<double> rhs(d, 0.0);
+  for (std::int64_t i = 0; i < d; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      rhs[static_cast<std::size_t>(i)] +=
+          a[static_cast<std::size_t>(i * d + j)] *
+          x_true[static_cast<std::size_t>(j)];
+    }
+  }
+  std::vector<double> l = a;
+  cholesky_decompose(l, d);
+  const auto x = cholesky_solve(l, d, rhs);
+  for (std::int64_t i = 0; i < d; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 1e-8);
+  }
+}
+
+TEST(Linalg, MahalanobisIdentityIsEuclidean) {
+  std::vector<double> l{1, 0, 0, 1};  // identity factor
+  const float x[2] = {3.0f, 4.0f};
+  const double d2 = mahalanobis_squared(l, 2, {x, 2}, {0.0, 0.0});
+  EXPECT_NEAR(d2, 25.0, 1e-9);
+}
+
+TEST(Linalg, MahalanobisScalesWithVariance) {
+  // Sigma = diag(4, 1): distance along the first axis is damped.
+  std::vector<double> sigma{4, 0, 0, 1};
+  cholesky_decompose(sigma, 2);
+  const float along_wide[2] = {2.0f, 0.0f};
+  const float along_narrow[2] = {0.0f, 2.0f};
+  const double d_wide = mahalanobis_squared(sigma, 2, {along_wide, 2}, {0, 0});
+  const double d_narrow =
+      mahalanobis_squared(sigma, 2, {along_narrow, 2}, {0, 0});
+  EXPECT_NEAR(d_wide, 1.0, 1e-9);
+  EXPECT_NEAR(d_narrow, 4.0, 1e-9);
+}
+
+TEST(Linalg, DimensionChecks) {
+  std::vector<double> l{1};
+  const float x[2] = {0, 0};
+  EXPECT_THROW(mahalanobis_squared(l, 1, {x, 2}, {0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(cholesky_solve(l, 1, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(cholesky_decompose(l, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dv

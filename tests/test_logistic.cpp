@@ -1,0 +1,92 @@
+#include "eval/logistic.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dv {
+namespace {
+
+TEST(Logistic, SeparatesLinearlySeparableData) {
+  rng gen{1};
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    const bool pos = i % 2 == 0;
+    const double cx = pos ? 2.0 : -2.0;
+    x.push_back({gen.normal(cx, 0.5), gen.normal(0.0, 0.5)});
+    y.push_back(pos ? 1 : 0);
+  }
+  logistic_regression lr;
+  lr.fit(x, y);
+  int correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const int pred = lr.probability(x[i]) > 0.5 ? 1 : 0;
+    correct += pred == y[i] ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / x.size(), 0.97);
+  // The informative dimension carries most of the weight.
+  EXPECT_GT(std::abs(lr.weights()[0]), std::abs(lr.weights()[1]) * 3);
+}
+
+TEST(Logistic, ProbabilityMonotoneInDecision) {
+  rng gen{2};
+  std::vector<std::vector<double>> x{{0.0}, {1.0}, {0.5}, {2.0}};
+  std::vector<int> y{0, 1, 0, 1};
+  logistic_regression lr;
+  lr.fit(x, y);
+  EXPECT_GT(lr.probability({{3.0}}), lr.probability({{-3.0}}));
+  EXPECT_GT(lr.decision({{3.0}}), lr.decision({{-3.0}}));
+}
+
+TEST(Logistic, BiasHandlesShiftedClasses) {
+  // All features 0: classification only possible through the bias.
+  std::vector<std::vector<double>> x{{0.0}, {0.0}, {0.0}, {0.0}};
+  std::vector<int> y{1, 1, 1, 0};
+  logistic_regression lr;
+  logistic_config cfg;
+  cfg.standardize = false;
+  lr.fit(x, y, cfg);
+  EXPECT_GT(lr.probability({{0.0}}), 0.5);  // majority class prior
+}
+
+TEST(Logistic, RejectsDegenerateInputs) {
+  logistic_regression lr;
+  EXPECT_THROW(lr.fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(lr.fit({{1.0}}, {1}), std::invalid_argument);  // one class
+  EXPECT_THROW(lr.fit({{1.0}, {2.0}}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(lr.fit({{1.0}, {2.0, 3.0}}, {1, 0}), std::invalid_argument);
+}
+
+TEST(Logistic, UnfittedUseThrows) {
+  logistic_regression lr;
+  EXPECT_THROW(lr.decision({{1.0}}), std::logic_error);
+}
+
+TEST(Logistic, DimensionMismatchThrows) {
+  logistic_regression lr;
+  lr.fit({{1.0}, {-1.0}}, {1, 0});
+  EXPECT_THROW(lr.decision({{1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Logistic, StandardizationDoesNotChangeDecisionsMuch) {
+  rng gen{3};
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) {
+    const bool pos = i % 2 == 0;
+    x.push_back({gen.normal(pos ? 1000.0 : 900.0, 20.0)});
+    y.push_back(pos ? 1 : 0);
+  }
+  logistic_regression scaled;
+  scaled.fit(x, y);
+  int correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    correct += (scaled.probability(x[i]) > 0.5 ? 1 : 0) == y[i] ? 1 : 0;
+  }
+  // Badly scaled raw features are exactly where standardization matters.
+  EXPECT_GT(static_cast<double>(correct) / x.size(), 0.9);
+}
+
+}  // namespace
+}  // namespace dv

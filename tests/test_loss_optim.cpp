@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace dv {
+namespace {
+
+TEST(CrossEntropy, MatchesHandComputation) {
+  // Logits [0, 0]: softmax = [0.5, 0.5]; loss = -log(0.5).
+  tensor logits = tensor::from_data({1, 2}, {0.0f, 0.0f});
+  const std::int64_t labels[1] = {0};
+  tensor grad;
+  const float loss = softmax_cross_entropy(logits, {labels, 1}, grad);
+  EXPECT_NEAR(loss, std::log(2.0f), 1e-5);
+  EXPECT_NEAR(grad[0], -0.5f, 1e-5);  // p - 1
+  EXPECT_NEAR(grad[1], 0.5f, 1e-5);   // p
+}
+
+TEST(CrossEntropy, BatchAveraging) {
+  tensor logits = tensor::from_data({2, 2}, {10.0f, 0.0f, 0.0f, 10.0f});
+  const std::int64_t labels[2] = {0, 1};
+  tensor grad;
+  const float loss = softmax_cross_entropy(logits, {labels, 2}, grad);
+  EXPECT_NEAR(loss, 0.0f, 1e-3);
+  // Gradients divided by batch size.
+  EXPECT_NEAR(grad[0], (1.0f / (1.0f + std::exp(-10.0f)) - 1.0f) / 2.0f, 1e-4);
+}
+
+TEST(CrossEntropy, GradientIsNumericallyCorrect) {
+  rng gen{1};
+  tensor logits = tensor::randn({3, 5}, gen);
+  const std::int64_t labels[3] = {0, 2, 4};
+  tensor grad;
+  (void)softmax_cross_entropy(logits, {labels, 3}, grad);
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    tensor up = logits, down = logits;
+    up[i] += static_cast<float>(eps);
+    down[i] -= static_cast<float>(eps);
+    tensor g2;
+    const double numeric = (softmax_cross_entropy(up, {labels, 3}, g2) -
+                            softmax_cross_entropy(down, {labels, 3}, g2)) /
+                           (2 * eps);
+    EXPECT_NEAR(grad[i], numeric, 1e-3);
+  }
+}
+
+TEST(CrossEntropy, LabelOutOfRangeThrows) {
+  tensor logits{{1, 3}};
+  const std::int64_t labels[1] = {3};
+  tensor grad;
+  EXPECT_THROW(softmax_cross_entropy(logits, {labels, 1}, grad),
+               std::invalid_argument);
+}
+
+TEST(CrossEntropy, TargetVariant) {
+  tensor logits = tensor::from_data({1, 3}, {0.0f, 0.0f, 0.0f});
+  tensor grad;
+  const float loss = softmax_cross_entropy_target(logits, 1, grad);
+  EXPECT_NEAR(loss, std::log(3.0f), 1e-5);
+  EXPECT_LT(grad[1], 0.0f);
+  EXPECT_GT(grad[0], 0.0f);
+}
+
+/// A 1-D quadratic "layer" exposing a single parameter for optimizer tests:
+/// loss = 0.5 * (w - target)^2 with gradient (w - target).
+struct quadratic {
+  tensor w = tensor::from_data({1}, {10.0f});
+  tensor g = tensor::zeros({1});
+  float target = 3.0f;
+
+  std::vector<param_ref> params() { return {{&w, &g, "w"}}; }
+  void compute_grad() { g[0] = w[0] - target; }
+  float loss() const { return 0.5f * (w[0] - target) * (w[0] - target); }
+};
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  quadratic q;
+  sgd opt{q.params(), 0.1f};
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    q.compute_grad();
+    opt.step();
+  }
+  EXPECT_NEAR(q.w[0], 3.0f, 1e-3);
+}
+
+TEST(Sgd, MomentumAccelerates) {
+  quadratic plain, mom;
+  sgd opt_plain{plain.params(), 0.01f, 0.0f};
+  sgd opt_mom{mom.params(), 0.01f, 0.9f};
+  for (int i = 0; i < 50; ++i) {
+    plain.compute_grad();
+    opt_plain.step();
+    mom.compute_grad();
+    opt_mom.step();
+  }
+  EXPECT_LT(std::abs(mom.w[0] - 3.0f), std::abs(plain.w[0] - 3.0f));
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  quadratic q;
+  q.target = 0.0f;
+  sgd opt{q.params(), 0.1f, 0.0f, 0.5f};
+  q.g.fill(0.0f);  // no data gradient; only decay acts
+  const float before = q.w[0];
+  opt.step();
+  EXPECT_LT(q.w[0], before);
+}
+
+TEST(Adadelta, ConvergesOnQuadratic) {
+  quadratic q;
+  adadelta opt{q.params(), 1.0f};
+  for (int i = 0; i < 2000; ++i) {
+    q.compute_grad();
+    opt.step();
+  }
+  EXPECT_NEAR(q.w[0], 3.0f, 0.1f);
+}
+
+TEST(Adadelta, LearningRateDecay) {
+  quadratic q;
+  adadelta opt{q.params(), 1.0f};
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 1.0f);
+  opt.decay_lr(0.95f);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.95f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  quadratic q;
+  adam opt{q.params(), 0.1f};
+  for (int i = 0; i < 500; ++i) {
+    q.compute_grad();
+    opt.step();
+  }
+  EXPECT_NEAR(q.w[0], 3.0f, 1e-2);
+}
+
+TEST(Optimizer, ZeroGradClears) {
+  quadratic q;
+  sgd opt{q.params(), 0.1f};
+  q.compute_grad();
+  EXPECT_NE(q.g[0], 0.0f);
+  opt.zero_grad();
+  EXPECT_EQ(q.g[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace dv

@@ -1,0 +1,140 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dv {
+namespace {
+
+TEST(RocAuc, PerfectSeparation) {
+  const std::vector<double> pos{3.0, 4.0, 5.0};
+  const std::vector<double> neg{0.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(roc_auc(pos, neg), 1.0);
+}
+
+TEST(RocAuc, PerfectlyInverted) {
+  const std::vector<double> pos{0.0, 1.0};
+  const std::vector<double> neg{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(roc_auc(pos, neg), 0.0);
+}
+
+TEST(RocAuc, ChanceForIdenticalDistributions) {
+  const std::vector<double> pos{1.0, 2.0, 3.0};
+  const std::vector<double> neg{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(roc_auc(pos, neg), 0.5);
+}
+
+TEST(RocAuc, HandComputedMixedCase) {
+  // pos {2, 0}, neg {1}: pairs (2>1)=1, (0<1)=0 -> AUC = 0.5.
+  const std::vector<double> pos{2.0, 0.0};
+  const std::vector<double> neg{1.0};
+  EXPECT_DOUBLE_EQ(roc_auc(pos, neg), 0.5);
+}
+
+TEST(RocAuc, TiesCountHalf) {
+  const std::vector<double> pos{1.0};
+  const std::vector<double> neg{1.0};
+  EXPECT_DOUBLE_EQ(roc_auc(pos, neg), 0.5);
+  const std::vector<double> pos2{1.0, 2.0};
+  const std::vector<double> neg2{1.0};
+  // Pairs: (1 vs 1) = 0.5, (2 vs 1) = 1 -> AUC = 0.75.
+  EXPECT_DOUBLE_EQ(roc_auc(pos2, neg2), 0.75);
+}
+
+TEST(RocAuc, UnbalancedSets) {
+  const std::vector<double> pos{10.0};
+  const std::vector<double> neg{1.0, 2.0, 3.0, 4.0, 11.0};
+  // 4 of 5 pairs won -> 0.8.
+  EXPECT_DOUBLE_EQ(roc_auc(pos, neg), 0.8);
+}
+
+TEST(RocAuc, EmptyThrows) {
+  const std::vector<double> some{1.0};
+  const std::vector<double> none{};
+  EXPECT_THROW(roc_auc(none, some), std::invalid_argument);
+  EXPECT_THROW(roc_auc(some, none), std::invalid_argument);
+}
+
+TEST(Rates, TprFprAtThreshold) {
+  const std::vector<double> pos{0.1, 0.6, 0.9};
+  const std::vector<double> neg{0.0, 0.2, 0.7};
+  EXPECT_DOUBLE_EQ(tpr_at_threshold(pos, 0.5), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(fpr_at_threshold(neg, 0.5), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(tpr_at_threshold(pos, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(fpr_at_threshold(neg, -1.0), 1.0);
+}
+
+TEST(Thresholds, CentroidMidpoint) {
+  const std::vector<double> pos{2.0, 4.0};  // mean 3
+  const std::vector<double> neg{0.0, -2.0}; // mean -1
+  EXPECT_DOUBLE_EQ(centroid_threshold(pos, neg), 1.0);
+}
+
+TEST(Thresholds, ForFprHitsTarget) {
+  std::vector<double> neg;
+  for (int i = 0; i < 100; ++i) neg.push_back(static_cast<double>(i));
+  const double thr = threshold_for_fpr(neg, 0.05);
+  EXPECT_LE(fpr_at_threshold(neg, thr), 0.05 + 1e-12);
+  // And it is not absurdly conservative: at most one extra step.
+  EXPECT_GE(fpr_at_threshold(neg, thr), 0.03);
+}
+
+TEST(Thresholds, ForFprZeroFlagsNothing) {
+  const std::vector<double> neg{1.0, 2.0, 3.0};
+  const double thr = threshold_for_fpr(neg, 0.0);
+  EXPECT_DOUBLE_EQ(fpr_at_threshold(neg, thr), 0.0);
+}
+
+TEST(Thresholds, BadFprThrows) {
+  const std::vector<double> neg{1.0};
+  EXPECT_THROW(threshold_for_fpr(neg, -0.1), std::invalid_argument);
+  EXPECT_THROW(threshold_for_fpr(neg, 1.1), std::invalid_argument);
+}
+
+TEST(RocCurve, EndpointsAndMonotonicity) {
+  const std::vector<double> pos{0.8, 0.9, 0.7};
+  const std::vector<double> neg{0.1, 0.5, 0.3};
+  const auto curve = roc_curve(pos, neg);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+    EXPECT_LT(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+TEST(RocCurve, AreaMatchesRankAuc) {
+  const std::vector<double> pos{3.0, 1.5, 2.2, 0.4, 2.9};
+  const std::vector<double> neg{0.1, 1.9, 0.8, 2.5};
+  const auto curve = roc_curve(pos, neg);
+  EXPECT_NEAR(auc_from_curve(curve), roc_auc(pos, neg), 1e-12);
+}
+
+TEST(RocCurve, TiesShareOnePoint) {
+  const std::vector<double> pos{1.0, 1.0};
+  const std::vector<double> neg{1.0};
+  const auto curve = roc_curve(pos, neg);
+  // (0,0) start plus a single combined step to (1,1).
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_NEAR(auc_from_curve(curve), 0.5, 1e-12);
+}
+
+TEST(RocCurve, EmptyThrows) {
+  const std::vector<double> some{1.0};
+  const std::vector<double> none{};
+  EXPECT_THROW(roc_curve(none, some), std::invalid_argument);
+}
+
+TEST(Mean, Basic) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.0);
+  const std::vector<double> none{};
+  EXPECT_THROW(mean(none), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dv

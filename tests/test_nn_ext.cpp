@@ -1,0 +1,181 @@
+// Tests for the substrate extensions: leaky ReLU / sigmoid / tanh layers,
+// the reverse cross-entropy loss, and the precision-recall metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "grad_check.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+
+namespace dv {
+namespace {
+
+using dv::testing::check_input_gradient;
+
+TEST(LeakyRelu, ForwardScalesNegatives) {
+  leaky_relu l{0.1f};
+  tensor x = tensor::from_data({1, 3}, {-2.0f, 0.0f, 3.0f});
+  const tensor y = l.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], -0.2f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 3.0f);
+}
+
+TEST(LeakyRelu, GradCheck) {
+  leaky_relu l{0.05f};
+  rng gen{1};
+  tensor x = tensor::randn({2, 8}, gen);
+  tensor w = tensor::randn({2, 8}, gen);
+  check_input_gradient(l, x, w);
+}
+
+TEST(LeakyRelu, InvalidSlopeThrows) {
+  EXPECT_THROW(leaky_relu{-0.1f}, std::invalid_argument);
+  EXPECT_THROW(leaky_relu{1.0f}, std::invalid_argument);
+}
+
+TEST(Sigmoid, ForwardRangeAndMidpoint) {
+  sigmoid l;
+  tensor x = tensor::from_data({1, 3}, {-100.0f, 0.0f, 100.0f});
+  const tensor y = l.forward(x, true);
+  EXPECT_NEAR(y[0], 0.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(y[1], 0.5f);
+  EXPECT_NEAR(y[2], 1.0f, 1e-6f);
+}
+
+TEST(Sigmoid, GradCheck) {
+  sigmoid l;
+  rng gen{2};
+  tensor x = tensor::randn({3, 5}, gen);
+  tensor w = tensor::randn({3, 5}, gen);
+  check_input_gradient(l, x, w);
+}
+
+TEST(Tanh, ForwardOddSymmetry) {
+  tanh_layer l;
+  tensor x = tensor::from_data({1, 2}, {1.5f, -1.5f});
+  const tensor y = l.forward(x, true);
+  EXPECT_NEAR(y[0], -y[1], 1e-6f);
+  EXPECT_NEAR(y[0], std::tanh(1.5f), 1e-6f);
+}
+
+TEST(Tanh, GradCheck) {
+  tanh_layer l;
+  rng gen{3};
+  tensor x = tensor::randn({2, 6}, gen);
+  tensor w = tensor::randn({2, 6}, gen);
+  check_input_gradient(l, x, w);
+}
+
+// -- Reverse cross-entropy -----------------------------------------------------
+
+TEST(ReverseCrossEntropy, UniformOffClassTargetIsOptimal) {
+  // With logits that give the non-true classes equal probability and the
+  // true class near zero, RCE should be near its minimum log(K-1)... the
+  // loss value at the reverse-target distribution itself is log(K-1)? No:
+  // the minimum of cross-entropy against target r is the entropy of r,
+  // which is log(K-1) for the uniform off-class target.
+  tensor logits = tensor::from_data({1, 3}, {-100.0f, 5.0f, 5.0f});
+  const std::int64_t labels[1] = {0};
+  tensor grad;
+  const float loss = reverse_cross_entropy(logits, {labels, 1}, grad);
+  EXPECT_NEAR(loss, std::log(2.0f), 1e-4);
+}
+
+TEST(ReverseCrossEntropy, GradientIsNumericallyCorrect) {
+  rng gen{4};
+  tensor logits = tensor::randn({2, 4}, gen);
+  const std::int64_t labels[2] = {1, 3};
+  tensor grad;
+  (void)reverse_cross_entropy(logits, {labels, 2}, grad);
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    tensor up = logits, down = logits;
+    up[i] += static_cast<float>(eps);
+    down[i] -= static_cast<float>(eps);
+    tensor g2;
+    const double numeric =
+        (reverse_cross_entropy(up, {labels, 2}, g2) -
+         reverse_cross_entropy(down, {labels, 2}, g2)) /
+        (2 * eps);
+    EXPECT_NEAR(grad[i], numeric, 1e-3);
+  }
+}
+
+TEST(ReverseCrossEntropy, PushesTrueClassDown) {
+  // The gradient on the true-class logit is positive (prob - 0 > 0), so a
+  // gradient-descent step lowers it.
+  tensor logits = tensor::from_data({1, 3}, {1.0f, 0.0f, 0.0f});
+  const std::int64_t labels[1] = {0};
+  tensor grad;
+  (void)reverse_cross_entropy(logits, {labels, 1}, grad);
+  EXPECT_GT(grad[0], 0.0f);
+  EXPECT_LT(grad[1], 0.0f);
+}
+
+TEST(ReverseCrossEntropy, Validation) {
+  tensor logits{{1, 1}};
+  const std::int64_t labels[1] = {0};
+  tensor grad;
+  EXPECT_THROW(reverse_cross_entropy(logits, {labels, 1}, grad),
+               std::invalid_argument);
+  tensor logits3{{1, 3}};
+  const std::int64_t bad[1] = {3};
+  EXPECT_THROW(reverse_cross_entropy(logits3, {bad, 1}, grad),
+               std::invalid_argument);
+}
+
+// -- Precision-recall ------------------------------------------------------------
+
+TEST(PrCurve, PerfectSeparationHasUnitPrecision) {
+  const std::vector<double> pos{3.0, 4.0};
+  const std::vector<double> neg{0.0, 1.0};
+  const auto curve = pr_curve(pos, neg);
+  // Until recall reaches 1.0 precision stays 1.0.
+  for (const auto& p : curve) {
+    if (p.recall <= 1.0 && p.threshold >= 3.0) {
+      EXPECT_DOUBLE_EQ(p.precision, 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(average_precision(pos, neg), 1.0);
+}
+
+TEST(PrCurve, RecallMonotone) {
+  const std::vector<double> pos{0.9, 0.4, 0.6};
+  const std::vector<double> neg{0.5, 0.3, 0.8};
+  const auto curve = pr_curve(pos, neg);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+}
+
+TEST(AveragePrecision, HandComputedCase) {
+  // Descending: pos(1.0) -> P=1, R=0.5; neg(0.8); pos(0.6) -> P=2/3, R=1.
+  // AP = 0.5 * 1 + 0.5 * 2/3 = 5/6.
+  const std::vector<double> pos{1.0, 0.6};
+  const std::vector<double> neg{0.8};
+  EXPECT_NEAR(average_precision(pos, neg), 5.0 / 6.0, 1e-12);
+}
+
+TEST(AveragePrecision, ChanceLevelEqualsPrevalence) {
+  // With identical score distributions AP tends to the positive prevalence.
+  std::vector<double> pos, neg;
+  for (int i = 0; i < 100; ++i) {
+    pos.push_back(i % 10);
+    neg.push_back(i % 10);
+  }
+  EXPECT_NEAR(average_precision(pos, neg), 0.5, 0.05);
+}
+
+TEST(PrCurve, EmptyThrows) {
+  const std::vector<double> some{1.0};
+  const std::vector<double> none{};
+  EXPECT_THROW(pr_curve(none, some), std::invalid_argument);
+  EXPECT_THROW(average_precision(some, none), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dv

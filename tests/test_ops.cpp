@@ -1,0 +1,180 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dv {
+namespace {
+
+/// Naive reference GEMM: C = alpha * op(A) * op(B) + beta * C.
+void reference_gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+                    float alpha, const float* a, bool ta, const float* b,
+                    bool tb, float beta, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a[p * m + i] : a[i * k + p];
+        const float bv = tb ? b[j * k + p] : b[p * n + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * n + j] = alpha * static_cast<float>(acc) + beta * c[i * n + j];
+    }
+  }
+}
+
+class GemmSizes : public ::testing::TestWithParam<
+                      std::tuple<std::int64_t, std::int64_t, std::int64_t>> {};
+
+TEST_P(GemmSizes, NnMatchesReference) {
+  const auto [m, n, k] = GetParam();
+  rng gen{1};
+  tensor a = tensor::randn({m, k}, gen);
+  tensor b = tensor::randn({k, n}, gen);
+  tensor c = tensor::randn({m, n}, gen);
+  tensor ref = c;
+  gemm_nn(m, n, k, 1.5f, a.data(), b.data(), 0.5f, c.data());
+  reference_gemm(m, n, k, 1.5f, a.data(), false, b.data(), false, 0.5f,
+                 ref.data());
+  for (std::int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-3f) << "index " << i;
+  }
+}
+
+TEST_P(GemmSizes, NtMatchesReference) {
+  const auto [m, n, k] = GetParam();
+  rng gen{2};
+  tensor a = tensor::randn({m, k}, gen);
+  tensor b = tensor::randn({n, k}, gen);
+  tensor c{{m, n}};
+  tensor ref = c;
+  gemm_nt(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  reference_gemm(m, n, k, 1.0f, a.data(), false, b.data(), true, 0.0f,
+                 ref.data());
+  for (std::int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-3f);
+  }
+}
+
+TEST_P(GemmSizes, TnMatchesReference) {
+  const auto [m, n, k] = GetParam();
+  rng gen{3};
+  tensor a = tensor::randn({k, m}, gen);
+  tensor b = tensor::randn({k, n}, gen);
+  tensor c = tensor::randn({m, n}, gen);
+  tensor ref = c;
+  gemm_tn(m, n, k, 2.0f, a.data(), b.data(), 1.0f, c.data());
+  reference_gemm(m, n, k, 2.0f, a.data(), true, b.data(), false, 1.0f,
+                 ref.data());
+  for (std::int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSizes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(8, 8, 8), std::make_tuple(16, 1, 32),
+                      std::make_tuple(1, 17, 9), std::make_tuple(13, 29, 4)));
+
+struct conv_case {
+  std::int64_t c, h, w, k, stride, pad;
+};
+
+class Im2ColGeometry : public ::testing::TestWithParam<conv_case> {};
+
+TEST_P(Im2ColGeometry, OutputDims) {
+  const auto p = GetParam();
+  const conv_geometry g{p.c, p.h, p.w, p.k, p.stride, p.pad};
+  EXPECT_EQ(g.out_h(), (p.h + 2 * p.pad - p.k) / p.stride + 1);
+  EXPECT_EQ(g.col_rows(), p.c * p.k * p.k);
+  EXPECT_EQ(g.col_cols(), g.out_h() * g.out_w());
+}
+
+TEST_P(Im2ColGeometry, AdjointProperty) {
+  // <u, im2col(x)> == <col2im(u), x> for all u, x — checks that col2im is
+  // the exact adjoint of im2col (required for correct conv gradients).
+  const auto p = GetParam();
+  const conv_geometry g{p.c, p.h, p.w, p.k, p.stride, p.pad};
+  rng gen{7};
+  tensor x = tensor::randn({p.c, p.h, p.w}, gen);
+  tensor u = tensor::randn({g.col_rows(), g.col_cols()}, gen);
+  tensor col{{g.col_rows(), g.col_cols()}};
+  im2col(x.data(), g, col.data());
+  tensor back{{p.c, p.h, p.w}};
+  col2im(u.data(), g, back.data());
+  const double lhs = dot(u.data(), col.data(), u.numel());
+  const double rhs = dot(back.data(), x.data(), x.numel());
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2ColGeometry,
+    ::testing::Values(conv_case{1, 5, 5, 3, 1, 1}, conv_case{3, 8, 8, 3, 1, 0},
+                      conv_case{2, 7, 9, 3, 2, 1}, conv_case{4, 6, 6, 1, 1, 0},
+                      conv_case{2, 10, 10, 5, 1, 2},
+                      conv_case{1, 4, 4, 2, 2, 0}));
+
+TEST(Im2Col, KnownSmallCase) {
+  // 1x2x2 image, 2x2 kernel, no pad: one output pixel, col = image values.
+  const conv_geometry g{1, 2, 2, 2, 1, 0};
+  tensor x = tensor::from_data({1, 2, 2}, {1, 2, 3, 4});
+  tensor col{{4, 1}};
+  im2col(x.data(), g, col.data());
+  EXPECT_EQ(col[0], 1.0f);
+  EXPECT_EQ(col[1], 2.0f);
+  EXPECT_EQ(col[2], 3.0f);
+  EXPECT_EQ(col[3], 4.0f);
+}
+
+TEST(Im2Col, PaddingReadsZero) {
+  const conv_geometry g{1, 1, 1, 3, 1, 1};
+  tensor x = tensor::from_data({1, 1, 1}, {5.0f});
+  tensor col{{9, 1}};
+  im2col(x.data(), g, col.data());
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(col[i], i == 4 ? 5.0f : 0.0f);
+  }
+}
+
+TEST(SoftmaxRows, SumsToOneAndOrders) {
+  tensor t = tensor::from_data({2, 3}, {1, 2, 3, -1, -1, -1});
+  softmax_rows(t);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < 3; ++c) sum += t.at2(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+  EXPECT_GT(t.at2(0, 2), t.at2(0, 1));
+  EXPECT_NEAR(t.at2(1, 0), 1.0 / 3.0, 1e-5);
+}
+
+TEST(SoftmaxRows, StableForLargeLogits) {
+  tensor t = tensor::from_data({1, 2}, {1000.0f, 999.0f});
+  softmax_rows(t);
+  EXPECT_NEAR(t[0] + t[1], 1.0, 1e-5);
+  EXPECT_GT(t[0], t[1]);
+  EXPECT_FALSE(std::isnan(t[0]));
+}
+
+TEST(ArgmaxRows, PicksFirstOnTies) {
+  tensor t = tensor::from_data({2, 3}, {0, 5, 5, 7, 1, 2});
+  const auto idx = argmax_rows(t);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(VectorOps, SquaredDistanceAndDot) {
+  const float a[3] = {1, 2, 3};
+  const float b[3] = {4, 6, 3};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b, 3), 25.0);
+  EXPECT_DOUBLE_EQ(dot(a, b, 3), 25.0);
+}
+
+}  // namespace
+}  // namespace dv

@@ -1,0 +1,120 @@
+#include "util/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace dv {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/dv_serialize_test.bin";
+
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(SerializeTest, RoundTripScalars) {
+  {
+    binary_writer w{path_, "magic"};
+    w.write_u8(200);
+    w.write_i32(-123456);
+    w.write_i64(-9876543210LL);
+    w.write_u64(0xdeadbeefcafeULL);
+    w.write_f32(3.25f);
+    w.write_f64(-2.5e-3);
+    w.finish();
+  }
+  binary_reader r{path_, "magic"};
+  EXPECT_EQ(r.read_u8(), 200);
+  EXPECT_EQ(r.read_i32(), -123456);
+  EXPECT_EQ(r.read_i64(), -9876543210LL);
+  EXPECT_EQ(r.read_u64(), 0xdeadbeefcafeULL);
+  EXPECT_FLOAT_EQ(r.read_f32(), 3.25f);
+  EXPECT_DOUBLE_EQ(r.read_f64(), -2.5e-3);
+}
+
+TEST_F(SerializeTest, RoundTripContainers) {
+  const std::vector<float> vf{1.0f, -2.0f, 3.5f};
+  const std::vector<double> vd{0.25, -8.0};
+  const std::vector<std::int64_t> vi{1, -2, 3};
+  const std::vector<int> vi32{-7, 9};
+  {
+    binary_writer w{path_, "m"};
+    w.write_string("hello world");
+    w.write_string("");
+    w.write_f32_vector(vf);
+    w.write_f64_vector(vd);
+    w.write_i64_vector(vi);
+    w.write_i32_vector(vi32);
+    w.finish();
+  }
+  binary_reader r{path_, "m"};
+  EXPECT_EQ(r.read_string(), "hello world");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_f32_vector(), vf);
+  EXPECT_EQ(r.read_f64_vector(), vd);
+  EXPECT_EQ(r.read_i64_vector(), vi);
+  EXPECT_EQ(r.read_i32_vector(), vi32);
+}
+
+TEST_F(SerializeTest, MagicMismatchThrows) {
+  {
+    binary_writer w{path_, "right"};
+    w.finish();
+  }
+  EXPECT_THROW(binary_reader(path_, "wrong"), serialize_error);
+}
+
+TEST_F(SerializeTest, TruncatedFileThrows) {
+  {
+    binary_writer w{path_, "m"};
+    w.write_i32(5);
+    w.finish();
+  }
+  binary_reader r{path_, "m"};
+  EXPECT_EQ(r.read_i32(), 5);
+  EXPECT_THROW(r.read_i64(), serialize_error);
+}
+
+TEST_F(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(binary_reader("/nonexistent/dir/file.bin", "m"),
+               serialize_error);
+}
+
+TEST_F(SerializeTest, FileExists) {
+  EXPECT_FALSE(file_exists(path_));
+  {
+    binary_writer w{path_, "m"};
+    w.finish();
+  }
+  EXPECT_TRUE(file_exists(path_));
+}
+
+TEST(SerializeDir, EnsureDirectoryCreatesNested) {
+  const std::string dir = ::testing::TempDir() + "/dv_ser_a/b/c";
+  ensure_directory(dir);
+  // Creating again is a no-op.
+  ensure_directory(dir);
+  const std::string probe = dir + "/x.bin";
+  {
+    binary_writer w{probe, "m"};
+    w.finish();
+  }
+  EXPECT_TRUE(file_exists(probe));
+  std::remove(probe.c_str());
+}
+
+TEST(SerializeDir, EnsureDirectoryOverFileThrows) {
+  const std::string file = ::testing::TempDir() + "/dv_ser_file";
+  {
+    binary_writer w{file, "m"};
+    w.finish();
+  }
+  EXPECT_THROW(ensure_directory(file + "/sub"), serialize_error);
+  std::remove(file.c_str());
+}
+
+}  // namespace
+}  // namespace dv

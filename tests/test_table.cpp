@@ -1,0 +1,67 @@
+#include "eval/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dv {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  text_table t{{"name", "value"}};
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns) {
+  text_table t{{"a", "b"}};
+  t.add_row({"long-cell-content", "x"});
+  const std::string out = t.render();
+  // Every rendered line has the same length.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, SeparatorRows) {
+  text_table t{{"x"}};
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // Expect at least 4 separator lines (top, post-header, middle, bottom).
+  std::size_t count = 0, pos = 0;
+  while ((pos = out.find("+--", pos)) != std::string::npos) {
+    ++count;
+    pos += 3;
+  }
+  EXPECT_GE(count, 4u);
+}
+
+TEST(TextTable, ArityMismatchThrows) {
+  text_table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(text_table{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(TextTable, FmtFormatsAndHandlesNan) {
+  EXPECT_EQ(text_table::fmt(0.98765, 4), "0.9877");
+  EXPECT_EQ(text_table::fmt(1.0, 2), "1.00");
+  EXPECT_EQ(text_table::fmt(std::nan(""), 4), "-");
+  EXPECT_EQ(text_table::dash(), "-");
+}
+
+}  // namespace
+}  // namespace dv

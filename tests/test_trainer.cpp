@@ -1,0 +1,90 @@
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dv {
+namespace {
+
+using dv::testing::make_tiny_model;
+using dv::testing::shared_tiny_world;
+
+TEST(Trainer, LossDecreasesOverEpochs) {
+  const auto& world = shared_tiny_world();
+  auto model = make_tiny_model(77);
+  train_config tc;
+  tc.optimizer = train_config::opt_kind::adam;
+  tc.lr = 2e-3f;
+  tc.epochs = 3;
+  tc.batch_size = 32;
+  tc.verbose = false;
+  // Use a small slice for speed.
+  const dataset sub = [&] {
+    std::vector<std::int64_t> idx(200);
+    for (std::int64_t i = 0; i < 200; ++i) idx[static_cast<std::size_t>(i)] = i;
+    return world.train.subset(idx);
+  }();
+  const train_report report = fit(*model, sub.images, sub.labels, tc);
+  ASSERT_EQ(report.epoch_loss.size(), 3u);
+  EXPECT_LT(report.epoch_loss.back(), report.epoch_loss.front());
+  EXPECT_GT(report.epoch_accuracy.back(), report.epoch_accuracy.front());
+}
+
+TEST(Trainer, AccuracyMatchesManualCount) {
+  const auto& world = shared_tiny_world();
+  auto& model = *world.model;
+  const dataset& test = world.test;
+  const double acc = accuracy(model, test.images, test.labels, 64);
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < test.size(); ++i) {
+    const auto pred = model.predict(
+        test.images.sample(i).reshaped({1, 1, 28, 28}));
+    correct += pred.front() == test.labels[static_cast<std::size_t>(i)] ? 1 : 0;
+  }
+  EXPECT_NEAR(acc, static_cast<double>(correct) / test.size(), 1e-9);
+}
+
+TEST(Trainer, BatchedProbabilitiesShapeAndRows) {
+  const auto& world = shared_tiny_world();
+  const tensor probs =
+      batched_probabilities(*world.model, world.test.images, 33);
+  EXPECT_EQ(probs.extent(0), world.test.size());
+  EXPECT_EQ(probs.extent(1), 10);
+  for (std::int64_t i = 0; i < probs.extent(0); ++i) {
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < 10; ++j) sum += probs.at2(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(Trainer, MeanConfidenceInUnitRange) {
+  const auto& world = shared_tiny_world();
+  const double conf = mean_top1_confidence(*world.model, world.test.images);
+  EXPECT_GT(conf, 0.1);
+  EXPECT_LE(conf, 1.0);
+}
+
+TEST(Trainer, ShuffleSeedIsDeterministic) {
+  const auto& world = shared_tiny_world();
+  const dataset sub = [&] {
+    std::vector<std::int64_t> idx(100);
+    for (std::int64_t i = 0; i < 100; ++i) idx[static_cast<std::size_t>(i)] = i;
+    return world.train.subset(idx);
+  }();
+  train_config tc;
+  tc.optimizer = train_config::opt_kind::adam;
+  tc.lr = 1e-3f;
+  tc.epochs = 2;
+  tc.batch_size = 16;
+  tc.verbose = false;
+  tc.shuffle_seed = 5;
+  auto m1 = make_tiny_model(50);
+  auto m2 = make_tiny_model(50);
+  const auto r1 = fit(*m1, sub.images, sub.labels, tc);
+  const auto r2 = fit(*m2, sub.images, sub.labels, tc);
+  EXPECT_EQ(r1.epoch_loss, r2.epoch_loss);
+}
+
+}  // namespace
+}  // namespace dv

@@ -1,0 +1,192 @@
+// Tests for the extension transformations (blur / noise / occlusion) and
+// the validation-diagnosis API.
+#include <gtest/gtest.h>
+
+#include "augment/transforms.h"
+#include "core/explain.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace dv {
+namespace {
+
+using dv::testing::shared_tiny_world;
+
+tensor ramp_image() {
+  tensor img{{1, 8, 8}};
+  for (std::int64_t i = 0; i < img.numel(); ++i) {
+    img[i] = static_cast<float>(i) / 63.0f;
+  }
+  return img;
+}
+
+TEST(GaussianBlur, PreservesMeanApproximately) {
+  const tensor img = ramp_image();
+  const tensor out = gaussian_blur(img, 1.0f);
+  EXPECT_NEAR(out.mean(), img.mean(), 0.02f);
+}
+
+TEST(GaussianBlur, ReducesVariance) {
+  rng gen{1};
+  const tensor img = tensor::uniform({1, 16, 16}, gen, 0.0f, 1.0f);
+  const tensor out = gaussian_blur(img, 1.5f);
+  auto variance = [](const tensor& t) {
+    const float m = t.mean();
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      acc += (t[i] - m) * (t[i] - m);
+    }
+    return acc / static_cast<double>(t.numel());
+  };
+  EXPECT_LT(variance(out), variance(img) * 0.5);
+}
+
+TEST(GaussianBlur, ConstantImageIsFixedPoint) {
+  const tensor img = tensor::full({3, 6, 6}, 0.4f);
+  const tensor out = gaussian_blur(img, 2.0f);
+  for (std::int64_t i = 0; i < img.numel(); ++i) {
+    EXPECT_NEAR(out[i], 0.4f, 1e-5f);
+  }
+}
+
+TEST(GaussianBlur, InvalidSigmaThrows) {
+  EXPECT_THROW(gaussian_blur(ramp_image(), 0.0f), std::invalid_argument);
+  EXPECT_THROW(gaussian_blur(tensor{{4, 4}}, 1.0f), std::invalid_argument);
+}
+
+TEST(NoiseTransform, DeterministicPerSeedTag) {
+  const tensor img = ramp_image();
+  const tensor a = apply_step(img, {transform_kind::noise, 0.1f, 3.0f});
+  const tensor b = apply_step(img, {transform_kind::noise, 0.1f, 3.0f});
+  const tensor c = apply_step(img, {transform_kind::noise, 0.1f, 4.0f});
+  double same = 0.0, different = 0.0;
+  for (std::int64_t i = 0; i < img.numel(); ++i) {
+    same += std::abs(a[i] - b[i]);
+    different += std::abs(a[i] - c[i]);
+  }
+  EXPECT_EQ(same, 0.0);
+  EXPECT_GT(different, 0.01);
+}
+
+TEST(NoiseTransform, StddevControlsMagnitude) {
+  const tensor img = tensor::full({1, 20, 20}, 0.5f);
+  const tensor gentle = apply_step(img, {transform_kind::noise, 0.02f, 1.0f});
+  const tensor harsh = apply_step(img, {transform_kind::noise, 0.3f, 1.0f});
+  double g = 0.0, h = 0.0;
+  for (std::int64_t i = 0; i < img.numel(); ++i) {
+    g += std::abs(gentle[i] - 0.5f);
+    h += std::abs(harsh[i] - 0.5f);
+  }
+  EXPECT_GT(h, g * 3.0);
+  EXPECT_THROW(apply_step(img, {transform_kind::noise, -0.1f, 0.0f}),
+               std::invalid_argument);
+}
+
+TEST(OcclusionTransform, ZeroesApproximatelyTheRequestedArea) {
+  const tensor img = tensor::full({1, 20, 20}, 1.0f);
+  const tensor out = apply_step(img, {transform_kind::occlusion, 0.5f, 0.0f});
+  std::int64_t zeroed = 0;
+  for (std::int64_t i = 0; i < out.numel(); ++i) zeroed += out[i] == 0.0f;
+  EXPECT_EQ(zeroed, 10 * 10);
+  EXPECT_THROW(apply_step(img, {transform_kind::occlusion, 0.0f, 0.0f}),
+               std::invalid_argument);
+  EXPECT_THROW(apply_step(img, {transform_kind::occlusion, 1.5f, 0.0f}),
+               std::invalid_argument);
+}
+
+TEST(OcclusionTransform, PositionTagMovesPatch) {
+  const tensor img = tensor::full({1, 20, 20}, 1.0f);
+  const tensor a = apply_step(img, {transform_kind::occlusion, 0.3f, 0.0f});
+  const tensor b = apply_step(img, {transform_kind::occlusion, 0.3f, 0.7f});
+  double diff = 0.0;
+  for (std::int64_t i = 0; i < img.numel(); ++i) {
+    diff += std::abs(a[i] - b[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(ExtTransforms, DescribeStrings) {
+  EXPECT_EQ(transform_step({transform_kind::blur, 1.5f, 0}).describe(),
+            "blur(sigma=1.5)");
+  EXPECT_EQ(transform_step({transform_kind::noise, 0.2f, 0}).describe(),
+            "noise(stddev=0.2)");
+  EXPECT_EQ(transform_step({transform_kind::occlusion, 0.3f, 0}).describe(),
+            "occlusion(size=0.3)");
+  EXPECT_STREQ(transform_kind_name(transform_kind::blur), "blur");
+}
+
+// -- explain_validation -------------------------------------------------------------
+
+const deep_validator& diag_validator() {
+  static const deep_validator dv = [] {
+    const auto& world = shared_tiny_world();
+    deep_validator out;
+    deep_validator_config cfg;
+    cfg.max_train_per_class = 40;
+    out.fit(*world.model, world.train, cfg);
+    const auto clean = out.evaluate(*world.model, world.test.images).joint;
+    out.set_threshold(threshold_for_fpr(clean, 0.05));
+    return out;
+  }();
+  return dv;
+}
+
+TEST(Explain, JointEqualsSumAndSharesSumToOne) {
+  const auto& world = shared_tiny_world();
+  const auto report = explain_validation(*world.model, diag_validator(),
+                                         world.test.images.sample(0));
+  ASSERT_EQ(report.layers.size(), 3u);
+  double sum = 0.0, share_sum = 0.0;
+  for (const auto& l : report.layers) {
+    sum += l.discrepancy;
+    share_sum += l.share;
+  }
+  EXPECT_NEAR(report.joint_discrepancy, sum, 1e-9);
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
+}
+
+TEST(Explain, FlaggedMatchesThreshold) {
+  const auto& world = shared_tiny_world();
+  const transform_chain invert{{transform_kind::complement, 0, 0}};
+  const auto bad = explain_validation(
+      *world.model, diag_validator(),
+      apply_chain(world.test.images.sample(1), invert));
+  EXPECT_TRUE(bad.flagged);
+  EXPECT_GT(bad.joint_discrepancy, diag_validator().threshold());
+}
+
+TEST(Explain, DominantLayerIsArgmax) {
+  const auto& world = shared_tiny_world();
+  const auto report = explain_validation(*world.model, diag_validator(),
+                                         world.test.images.sample(2));
+  double best = -1e300;
+  int best_idx = -1;
+  for (const auto& l : report.layers) {
+    if (l.discrepancy > best) {
+      best = l.discrepancy;
+      best_idx = l.probe_index;
+    }
+  }
+  EXPECT_EQ(report.dominant_layer(), best_idx);
+}
+
+TEST(Explain, FormatMentionsVerdictAndLayers) {
+  const auto& world = shared_tiny_world();
+  const auto report = explain_validation(*world.model, diag_validator(),
+                                         world.test.images.sample(3));
+  const std::string text = format_report(report);
+  EXPECT_NE(text.find("joint discrepancy"), std::string::npos);
+  EXPECT_NE(text.find("layer 1"), std::string::npos);
+  EXPECT_NE(text.find("dominant layer"), std::string::npos);
+}
+
+TEST(Explain, UnfittedValidatorThrows) {
+  const auto& world = shared_tiny_world();
+  deep_validator unfitted;
+  EXPECT_THROW(explain_validation(*world.model, unfitted,
+                                  world.test.images.sample(0)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace dv

@@ -1,0 +1,149 @@
+#include "augment/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synth_digits.h"
+
+namespace dv {
+namespace {
+
+tensor make_ramp_image() {
+  tensor img{{1, 4, 4}};
+  for (std::int64_t i = 0; i < 16; ++i) {
+    img[i] = static_cast<float>(i) / 15.0f;
+  }
+  return img;
+}
+
+TEST(Transforms, BrightnessAddsBiasAndClamps) {
+  const tensor img = make_ramp_image();
+  const tensor out = apply_step(img, {transform_kind::brightness, 0.5f, 0.0f});
+  EXPECT_FLOAT_EQ(out[0], 0.5f);
+  EXPECT_FLOAT_EQ(out[15], 1.0f);  // clamped
+}
+
+TEST(Transforms, NegativeBrightnessDarkens) {
+  const tensor img = make_ramp_image();
+  const tensor out =
+      apply_step(img, {transform_kind::brightness, -0.5f, 0.0f});
+  EXPECT_FLOAT_EQ(out[0], 0.0f);  // clamped at zero
+  EXPECT_NEAR(out[15], 0.5f, 1e-6f);
+}
+
+TEST(Transforms, ContrastMultipliesAndClamps) {
+  const tensor img = make_ramp_image();
+  const tensor out = apply_step(img, {transform_kind::contrast, 3.0f, 0.0f});
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_NEAR(out[5], 1.0f, 1e-6f);  // 5/15*3 = 1.0
+  EXPECT_FLOAT_EQ(out[15], 1.0f);
+}
+
+TEST(Transforms, ComplementIsInvolution) {
+  const tensor img = make_ramp_image();
+  const transform_step comp{transform_kind::complement, 0.0f, 0.0f};
+  const tensor once = apply_step(img, comp);
+  EXPECT_NEAR(once[0], 1.0f, 1e-6f);
+  const tensor twice = apply_step(once, comp);
+  for (std::int64_t i = 0; i < img.numel(); ++i) {
+    EXPECT_NEAR(twice[i], img[i], 1e-6f);
+  }
+}
+
+TEST(Transforms, ScaleRejectsNonPositive) {
+  const tensor img = make_ramp_image();
+  EXPECT_THROW(apply_step(img, {transform_kind::scale, 0.0f, 1.0f}),
+               std::invalid_argument);
+}
+
+TEST(Transforms, RotationPreservesCenterMass) {
+  tensor img{{1, 9, 9}};
+  img.at3(0, 4, 4) = 1.0f;
+  const tensor out = apply_step(img, {transform_kind::rotation, 45.0f, 0.0f});
+  EXPECT_NEAR(out.at3(0, 4, 4), 1.0f, 1e-3f);
+}
+
+TEST(Transforms, ChainAppliesInOrder) {
+  const tensor img = make_ramp_image();
+  // complement then brightness +0.2 != brightness then complement.
+  const transform_chain a{{transform_kind::complement, 0, 0},
+                          {transform_kind::brightness, 0.2f, 0}};
+  const transform_chain b{{transform_kind::brightness, 0.2f, 0},
+                          {transform_kind::complement, 0, 0}};
+  const tensor ra = apply_chain(img, a);
+  const tensor rb = apply_chain(img, b);
+  EXPECT_NEAR(ra[15], 0.2f, 1e-6f);
+  EXPECT_NEAR(rb[15], 0.0f, 1e-6f);
+}
+
+TEST(Transforms, EmptyChainIsIdentity) {
+  const tensor img = make_ramp_image();
+  const tensor out = apply_chain(img, {});
+  for (std::int64_t i = 0; i < img.numel(); ++i) EXPECT_EQ(out[i], img[i]);
+}
+
+TEST(Transforms, DescribeStrings) {
+  EXPECT_EQ(transform_step({transform_kind::rotation, 30.0f, 0}).describe(),
+            "rotation(theta=30 deg)");
+  EXPECT_EQ(transform_step({transform_kind::shear, 0.5f, 0.25f}).describe(),
+            "shear(sh=0.5, sv=0.25)");
+  EXPECT_EQ(transform_step({transform_kind::complement, 0, 0}).describe(),
+            "complement");
+  const transform_chain chain{{transform_kind::complement, 0, 0},
+                              {transform_kind::scale, 0.8f, 0.8f}};
+  EXPECT_EQ(describe_chain(chain), "complement + scale(sx=0.8, sy=0.8)");
+}
+
+TEST(Transforms, KindNamesExhaustive) {
+  EXPECT_STREQ(transform_kind_name(transform_kind::brightness), "brightness");
+  EXPECT_STREQ(transform_kind_name(transform_kind::translation), "translation");
+}
+
+class AllTransformSteps : public ::testing::TestWithParam<transform_step> {};
+
+TEST_P(AllTransformSteps, OutputStaysInRangeAndShape) {
+  synth_digits_config cfg;
+  cfg.count = 5;
+  const dataset d = make_synth_digits(cfg);
+  const tensor img = d.images.sample(0);
+  const tensor out = apply_step(img, GetParam());
+  EXPECT_EQ(out.shape(), img.shape());
+  EXPECT_GE(out.min(), 0.0f);
+  EXPECT_LE(out.max(), 1.0f);
+}
+
+TEST_P(AllTransformSteps, NontrivialStepsChangeTheImage) {
+  synth_digits_config cfg;
+  cfg.count = 5;
+  const dataset d = make_synth_digits(cfg);
+  const tensor img = d.images.sample(1);
+  const tensor out = apply_step(img, GetParam());
+  double diff = 0.0;
+  for (std::int64_t i = 0; i < img.numel(); ++i) {
+    diff += std::abs(static_cast<double>(out[i]) - img[i]);
+  }
+  EXPECT_GT(diff, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Steps, AllTransformSteps,
+    ::testing::Values(transform_step{transform_kind::brightness, 0.4f, 0},
+                      transform_step{transform_kind::contrast, 3.0f, 0},
+                      transform_step{transform_kind::rotation, 40.0f, 0},
+                      transform_step{transform_kind::shear, 0.4f, 0.3f},
+                      transform_step{transform_kind::scale, 0.6f, 0.6f},
+                      transform_step{transform_kind::translation, 5.0f, 4.0f},
+                      transform_step{transform_kind::complement, 0, 0}));
+
+TEST(TransformDataset, PreservesLabelsAndCount) {
+  synth_digits_config cfg;
+  cfg.count = 12;
+  const dataset d = make_synth_digits(cfg);
+  const dataset t =
+      transform_dataset(d, {{transform_kind::rotation, 30.0f, 0.0f}});
+  EXPECT_EQ(t.size(), d.size());
+  EXPECT_EQ(t.labels, d.labels);
+  EXPECT_NE(t.name, d.name);
+}
+
+}  // namespace
+}  // namespace dv
