@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_discrepancy_hist"
+  "../bench/bench_fig3_discrepancy_hist.pdb"
+  "CMakeFiles/bench_fig3_discrepancy_hist.dir/bench_fig3_discrepancy_hist.cpp.o"
+  "CMakeFiles/bench_fig3_discrepancy_hist.dir/bench_fig3_discrepancy_hist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_discrepancy_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_validation"
+  "../bench/bench_perf_validation.pdb"
+  "CMakeFiles/bench_perf_validation.dir/bench_perf_validation.cpp.o"
+  "CMakeFiles/bench_perf_validation.dir/bench_perf_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_corner_cases"
+  "../bench/bench_table5_corner_cases.pdb"
+  "CMakeFiles/bench_table5_corner_cases.dir/bench_table5_corner_cases.cpp.o"
+  "CMakeFiles/bench_table5_corner_cases.dir/bench_table5_corner_cases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_corner_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

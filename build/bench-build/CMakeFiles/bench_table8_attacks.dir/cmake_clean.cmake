@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_attacks"
+  "../bench/bench_table8_attacks.pdb"
+  "CMakeFiles/bench_table8_attacks.dir/bench_table8_attacks.cpp.o"
+  "CMakeFiles/bench_table8_attacks.dir/bench_table8_attacks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

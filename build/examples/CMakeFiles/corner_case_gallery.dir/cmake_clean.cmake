@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corner_case_gallery.dir/corner_case_gallery.cpp.o"
+  "CMakeFiles/corner_case_gallery.dir/corner_case_gallery.cpp.o.d"
+  "corner_case_gallery"
+  "corner_case_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corner_case_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

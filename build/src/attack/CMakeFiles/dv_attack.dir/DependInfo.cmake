@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attack.cpp" "src/attack/CMakeFiles/dv_attack.dir/attack.cpp.o" "gcc" "src/attack/CMakeFiles/dv_attack.dir/attack.cpp.o.d"
+  "/root/repo/src/attack/bim.cpp" "src/attack/CMakeFiles/dv_attack.dir/bim.cpp.o" "gcc" "src/attack/CMakeFiles/dv_attack.dir/bim.cpp.o.d"
+  "/root/repo/src/attack/cw.cpp" "src/attack/CMakeFiles/dv_attack.dir/cw.cpp.o" "gcc" "src/attack/CMakeFiles/dv_attack.dir/cw.cpp.o.d"
+  "/root/repo/src/attack/deepfool.cpp" "src/attack/CMakeFiles/dv_attack.dir/deepfool.cpp.o" "gcc" "src/attack/CMakeFiles/dv_attack.dir/deepfool.cpp.o.d"
+  "/root/repo/src/attack/fgsm.cpp" "src/attack/CMakeFiles/dv_attack.dir/fgsm.cpp.o" "gcc" "src/attack/CMakeFiles/dv_attack.dir/fgsm.cpp.o.d"
+  "/root/repo/src/attack/jsma.cpp" "src/attack/CMakeFiles/dv_attack.dir/jsma.cpp.o" "gcc" "src/attack/CMakeFiles/dv_attack.dir/jsma.cpp.o.d"
+  "/root/repo/src/attack/pgd.cpp" "src/attack/CMakeFiles/dv_attack.dir/pgd.cpp.o" "gcc" "src/attack/CMakeFiles/dv_attack.dir/pgd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_attack.dir/attack.cpp.o"
+  "CMakeFiles/dv_attack.dir/attack.cpp.o.d"
+  "CMakeFiles/dv_attack.dir/bim.cpp.o"
+  "CMakeFiles/dv_attack.dir/bim.cpp.o.d"
+  "CMakeFiles/dv_attack.dir/cw.cpp.o"
+  "CMakeFiles/dv_attack.dir/cw.cpp.o.d"
+  "CMakeFiles/dv_attack.dir/deepfool.cpp.o"
+  "CMakeFiles/dv_attack.dir/deepfool.cpp.o.d"
+  "CMakeFiles/dv_attack.dir/fgsm.cpp.o"
+  "CMakeFiles/dv_attack.dir/fgsm.cpp.o.d"
+  "CMakeFiles/dv_attack.dir/jsma.cpp.o"
+  "CMakeFiles/dv_attack.dir/jsma.cpp.o.d"
+  "CMakeFiles/dv_attack.dir/pgd.cpp.o"
+  "CMakeFiles/dv_attack.dir/pgd.cpp.o.d"
+  "libdv_attack.a"
+  "libdv_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

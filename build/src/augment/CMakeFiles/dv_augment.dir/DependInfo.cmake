@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/augment/affine.cpp" "src/augment/CMakeFiles/dv_augment.dir/affine.cpp.o" "gcc" "src/augment/CMakeFiles/dv_augment.dir/affine.cpp.o.d"
+  "/root/repo/src/augment/corner_case.cpp" "src/augment/CMakeFiles/dv_augment.dir/corner_case.cpp.o" "gcc" "src/augment/CMakeFiles/dv_augment.dir/corner_case.cpp.o.d"
+  "/root/repo/src/augment/stream.cpp" "src/augment/CMakeFiles/dv_augment.dir/stream.cpp.o" "gcc" "src/augment/CMakeFiles/dv_augment.dir/stream.cpp.o.d"
+  "/root/repo/src/augment/transforms.cpp" "src/augment/CMakeFiles/dv_augment.dir/transforms.cpp.o" "gcc" "src/augment/CMakeFiles/dv_augment.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dv_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

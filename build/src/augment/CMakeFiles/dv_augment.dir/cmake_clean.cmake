@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_augment.dir/affine.cpp.o"
+  "CMakeFiles/dv_augment.dir/affine.cpp.o.d"
+  "CMakeFiles/dv_augment.dir/corner_case.cpp.o"
+  "CMakeFiles/dv_augment.dir/corner_case.cpp.o.d"
+  "CMakeFiles/dv_augment.dir/stream.cpp.o"
+  "CMakeFiles/dv_augment.dir/stream.cpp.o.d"
+  "CMakeFiles/dv_augment.dir/transforms.cpp.o"
+  "CMakeFiles/dv_augment.dir/transforms.cpp.o.d"
+  "libdv_augment.a"
+  "libdv_augment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

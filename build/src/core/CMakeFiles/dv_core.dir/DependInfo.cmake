@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/deep_validator.cpp" "src/core/CMakeFiles/dv_core.dir/deep_validator.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/deep_validator.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/core/CMakeFiles/dv_core.dir/explain.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/explain.cpp.o.d"
+  "/root/repo/src/core/feature_scaler.cpp" "src/core/CMakeFiles/dv_core.dir/feature_scaler.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/feature_scaler.cpp.o.d"
+  "/root/repo/src/core/layer_validator.cpp" "src/core/CMakeFiles/dv_core.dir/layer_validator.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/layer_validator.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/dv_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/probe_reducer.cpp" "src/core/CMakeFiles/dv_core.dir/probe_reducer.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/probe_reducer.cpp.o.d"
+  "/root/repo/src/core/weighted_joint.cpp" "src/core/CMakeFiles/dv_core.dir/weighted_joint.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/weighted_joint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/dv_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/dv_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dv_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

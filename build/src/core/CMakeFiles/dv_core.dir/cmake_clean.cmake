@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_core.dir/deep_validator.cpp.o"
+  "CMakeFiles/dv_core.dir/deep_validator.cpp.o.d"
+  "CMakeFiles/dv_core.dir/explain.cpp.o"
+  "CMakeFiles/dv_core.dir/explain.cpp.o.d"
+  "CMakeFiles/dv_core.dir/feature_scaler.cpp.o"
+  "CMakeFiles/dv_core.dir/feature_scaler.cpp.o.d"
+  "CMakeFiles/dv_core.dir/layer_validator.cpp.o"
+  "CMakeFiles/dv_core.dir/layer_validator.cpp.o.d"
+  "CMakeFiles/dv_core.dir/monitor.cpp.o"
+  "CMakeFiles/dv_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/dv_core.dir/probe_reducer.cpp.o"
+  "CMakeFiles/dv_core.dir/probe_reducer.cpp.o.d"
+  "CMakeFiles/dv_core.dir/weighted_joint.cpp.o"
+  "CMakeFiles/dv_core.dir/weighted_joint.cpp.o.d"
+  "libdv_core.a"
+  "libdv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_data.dir/dataset.cpp.o"
+  "CMakeFiles/dv_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/dv_data.dir/factory.cpp.o"
+  "CMakeFiles/dv_data.dir/factory.cpp.o.d"
+  "CMakeFiles/dv_data.dir/glyphs.cpp.o"
+  "CMakeFiles/dv_data.dir/glyphs.cpp.o.d"
+  "CMakeFiles/dv_data.dir/synth_digits.cpp.o"
+  "CMakeFiles/dv_data.dir/synth_digits.cpp.o.d"
+  "CMakeFiles/dv_data.dir/synth_objects.cpp.o"
+  "CMakeFiles/dv_data.dir/synth_objects.cpp.o.d"
+  "CMakeFiles/dv_data.dir/synth_street.cpp.o"
+  "CMakeFiles/dv_data.dir/synth_street.cpp.o.d"
+  "libdv_data.a"
+  "libdv_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/detector.cpp" "src/detect/CMakeFiles/dv_detect.dir/detector.cpp.o" "gcc" "src/detect/CMakeFiles/dv_detect.dir/detector.cpp.o.d"
+  "/root/repo/src/detect/dv_adapter.cpp" "src/detect/CMakeFiles/dv_detect.dir/dv_adapter.cpp.o" "gcc" "src/detect/CMakeFiles/dv_detect.dir/dv_adapter.cpp.o.d"
+  "/root/repo/src/detect/feature_squeeze.cpp" "src/detect/CMakeFiles/dv_detect.dir/feature_squeeze.cpp.o" "gcc" "src/detect/CMakeFiles/dv_detect.dir/feature_squeeze.cpp.o.d"
+  "/root/repo/src/detect/kde.cpp" "src/detect/CMakeFiles/dv_detect.dir/kde.cpp.o" "gcc" "src/detect/CMakeFiles/dv_detect.dir/kde.cpp.o.d"
+  "/root/repo/src/detect/lid.cpp" "src/detect/CMakeFiles/dv_detect.dir/lid.cpp.o" "gcc" "src/detect/CMakeFiles/dv_detect.dir/lid.cpp.o.d"
+  "/root/repo/src/detect/mahalanobis.cpp" "src/detect/CMakeFiles/dv_detect.dir/mahalanobis.cpp.o" "gcc" "src/detect/CMakeFiles/dv_detect.dir/mahalanobis.cpp.o.d"
+  "/root/repo/src/detect/squeezers.cpp" "src/detect/CMakeFiles/dv_detect.dir/squeezers.cpp.o" "gcc" "src/detect/CMakeFiles/dv_detect.dir/squeezers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dv_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/dv_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dv_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_detect.dir/detector.cpp.o"
+  "CMakeFiles/dv_detect.dir/detector.cpp.o.d"
+  "CMakeFiles/dv_detect.dir/dv_adapter.cpp.o"
+  "CMakeFiles/dv_detect.dir/dv_adapter.cpp.o.d"
+  "CMakeFiles/dv_detect.dir/feature_squeeze.cpp.o"
+  "CMakeFiles/dv_detect.dir/feature_squeeze.cpp.o.d"
+  "CMakeFiles/dv_detect.dir/kde.cpp.o"
+  "CMakeFiles/dv_detect.dir/kde.cpp.o.d"
+  "CMakeFiles/dv_detect.dir/lid.cpp.o"
+  "CMakeFiles/dv_detect.dir/lid.cpp.o.d"
+  "CMakeFiles/dv_detect.dir/mahalanobis.cpp.o"
+  "CMakeFiles/dv_detect.dir/mahalanobis.cpp.o.d"
+  "CMakeFiles/dv_detect.dir/squeezers.cpp.o"
+  "CMakeFiles/dv_detect.dir/squeezers.cpp.o.d"
+  "libdv_detect.a"
+  "libdv_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

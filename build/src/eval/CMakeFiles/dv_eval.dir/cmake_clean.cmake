@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_eval.dir/histogram.cpp.o"
+  "CMakeFiles/dv_eval.dir/histogram.cpp.o.d"
+  "CMakeFiles/dv_eval.dir/logistic.cpp.o"
+  "CMakeFiles/dv_eval.dir/logistic.cpp.o.d"
+  "CMakeFiles/dv_eval.dir/metrics.cpp.o"
+  "CMakeFiles/dv_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/dv_eval.dir/table.cpp.o"
+  "CMakeFiles/dv_eval.dir/table.cpp.o.d"
+  "libdv_eval.a"
+  "libdv_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_nn.dir/activation.cpp.o"
+  "CMakeFiles/dv_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/dv_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/dv_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/dv_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/dv_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/dv_nn.dir/dense.cpp.o"
+  "CMakeFiles/dv_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/dv_nn.dir/dense_block.cpp.o"
+  "CMakeFiles/dv_nn.dir/dense_block.cpp.o.d"
+  "CMakeFiles/dv_nn.dir/loss.cpp.o"
+  "CMakeFiles/dv_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/dv_nn.dir/model.cpp.o"
+  "CMakeFiles/dv_nn.dir/model.cpp.o.d"
+  "CMakeFiles/dv_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/dv_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/dv_nn.dir/pool.cpp.o"
+  "CMakeFiles/dv_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/dv_nn.dir/trainer.cpp.o"
+  "CMakeFiles/dv_nn.dir/trainer.cpp.o.d"
+  "libdv_nn.a"
+  "libdv_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_pipeline.dir/artifacts.cpp.o"
+  "CMakeFiles/dv_pipeline.dir/artifacts.cpp.o.d"
+  "CMakeFiles/dv_pipeline.dir/config.cpp.o"
+  "CMakeFiles/dv_pipeline.dir/config.cpp.o.d"
+  "CMakeFiles/dv_pipeline.dir/corner_suite.cpp.o"
+  "CMakeFiles/dv_pipeline.dir/corner_suite.cpp.o.d"
+  "CMakeFiles/dv_pipeline.dir/models.cpp.o"
+  "CMakeFiles/dv_pipeline.dir/models.cpp.o.d"
+  "libdv_pipeline.a"
+  "libdv_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svm/kernel.cpp" "src/svm/CMakeFiles/dv_svm.dir/kernel.cpp.o" "gcc" "src/svm/CMakeFiles/dv_svm.dir/kernel.cpp.o.d"
+  "/root/repo/src/svm/one_class_svm.cpp" "src/svm/CMakeFiles/dv_svm.dir/one_class_svm.cpp.o" "gcc" "src/svm/CMakeFiles/dv_svm.dir/one_class_svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

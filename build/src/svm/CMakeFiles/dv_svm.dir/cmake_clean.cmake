@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_svm.dir/kernel.cpp.o"
+  "CMakeFiles/dv_svm.dir/kernel.cpp.o.d"
+  "CMakeFiles/dv_svm.dir/one_class_svm.cpp.o"
+  "CMakeFiles/dv_svm.dir/one_class_svm.cpp.o.d"
+  "libdv_svm.a"
+  "libdv_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

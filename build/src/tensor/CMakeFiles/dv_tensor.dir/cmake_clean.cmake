@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_tensor.dir/linalg.cpp.o"
+  "CMakeFiles/dv_tensor.dir/linalg.cpp.o.d"
+  "CMakeFiles/dv_tensor.dir/ops.cpp.o"
+  "CMakeFiles/dv_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/dv_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/dv_tensor.dir/tensor.cpp.o.d"
+  "libdv_tensor.a"
+  "libdv_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_util.dir/image_io.cpp.o"
+  "CMakeFiles/dv_util.dir/image_io.cpp.o.d"
+  "CMakeFiles/dv_util.dir/logging.cpp.o"
+  "CMakeFiles/dv_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dv_util.dir/rng.cpp.o"
+  "CMakeFiles/dv_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dv_util.dir/serialize.cpp.o"
+  "CMakeFiles/dv_util.dir/serialize.cpp.o.d"
+  "libdv_util.a"
+  "libdv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corner_case.dir/test_corner_case.cpp.o"
+  "CMakeFiles/test_corner_case.dir/test_corner_case.cpp.o.d"
+  "test_corner_case"
+  "test_corner_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corner_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_block.dir/test_dense_block.cpp.o"
+  "CMakeFiles/test_dense_block.dir/test_dense_block.cpp.o.d"
+  "test_dense_block"
+  "test_dense_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_ext.dir/test_detect_ext.cpp.o"
+  "CMakeFiles/test_detect_ext.dir/test_detect_ext.cpp.o.d"
+  "test_detect_ext"
+  "test_detect_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_ext.dir/test_nn_ext.cpp.o"
+  "CMakeFiles/test_nn_ext.dir/test_nn_ext.cpp.o.d"
+  "test_nn_ext"
+  "test_nn_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

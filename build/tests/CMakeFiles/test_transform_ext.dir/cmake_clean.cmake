@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transform_ext.dir/test_transform_ext.cpp.o"
+  "CMakeFiles/test_transform_ext.dir/test_transform_ext.cpp.o.d"
+  "test_transform_ext"
+  "test_transform_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transform_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
