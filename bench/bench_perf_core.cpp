@@ -1,18 +1,32 @@
 // Microbenchmarks of the numerical kernels behind the library (google-
 // benchmark): GEMM variants, im2col, convolution forward/backward, the RBF
 // kernel and one-class SVM scoring, affine warping, and the squeezers.
+//
+// The *_threads variants take the pool size as the second benchmark
+// argument, so `scripts/run_perf_bench.sh` records the scaling curve of
+// the parallel runtime alongside the single-threaded kernel numbers.
 #include <benchmark/benchmark.h>
 
 #include "augment/affine.h"
 #include "detect/squeezers.h"
 #include "nn/layers.h"
+#include "svm/kernel.h"
 #include "svm/one_class_svm.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace dv;
+
+/// Pins the pool size for one benchmark run and restores the default after.
+struct thread_arg {
+  explicit thread_arg(std::int64_t n) {
+    set_thread_count(static_cast<int>(n));
+  }
+  ~thread_arg() { set_thread_count(0); }
+};
 
 void bm_gemm_nn(benchmark::State& state) {
   const auto n = state.range(0);
@@ -41,6 +55,27 @@ void bm_gemm_nt(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(bm_gemm_nt)->Arg(64);
+
+void bm_gemm_nn_threads(benchmark::State& state) {
+  const auto n = state.range(0);
+  thread_arg threads{state.range(1)};
+  rng gen{1};
+  tensor a = tensor::randn({n, n}, gen);
+  tensor b = tensor::randn({n, n}, gen);
+  tensor c{{n, n}};
+  for (auto _ : state) {
+    gemm_nn(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(bm_gemm_nn_threads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8})
+    ->ArgNames({"n", "threads"})
+    ->UseRealTime();
 
 void bm_im2col(benchmark::State& state) {
   rng gen{3};
@@ -79,6 +114,85 @@ void bm_conv_backward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 8);
 }
 BENCHMARK(bm_conv_backward);
+
+void bm_conv_forward_threads(benchmark::State& state) {
+  thread_arg threads{state.range(0)};
+  rng gen{4};
+  conv2d conv{8, 16, 3, 1, 1, gen};
+  tensor x = tensor::randn({32, 8, 28, 28}, gen);
+  for (auto _ : state) {
+    tensor y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(bm_conv_forward_threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("threads")
+    ->UseRealTime();
+
+void bm_conv_backward_threads(benchmark::State& state) {
+  thread_arg threads{state.range(0)};
+  rng gen{5};
+  conv2d conv{8, 16, 3, 1, 1, gen};
+  tensor x = tensor::randn({32, 8, 28, 28}, gen);
+  tensor y = conv.forward(x, true);
+  tensor g = tensor::randn(y.shape(), gen);
+  for (auto _ : state) {
+    tensor dx = conv.backward(g);
+    benchmark::DoNotOptimize(dx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(bm_conv_backward_threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("threads")
+    ->UseRealTime();
+
+void bm_kernel_matrix_threads(benchmark::State& state) {
+  thread_arg threads{state.range(0)};
+  rng gen{12};
+  tensor samples = tensor::randn({400, 32}, gen);
+  for (auto _ : state) {
+    tensor k = kernel_matrix(kernel_kind::rbf, samples, 0.01);
+    benchmark::DoNotOptimize(k.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 400 * 400 / 2);
+}
+BENCHMARK(bm_kernel_matrix_threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("threads")
+    ->UseRealTime();
+
+void bm_svm_decision_batch_threads(benchmark::State& state) {
+  thread_arg threads{state.range(0)};
+  rng gen{8};
+  tensor samples = tensor::randn({300, 16}, gen);
+  one_class_svm svm;
+  svm.fit(samples, {});
+  tensor queries = tensor::randn({256, 16}, gen);
+  for (auto _ : state) {
+    const auto scores = svm.decision_batch(queries);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(bm_svm_decision_batch_threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("threads")
+    ->UseRealTime();
 
 void bm_rbf_kernel(benchmark::State& state) {
   const auto d = state.range(0);

@@ -215,5 +215,11 @@ bench-build/CMakeFiles/bench_perf_core.dir/bench_perf_core.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/nn/layers.h \
- /root/repo/src/nn/layer.h /root/repo/src/svm/one_class_svm.h \
- /root/repo/src/svm/kernel.h /root/repo/src/tensor/ops.h
+ /root/repo/src/nn/layer.h /root/repo/src/svm/kernel.h \
+ /root/repo/src/svm/one_class_svm.h /root/repo/src/tensor/ops.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/dv_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/dv_util.dir/logging.cpp.o.d"
   "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/dv_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/dv_util.dir/rng.cpp.o.d"
   "/root/repo/src/util/serialize.cpp" "src/util/CMakeFiles/dv_util.dir/serialize.cpp.o" "gcc" "src/util/CMakeFiles/dv_util.dir/serialize.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/dv_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/dv_util.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dv_util.dir/rng.cpp.o.d"
   "CMakeFiles/dv_util.dir/serialize.cpp.o"
   "CMakeFiles/dv_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/dv_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dv_util.dir/thread_pool.cpp.o.d"
   "libdv_util.a"
   "libdv_util.pdb"
 )

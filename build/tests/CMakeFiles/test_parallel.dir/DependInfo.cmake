@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/dv_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/dv_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/dv_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/dv_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dv_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dv_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dv_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/dv_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dv_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the core kernel microbenchmarks and records them as
+# BENCH_perf_core.json so the perf trajectory is tracked across PRs.
+#
+# Usage: scripts/run_perf_bench.sh [extra google-benchmark flags...]
+# e.g.   scripts/run_perf_bench.sh --benchmark_filter='bm_gemm.*'
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target bench_perf_core >/dev/null
+
+./build/bench/bench_perf_core \
+  --benchmark_out=BENCH_perf_core.json \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2 \
+  "$@"
+
+echo "wrote BENCH_perf_core.json"

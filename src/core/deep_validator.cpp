@@ -8,6 +8,7 @@
 #include "util/logging.h"
 #include "util/serialize.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace dv {
 
@@ -125,10 +126,10 @@ deep_validator::scores deep_validator::evaluate(sequential& model,
   if (!fitted()) throw std::logic_error{"deep_validator: not fitted"};
   const std::int64_t n = images.extent(0);
   scores out;
-  out.per_layer.assign(validators_.size(), {});
-  for (auto& v : out.per_layer) v.reserve(static_cast<std::size_t>(n));
-  out.joint.reserve(static_cast<std::size_t>(n));
-  out.predictions.reserve(static_cast<std::size_t>(n));
+  out.per_layer.assign(validators_.size(),
+                       std::vector<double>(static_cast<std::size_t>(n)));
+  out.joint.assign(static_cast<std::size_t>(n), 0.0);
+  out.predictions.assign(static_cast<std::size_t>(n), 0);
 
   const int total_probes = model.probe_count();
   for (std::int64_t begin = 0; begin < n; begin += eval_batch_) {
@@ -145,19 +146,26 @@ deep_validator::scores deep_validator::evaluate(sequential& model,
       reduced[v] = reduce_probe(
           *probes[static_cast<std::size_t>(probe_indices_[v])], spatial_);
     }
-    for (std::int64_t i = 0; i < end - begin; ++i) {
-      const auto pred = preds[static_cast<std::size_t>(i)];
-      double joint = 0.0;
-      for (std::size_t v = 0; v < validators_.size(); ++v) {
-        const std::int64_t d = reduced[v].extent(1);
-        const double disc = validators_[v].discrepancy(
-            pred, {reduced[v].data() + i * d, static_cast<std::size_t>(d)});
-        out.per_layer[v].push_back(disc);
-        joint += disc;
+    // Scoring an image touches every (layer, predicted-class) SVM but
+    // writes only that image's output slots, so images within the batch
+    // parallelize with no reduction (per-image math is unchanged —
+    // bit-identical for any thread count).
+    parallel_for(0, end - begin, 1, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const auto pred = preds[static_cast<std::size_t>(i)];
+        const auto slot = static_cast<std::size_t>(begin + i);
+        double joint = 0.0;
+        for (std::size_t v = 0; v < validators_.size(); ++v) {
+          const std::int64_t d = reduced[v].extent(1);
+          const double disc = validators_[v].discrepancy(
+              pred, {reduced[v].data() + i * d, static_cast<std::size_t>(d)});
+          out.per_layer[v][slot] = disc;
+          joint += disc;
+        }
+        out.joint[slot] = joint;
+        out.predictions[slot] = pred;
       }
-      out.joint.push_back(joint);
-      out.predictions.push_back(pred);
-    }
+    });
   }
   return out;
 }

@@ -48,9 +48,11 @@ double layer_validator::discrepancy(std::int64_t predicted_class,
       predicted_class >= static_cast<std::int64_t>(svms_.size())) {
     throw std::out_of_range{"layer_validator::discrepancy: class"};
   }
-  scratch_.assign(feature.begin(), feature.end());
-  scaler_.transform_row(scratch_);
-  return -svms_[static_cast<std::size_t>(predicted_class)].decision(scratch_);
+  // Local scaled copy rather than a member scratch buffer: evaluate() in
+  // deep_validator scores images concurrently through this method.
+  std::vector<float> scaled(feature.begin(), feature.end());
+  scaler_.transform_row(scaled);
+  return -svms_[static_cast<std::size_t>(predicted_class)].decision(scaled);
 }
 
 void layer_validator::save(binary_writer& w) const {

@@ -21,6 +21,7 @@ class layer_validator {
 
   /// Discrepancy d_i = -t_{y'}(feature) (Equation 2). `feature` is the raw
   /// (reduced, unscaled) probe vector; scaling happens internally.
+  /// Thread-safe: concurrent calls on one fitted validator are allowed.
   double discrepancy(std::int64_t predicted_class,
                      std::span<const float> feature) const;
 
@@ -34,8 +35,6 @@ class layer_validator {
  private:
   feature_scaler scaler_;
   std::vector<one_class_svm> svms_;
-  // Scratch buffer reused by discrepancy (scaled copy of the feature).
-  mutable std::vector<float> scratch_;
 };
 
 }  // namespace dv

@@ -4,8 +4,31 @@
 
 #include "nn/layers.h"
 #include "tensor/ops.h"
+#include "util/thread_pool.h"
 
 namespace dv {
+
+namespace {
+
+/// Samples per parallel chunk. Fixed (never derived from the thread count)
+/// so the per-chunk gradient partials reduce in the same order for any
+/// DV_THREADS setting.
+constexpr std::int64_t k_sample_grain = 4;
+
+/// Returns the rank-th scratch buffer, (re)allocated unless its shape is
+/// exactly [rows, cols]. Comparing the shape — not numel() — prevents two
+/// geometries with equal element counts from silently sharing a
+/// wrongly-shaped buffer.
+tensor& scratch_for(std::vector<tensor>& scratch, int rank, std::int64_t rows,
+                    std::int64_t cols) {
+  auto& buf = scratch[static_cast<std::size_t>(rank)];
+  if (buf.dim() != 2 || buf.extent(0) != rows || buf.extent(1) != cols) {
+    buf = tensor{{rows, cols}};
+  }
+  return buf;
+}
+
+}  // namespace
 
 conv2d::conv2d(std::int64_t in_c, std::int64_t out_c, std::int64_t kernel,
                std::int64_t stride, std::int64_t pad, rng& gen, bool bias)
@@ -44,26 +67,30 @@ tensor conv2d::forward(const tensor& x, bool /*training*/) {
   }
   const std::int64_t n = x.extent(0);
   tensor out{{n, out_c_, oh, ow}};
-  if (col_.numel() != g.col_rows() * g.col_cols()) {
-    col_ = tensor{{g.col_rows(), g.col_cols()}};
-  }
+  col_scratch_.resize(static_cast<std::size_t>(thread_count()));
   const std::int64_t in_stride = in_c_ * g.in_h * g.in_w;
   const std::int64_t out_stride = out_c_ * oh * ow;
-  for (std::int64_t i = 0; i < n; ++i) {
-    im2col(x.data() + i * in_stride, g, col_.data());
-    gemm_nn(out_c_, g.col_cols(), g.col_rows(), 1.0f, weight_.data(),
-            col_.data(), 0.0f, out.data() + i * out_stride);
-  }
-  if (has_bias_) {
-    for (std::int64_t i = 0; i < n; ++i) {
-      float* base = out.data() + i * out_stride;
-      for (std::int64_t c = 0; c < out_c_; ++c) {
-        const float b = bias_[c];
-        float* plane = base + c * oh * ow;
-        for (std::int64_t p = 0; p < oh * ow; ++p) plane[p] += b;
-      }
-    }
-  }
+  // Each sample writes a disjoint slice of `out`, so the batch loop is
+  // embarrassingly parallel; only the im2col scratch is per-thread.
+  parallel_for_chunks(
+      0, n, k_sample_grain,
+      [&](std::int64_t, std::int64_t begin, std::int64_t end, int rank) {
+        tensor& col =
+            scratch_for(col_scratch_, rank, g.col_rows(), g.col_cols());
+        for (std::int64_t i = begin; i < end; ++i) {
+          im2col(x.data() + i * in_stride, g, col.data());
+          gemm_nn(out_c_, g.col_cols(), g.col_rows(), 1.0f, weight_.data(),
+                  col.data(), 0.0f, out.data() + i * out_stride);
+          if (has_bias_) {
+            float* base = out.data() + i * out_stride;
+            for (std::int64_t c = 0; c < out_c_; ++c) {
+              const float b = bias_[c];
+              float* plane = base + c * oh * ow;
+              for (std::int64_t p = 0; p < oh * ow; ++p) plane[p] += b;
+            }
+          }
+        }
+      });
   if (probe_) cached_output_ = out;
   return out;
 }
@@ -80,26 +107,66 @@ tensor conv2d::backward(const tensor& grad_out) {
     throw std::invalid_argument{"conv2d::backward: grad shape mismatch"};
   }
   tensor grad_in{input_.shape()};
-  tensor dcol{{g.col_rows(), g.col_cols()}};
   const std::int64_t in_stride = in_c_ * g.in_h * g.in_w;
   const std::int64_t out_stride = out_c_ * oh * ow;
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* go = grad_out.data() + i * out_stride;
-    // dW += dY * col^T  — recompute col for this sample.
-    im2col(input_.data() + i * in_stride, g, col_.data());
-    gemm_nt(out_c_, g.col_rows(), g.col_cols(), 1.0f, go, col_.data(), 1.0f,
-            dweight_.data());
-    // dcol = W^T * dY, then scatter back to the image.
-    gemm_tn(g.col_rows(), g.col_cols(), out_c_, 1.0f, weight_.data(), go, 0.0f,
-            dcol.data());
-    col2im(dcol.data(), g, grad_in.data() + i * in_stride);
-    if (has_bias_) {
-      for (std::int64_t c = 0; c < out_c_; ++c) {
-        double acc = 0.0;
-        const float* plane = go + c * oh * ow;
-        for (std::int64_t p = 0; p < oh * ow; ++p) acc += plane[p];
-        dbias_[c] += static_cast<float>(acc);
-      }
+  col_scratch_.resize(static_cast<std::size_t>(thread_count()));
+  dcol_scratch_.resize(static_cast<std::size_t>(thread_count()));
+  // grad_in slices are disjoint per sample; dweight_/dbias_ are reductions.
+  // Each chunk accumulates into its own partial, and the partials are
+  // folded in ascending chunk order below — the chunk decomposition
+  // depends only on (n, grain), so the sum order (and the bit pattern of
+  // the result) is identical for every thread count. With a single chunk
+  // the partials are skipped and gradients accumulate in place.
+  const std::int64_t num_chunks = parallel_chunk_count(0, n, k_sample_grain);
+  std::vector<tensor> dw_partial, db_partial;
+  if (num_chunks > 1) {
+    dw_partial.resize(static_cast<std::size_t>(num_chunks));
+    if (has_bias_) db_partial.resize(static_cast<std::size_t>(num_chunks));
+  }
+  parallel_for_chunks(
+      0, n, k_sample_grain,
+      [&](std::int64_t chunk, std::int64_t begin, std::int64_t end,
+          int rank) {
+        tensor& col =
+            scratch_for(col_scratch_, rank, g.col_rows(), g.col_cols());
+        tensor& dcol =
+            scratch_for(dcol_scratch_, rank, g.col_rows(), g.col_cols());
+        float* dw = dweight_.data();
+        float* db = has_bias_ ? dbias_.data() : nullptr;
+        if (num_chunks > 1) {
+          auto& dwp = dw_partial[static_cast<std::size_t>(chunk)];
+          dwp = tensor::zeros(dweight_.shape());
+          dw = dwp.data();
+          if (has_bias_) {
+            auto& dbp = db_partial[static_cast<std::size_t>(chunk)];
+            dbp = tensor::zeros(dbias_.shape());
+            db = dbp.data();
+          }
+        }
+        for (std::int64_t i = begin; i < end; ++i) {
+          const float* go = grad_out.data() + i * out_stride;
+          // dW += dY * col^T  — recompute col for this sample.
+          im2col(input_.data() + i * in_stride, g, col.data());
+          gemm_nt(out_c_, g.col_rows(), g.col_cols(), 1.0f, go, col.data(),
+                  1.0f, dw);
+          // dcol = W^T * dY, then scatter back to the image.
+          gemm_tn(g.col_rows(), g.col_cols(), out_c_, 1.0f, weight_.data(),
+                  go, 0.0f, dcol.data());
+          col2im(dcol.data(), g, grad_in.data() + i * in_stride);
+          if (has_bias_) {
+            for (std::int64_t c = 0; c < out_c_; ++c) {
+              double acc = 0.0;
+              const float* plane = go + c * oh * ow;
+              for (std::int64_t p = 0; p < oh * ow; ++p) acc += plane[p];
+              db[c] += static_cast<float>(acc);
+            }
+          }
+        }
+      });
+  if (num_chunks > 1) {
+    for (std::int64_t chunk = 0; chunk < num_chunks; ++chunk) {
+      dweight_ += dw_partial[static_cast<std::size_t>(chunk)];
+      if (has_bias_) dbias_ += db_partial[static_cast<std::size_t>(chunk)];
     }
   }
   return grad_in;

@@ -108,8 +108,11 @@ class conv2d : public layer {
   std::int64_t in_c_, out_c_, kernel_, stride_, pad_;
   bool has_bias_;
   tensor weight_, bias_, dweight_, dbias_;
-  tensor input_;      // cached forward input
-  tensor col_;        // scratch im2col buffer (per sample, reused)
+  tensor input_;  // cached forward input
+  // Per-thread im2col scratch buffers, indexed by pool rank and reused
+  // across calls when the [col_rows, col_cols] shape still matches.
+  std::vector<tensor> col_scratch_;
+  std::vector<tensor> dcol_scratch_;
 };
 
 // -- Fully connected -----------------------------------------------------------

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.h"
+#include "util/thread_pool.h"
 
 namespace dv {
 
@@ -28,16 +29,21 @@ tensor kernel_matrix(kernel_kind kind, const tensor& samples, double gamma) {
   const std::int64_t n = samples.extent(0);
   const std::int64_t d = samples.extent(1);
   tensor k{{n, n}};
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* xi = samples.data() + i * d;
-    for (std::int64_t j = 0; j <= i; ++j) {
-      const float* xj = samples.data() + j * d;
-      const auto v =
-          static_cast<float>(kernel_value(kind, xi, xj, d, gamma));
-      k.at2(i, j) = v;
-      k.at2(j, i) = v;
+  // Row i computes the lower-triangular entries j <= i and mirrors them.
+  // Every (i, j) cell is written by exactly one row, so rows parallelize
+  // with no reduction; the small grain keeps the triangular work balanced.
+  parallel_for(0, n, 4, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      const float* xi = samples.data() + i * d;
+      for (std::int64_t j = 0; j <= i; ++j) {
+        const float* xj = samples.data() + j * d;
+        const auto v =
+            static_cast<float>(kernel_value(kind, xi, xj, d, gamma));
+        k.at2(i, j) = v;
+        k.at2(j, i) = v;
+      }
     }
-  }
+  });
   return k;
 }
 

@@ -7,6 +7,7 @@
 
 #include "util/logging.h"
 #include "util/serialize.h"
+#include "util/thread_pool.h"
 
 namespace dv {
 
@@ -38,16 +39,20 @@ void one_class_svm::fit(const tensor& samples,
 
   const tensor q = kernel_matrix(kernel_, samples, gamma_);
 
-  // Gradient of the objective: G_i = sum_j alpha_j Q_ij.
+  // Gradient of the objective: G_i = sum_j alpha_j Q_ij. Each grad entry
+  // is written by exactly one row with a fixed inner summation order, so
+  // the parallel rows are bit-identical for any thread count.
   std::vector<double> grad(static_cast<std::size_t>(n), 0.0);
-  for (std::int64_t i = 0; i < n; ++i) {
-    double acc = 0.0;
-    const float* row = q.data() + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      acc += alpha[static_cast<std::size_t>(j)] * row[j];
+  parallel_for(0, n, 16, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      double acc = 0.0;
+      const float* row = q.data() + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        acc += alpha[static_cast<std::size_t>(j)] * row[j];
+      }
+      grad[static_cast<std::size_t>(i)] = acc;
     }
-    grad[static_cast<std::size_t>(i)] = acc;
-  }
+  });
 
   // SMO over maximal violating pairs.
   std::int64_t iter = 0;
@@ -147,6 +152,29 @@ double one_class_svm::decision(std::span<const float> x) const {
                         gamma_);
   }
   return acc - rho_;
+}
+
+std::vector<double> one_class_svm::decision_batch(const tensor& x) const {
+  if (!fitted_) {
+    throw std::logic_error{"one_class_svm::decision_batch: not fitted"};
+  }
+  if (x.dim() != 2 || x.extent(1) != support_vectors_.extent(1)) {
+    throw std::invalid_argument{
+        "one_class_svm::decision_batch: expected [n, " +
+        std::to_string(support_vectors_.extent(1)) + "], got " +
+        x.shape_string()};
+  }
+  const std::int64_t n = x.extent(0);
+  const std::int64_t d = support_vectors_.extent(1);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  // One output per row; per-row math is the sequential decision() loop.
+  parallel_for(0, n, 8, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      out[static_cast<std::size_t>(i)] =
+          decision({x.data() + i * d, static_cast<std::size_t>(d)});
+    }
+  });
+  return out;
 }
 
 void one_class_svm::save(binary_writer& w) const {

@@ -44,6 +44,11 @@ class one_class_svm {
   /// Signed decision value t(x); requires a fitted model.
   double decision(std::span<const float> x) const;
 
+  /// Batch decision values for the rows of `x` [n, d], computed in
+  /// parallel (one row per output; bit-identical to calling decision()
+  /// per row for any thread count).
+  std::vector<double> decision_batch(const tensor& x) const;
+
   bool fitted() const { return fitted_; }
   std::int64_t support_count() const { return support_vectors_.empty() ? 0 : support_vectors_.extent(0); }
   double rho() const { return rho_; }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
 namespace dv {
 
 std::vector<double> column_means(const tensor& samples) {
@@ -12,11 +14,17 @@ std::vector<double> column_means(const tensor& samples) {
   const std::int64_t n = samples.extent(0);
   const std::int64_t d = samples.extent(1);
   std::vector<double> out(static_cast<std::size_t>(d), 0.0);
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* row = samples.data() + i * d;
-    for (std::int64_t j = 0; j < d; ++j) out[static_cast<std::size_t>(j)] += row[j];
-  }
-  for (auto& v : out) v /= static_cast<double>(n);
+  // Parallel over columns: each out[j] sums its own column in ascending
+  // row order, so the result is bit-identical to the sequential loop for
+  // any thread count.
+  parallel_for(0, d, 16, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t j = begin; j < end; ++j) {
+      double acc = 0.0;
+      const float* col = samples.data() + j;
+      for (std::int64_t i = 0; i < n; ++i) acc += col[i * d];
+      out[static_cast<std::size_t>(j)] = acc / static_cast<double>(n);
+    }
+  });
   return out;
 }
 
@@ -28,24 +36,32 @@ std::vector<double> covariance(const tensor& samples,
   if (static_cast<std::int64_t>(means.size()) != d) {
     throw std::invalid_argument{"covariance: mean dimension mismatch"};
   }
-  std::vector<double> cov(static_cast<std::size_t>(d * d), 0.0);
-  std::vector<double> centered(static_cast<std::size_t>(d));
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* row = samples.data() + i * d;
-    for (std::int64_t j = 0; j < d; ++j) {
-      centered[static_cast<std::size_t>(j)] =
-          row[j] - means[static_cast<std::size_t>(j)];
-    }
-    for (std::int64_t a = 0; a < d; ++a) {
-      const double ca = centered[static_cast<std::size_t>(a)];
-      double* crow = cov.data() + a * d;
-      for (std::int64_t b = 0; b < d; ++b) {
-        crow[b] += ca * centered[static_cast<std::size_t>(b)];
+  // Center once (rows are independent), then parallelize over output rows:
+  // cov[a][:] accumulates over samples in ascending row order, identical
+  // to the sequential rank-1-update formulation bit for bit.
+  std::vector<double> centered(static_cast<std::size_t>(n * d));
+  parallel_for(0, n, 32, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      const float* row = samples.data() + i * d;
+      double* dst = centered.data() + i * d;
+      for (std::int64_t j = 0; j < d; ++j) {
+        dst[j] = row[j] - means[static_cast<std::size_t>(j)];
       }
     }
-  }
-  for (auto& v : cov) v /= static_cast<double>(n);
-  for (std::int64_t j = 0; j < d; ++j) cov[static_cast<std::size_t>(j * d + j)] += ridge;
+  });
+  std::vector<double> cov(static_cast<std::size_t>(d * d), 0.0);
+  parallel_for(0, d, 8, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t a = begin; a < end; ++a) {
+      double* crow = cov.data() + a * d;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const double* crow_i = centered.data() + i * d;
+        const double ca = crow_i[a];
+        for (std::int64_t b = 0; b < d; ++b) crow[b] += ca * crow_i[b];
+      }
+      for (std::int64_t b = 0; b < d; ++b) crow[b] /= static_cast<double>(n);
+      crow[a] += ridge;
+    }
+  });
   return cov;
 }
 

@@ -4,59 +4,209 @@
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace dv {
 
-void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, const float* b, float beta, float* c) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    if (beta == 0.0f) {
-      std::memset(crow, 0, static_cast<std::size_t>(n) * sizeof(float));
-    } else if (beta != 1.0f) {
-      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-    const float* arow = a + i * k;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = alpha * arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+namespace {
+
+// Cache-tiled, register-blocked GEMM (GotoBLAS-style). All three public
+// variants funnel into one core that multiplies A'[M,K] * B'[K,N] where A'
+// and B' are read through packing routines that absorb the transpositions.
+//
+// Blocking: K is split into KC panels, N into NC panels. Per (NC, KC)
+// panel, B is packed once into NR-wide column strips; the M dimension is
+// then processed in MR-row strips, parallelized over row-block chunks.
+// Each thread packs the A rows of its chunk and runs the MR x NR
+// micro-kernel, which keeps the full accumulator tile in registers.
+//
+// Determinism: the k-accumulation order for every C element is fixed by
+// the (pc, p) loop structure and row blocks write disjoint C rows, so the
+// result is bit-identical for any thread count.
+constexpr std::int64_t MR = 4;    // micro-kernel rows
+constexpr std::int64_t NR = 16;   // micro-kernel columns
+constexpr std::int64_t KC = 256;  // k panel
+constexpr std::int64_t NC = 512;  // n panel
+// Row-blocks per parallel chunk (32 rows): big enough to amortize
+// dispatch, small enough to load-balance mid-sized matrices.
+constexpr std::int64_t ROW_BLOCK_GRAIN = 8;
+// Below this per-row flop count the packing overhead dominates; use the
+// simple kernels. The cutoff deliberately ignores the row count m: the
+// row dimension is the batch axis in the dense/conv GEMMs, and keying the
+// path on n*k alone keeps each row's summation order — and therefore each
+// sample's bit pattern — independent of how many samples share the batch.
+constexpr std::int64_t TILED_MIN_ROW_FLOPS = 2 * 24 * 24;
+
+/// C = beta * C, handling beta == 0 without reading C (it may hold NaNs).
+void scale_c(std::int64_t m, std::int64_t n, float beta, float* c) {
+  if (beta == 1.0f) return;
+  if (beta == 0.0f) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+    return;
+  }
+  for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+}
+
+/// Packs B[pc:pc+kc, jc:jc+nc] (logical [K, N] view; transposed reads b
+/// stored [N, K]) into NR-wide strips, zero-padding the last strip:
+/// panel[((j0 / NR) * kc + p) * NR + jr] = B[pc + p, jc + j0 + jr].
+void pack_b(const float* b, bool b_trans, std::int64_t ldb, std::int64_t pc,
+            std::int64_t jc, std::int64_t kc, std::int64_t nc, float* panel) {
+  for (std::int64_t j0 = 0; j0 < nc; j0 += NR) {
+    const std::int64_t w = std::min(NR, nc - j0);
+    float* dst = panel + (j0 / NR) * kc * NR;
+    for (std::int64_t p = 0; p < kc; ++p, dst += NR) {
+      if (b_trans) {
+        const float* src = b + (jc + j0) * ldb + (pc + p);
+        for (std::int64_t jr = 0; jr < w; ++jr) dst[jr] = src[jr * ldb];
+      } else {
+        const float* src = b + (pc + p) * ldb + (jc + j0);
+        for (std::int64_t jr = 0; jr < w; ++jr) dst[jr] = src[jr];
+      }
+      for (std::int64_t jr = w; jr < NR; ++jr) dst[jr] = 0.0f;
     }
   }
+}
+
+/// Packs A[ic:ic+mc, pc:pc+kc] (logical [M, K] view; transposed reads a
+/// stored [K, M]) into MR-row strips, zero-padding the last strip:
+/// panel[((i0 / MR) * kc + p) * MR + ir] = A[ic + i0 + ir, pc + p].
+void pack_a(const float* a, bool a_trans, std::int64_t lda, std::int64_t ic,
+            std::int64_t pc, std::int64_t mc, std::int64_t kc, float* panel) {
+  for (std::int64_t i0 = 0; i0 < mc; i0 += MR) {
+    const std::int64_t h = std::min(MR, mc - i0);
+    float* dst = panel + (i0 / MR) * kc * MR;
+    for (std::int64_t p = 0; p < kc; ++p, dst += MR) {
+      if (a_trans) {
+        const float* src = a + (pc + p) * lda + (ic + i0);
+        for (std::int64_t ir = 0; ir < h; ++ir) dst[ir] = src[ir];
+      } else {
+        const float* src = a + (ic + i0) * lda + (pc + p);
+        for (std::int64_t ir = 0; ir < h; ++ir) dst[ir] = src[ir * lda];
+      }
+      for (std::int64_t ir = h; ir < MR; ++ir) dst[ir] = 0.0f;
+    }
+  }
+}
+
+/// acc[MR][NR] += sum_p ap[p][:] (outer) bp[p][:] over one packed K panel.
+void micro_kernel(std::int64_t kc, const float* ap, const float* bp,
+                  float* acc) {
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * MR;
+    const float* b = bp + p * NR;
+    for (std::int64_t i = 0; i < MR; ++i) {
+      const float av = a[i];
+      float* row = acc + i * NR;
+      for (std::int64_t j = 0; j < NR; ++j) row[j] += av * b[j];
+    }
+  }
+}
+
+void gemm_tiled(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                const float* a, bool a_trans, const float* b, bool b_trans,
+                float beta, float* c) {
+  scale_c(m, n, beta, c);
+  if (alpha == 0.0f || k == 0) return;
+  const std::int64_t lda = a_trans ? m : k;
+  const std::int64_t ldb = b_trans ? k : n;
+  std::vector<float> b_panel;
+  for (std::int64_t jc = 0; jc < n; jc += NC) {
+    const std::int64_t nc = std::min(NC, n - jc);
+    const std::int64_t nc_strips = (nc + NR - 1) / NR;
+    for (std::int64_t pc = 0; pc < k; pc += KC) {
+      const std::int64_t kc = std::min(KC, k - pc);
+      b_panel.resize(static_cast<std::size_t>(nc_strips * kc * NR));
+      pack_b(b, b_trans, ldb, pc, jc, kc, nc, b_panel.data());
+      const std::int64_t row_blocks = (m + MR - 1) / MR;
+      parallel_for(0, row_blocks, ROW_BLOCK_GRAIN, [&](std::int64_t rb_begin,
+                                                       std::int64_t rb_end) {
+        thread_local std::vector<float> a_panel;
+        const std::int64_t ic = rb_begin * MR;
+        const std::int64_t mc = std::min(m, rb_end * MR) - ic;
+        const std::int64_t mc_strips = (mc + MR - 1) / MR;
+        a_panel.resize(static_cast<std::size_t>(mc_strips * kc * MR));
+        pack_a(a, a_trans, lda, ic, pc, mc, kc, a_panel.data());
+        alignas(64) float acc[MR * NR];
+        for (std::int64_t i0 = 0; i0 < mc; i0 += MR) {
+          const std::int64_t h = std::min(MR, mc - i0);
+          const float* ap = a_panel.data() + (i0 / MR) * kc * MR;
+          for (std::int64_t j0 = 0; j0 < nc; j0 += NR) {
+            const std::int64_t w = std::min(NR, nc - j0);
+            std::memset(acc, 0, sizeof(acc));
+            micro_kernel(kc, ap, b_panel.data() + (j0 / NR) * kc * NR, acc);
+            for (std::int64_t ir = 0; ir < h; ++ir) {
+              float* crow = c + (ic + i0 + ir) * n + jc + j0;
+              for (std::int64_t jr = 0; jr < w; ++jr) {
+                crow[jr] += alpha * acc[ir * NR + jr];
+              }
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+/// Simple kernels for problems too small to amortize packing.
+void gemm_small(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                const float* a, bool a_trans, const float* b, bool b_trans,
+                float beta, float* c) {
+  scale_c(m, n, beta, c);
+  if (alpha == 0.0f || k == 0) return;
+  // Rows are independent (disjoint writes, fixed inner order), so the
+  // row loop parallelizes bit-identically for any thread count.
+  parallel_for(0, m, 64, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      float* crow = c + i * n;
+      if (b_trans) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          const float* brow = b + j * k;
+          float acc = 0.0f;
+          for (std::int64_t p = 0; p < k; ++p) {
+            acc += (a_trans ? a[p * m + i] : a[i * k + p]) * brow[p];
+          }
+          crow[j] += alpha * acc;
+        }
+      } else {
+        for (std::int64_t p = 0; p < k; ++p) {
+          const float av = alpha * (a_trans ? a[p * m + i] : a[i * k + p]);
+          const float* brow = b + p * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  });
+}
+
+void gemm_dispatch(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                   const float* a, bool a_trans, const float* b, bool b_trans,
+                   float beta, float* c) {
+  if (m <= 0 || n <= 0) return;
+  if (2 * n * k < TILED_MIN_ROW_FLOPS) {
+    gemm_small(m, n, k, alpha, a, a_trans, b, b_trans, beta, c);
+  } else {
+    gemm_tiled(m, n, k, alpha, a, a_trans, b, b_trans, beta, c);
+  }
+}
+
+}  // namespace
+
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+  gemm_dispatch(m, n, k, alpha, a, false, b, false, beta, c);
 }
 
 void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
              const float* a, const float* b, float beta, float* c) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * crow[j]);
-    }
-  }
+  gemm_dispatch(m, n, k, alpha, a, false, b, true, beta, c);
 }
 
 void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
              const float* a, const float* b, float beta, float* c) {
-  if (beta == 0.0f) {
-    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
-  } else if (beta != 1.0f) {
-    for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
-  }
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* arow = a + p * m;  // A is [K, M]
-    const float* brow = b + p * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = alpha * arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  gemm_dispatch(m, n, k, alpha, a, true, b, false, beta, c);
 }
 
 void im2col(const float* image, const conv_geometry& g, float* col) {

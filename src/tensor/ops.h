@@ -1,9 +1,11 @@
 // Numerical kernels on raw tensors: GEMM, im2col/col2im, softmax.
 //
 // These are the hot loops behind the neural-network substrate. All matrices
-// are row-major. The GEMM variants are written in register-friendly loop
-// orders so that a single core with -O2 auto-vectorization sustains the
-// training workloads in this repository.
+// are row-major. The GEMM variants are cache-tiled and register-blocked
+// (packed A/B panels, MR x NR micro-kernel) and parallelized over row
+// blocks through the shared thread pool (util/thread_pool.h). Results are
+// bit-identical for any DV_THREADS setting: row blocks write disjoint rows
+// of C and the k-accumulation order is fixed by the panel loop structure.
 #pragma once
 
 #include <cstdint>
