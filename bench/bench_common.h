@@ -18,6 +18,7 @@
 #include "pipeline/artifacts.h"
 #include "pipeline/corner_suite.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace dv::bench {
 
@@ -60,6 +61,16 @@ inline void print_banner(const std::string& title, const world& w) {
 
 inline void print_title(const std::string& title) {
   std::printf("\n===== %s =====\n", title.c_str());
+}
+
+/// Called at the end of every bench main: with DV_METRICS=1 the run's
+/// counters/histograms land in <artifacts>/metrics.{json,prom}, giving
+/// perf work a measured-numbers source beside the printed table.
+inline void dump_metrics_snapshot() {
+  if (!metrics::enabled()) return;
+  metrics::write_artifacts(artifact_directory());
+  std::printf("metrics snapshot: %s/metrics.json and metrics.prom\n",
+              artifact_directory().c_str());
 }
 
 }  // namespace dv::bench

@@ -62,5 +62,6 @@ int main() {
   std::printf(
       "\nshape check vs paper Fig. 3: legitimate mass left of zero, SCC mass "
       "right of zero,\nminimal overlap.\n");
+  dump_metrics_snapshot();
   return 0;
 }

@@ -97,5 +97,6 @@ int main() {
       "shape check vs paper Fig. 4: DV SCC rate near 1.0 throughout; DV FCC "
       "rate grows\nwith the success rate; FS SCC rate lower and unstable.\n"
       "(series also written to artifacts/figures/fig4_scale_sweep.csv)\n");
+  dump_metrics_snapshot();
   return 0;
 }

@@ -2,6 +2,7 @@
 // reproduces paper Table II, plus parameter counts and probe placement.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "pipeline/models.h"
 #include "util/logging.h"
 
@@ -28,5 +29,6 @@ int main() {
           "   see DESIGN.md section 3)\n");
     }
   }
+  bench::dump_metrics_snapshot();
   return 0;
 }

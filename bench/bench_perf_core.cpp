@@ -12,7 +12,9 @@
 #include "nn/layers.h"
 #include "svm/kernel.h"
 #include "svm/one_class_svm.h"
+#include "pipeline/config.h"
 #include "tensor/ops.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -254,4 +256,15 @@ BENCHMARK(bm_median_squeezer);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so a DV_METRICS=1 run leaves its snapshot in
+// the artifact cache like every other bench binary.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (dv::metrics::enabled()) {
+    dv::metrics::write_artifacts(dv::artifact_directory());
+  }
+  return 0;
+}

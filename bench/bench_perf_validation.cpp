@@ -144,5 +144,6 @@ int main() {
         "the joint\n score — this measures that extension with "
         "scenario-agnostic noise-fitted weights)\n");
   }
+  dump_metrics_snapshot();
   return 0;
 }

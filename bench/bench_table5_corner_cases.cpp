@@ -61,5 +61,6 @@ int main() {
       "shape check vs paper: individual transformations stop near 0.6 "
       "success,\nunder-30%% transformations are discarded ('-'), and the "
       "combined\ntransformation is the most destructive per dataset.\n");
+  dump_metrics_snapshot();
   return 0;
 }

@@ -143,5 +143,6 @@ int main() {
       "\npaper overall joint-validator reference: MNIST 0.9937, CIFAR-10 "
       "0.9805, SVHN 0.9506;\nshape check: the joint validator should beat or "
       "match every single validator overall.\n");
+  dump_metrics_snapshot();
   return 0;
 }

@@ -143,5 +143,6 @@ int main() {
       "paper overall reference: SAEs DV 0.9755 / FS 0.9971; AEs DV 0.9572 / "
       "FS 0.9400.\nshape check: both near-perfect on SAEs; DV ahead of FS "
       "once FAEs count as positives.\n");
+  dump_metrics_snapshot();
   return 0;
 }

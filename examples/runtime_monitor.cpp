@@ -13,6 +13,8 @@
 #include "eval/metrics.h"
 #include "pipeline/artifacts.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 int main() {
   using namespace dv;
@@ -73,5 +75,15 @@ int main() {
       "only after\nsustained recovery (hysteresis), so control does not flap "
       "at the boundary.\n",
       correct, frames, alarm_frames);
+
+  // With DV_METRICS=1 the run leaves a metrics snapshot behind
+  // (trainer, validator, and monitor series; see docs/OBSERVABILITY.md)
+  // plus the aggregated span tree of everything above.
+  if (metrics::enabled()) {
+    metrics::write_artifacts(artifact_directory());
+    std::printf("\nmetrics snapshot: %s/metrics.json and metrics.prom\n",
+                artifact_directory().c_str());
+    std::printf("%s", trace_report().c_str());
+  }
   return 0;
 }

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Compiles every fenced ```cpp block in README.md and docs/*.md against
+# the library headers, so documentation examples cannot drift from the
+# real API. Each block has its #include lines hoisted to the top; blocks
+# without a main() are wrapped in a uniquely named function, so snippets
+# may contain statements, not just declarations.
+#
+# Usage: check_docs.sh <repo_root> [c++-compiler]
+set -u
+
+root="${1:?usage: check_docs.sh <repo_root> [compiler]}"
+cxx="${2:-${CXX:-c++}}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+status=0
+total=0
+
+extract_and_check() {
+  local doc="$1"
+  # Split the doc into one file per ```cpp block.
+  awk -v out="$workdir/block" '
+    /^```cpp[ \t]*$/ { in_block = 1; n += 1; next }
+    /^```/           { in_block = 0; next }
+    in_block         { print > (out "_" n ".cpp.in") }
+  ' "$doc"
+
+  local block
+  for block in "$workdir"/block_*.cpp.in; do
+    [ -e "$block" ] || continue
+    total=$((total + 1))
+    local src="$workdir/snippet_$total.cpp"
+    {
+      grep '^#include' "$block"
+      # Blocks already containing top-level definitions (a function whose
+      # signature ends in "{", or a class/struct/namespace/template) are
+      # compiled as-is; statement-only blocks get wrapped in a function.
+      if grep -qE '^(template|class|struct|namespace)[ <]|^[A-Za-z_][A-Za-z0-9_:<>,*& ]*\([^;]*\)[ ]*\{$' "$block"; then
+        grep -v '^#include' "$block"
+      else
+        printf 'void dv_doc_snippet_%d() {\n' "$total"
+        grep -v '^#include' "$block"
+        printf '}\n'
+      fi
+    } > "$src"
+    if ! "$cxx" -std=c++20 -fsyntax-only -I "$root/src" "$src" 2> "$workdir/err"; then
+      echo "FAIL: $doc snippet $total does not compile:" >&2
+      sed 's/^/    /' "$workdir/err" >&2
+      echo "--- snippet ---" >&2
+      sed 's/^/    /' "$src" >&2
+      status=1
+    fi
+    rm -f "$block"
+  done
+}
+
+extract_and_check "$root/README.md"
+for doc in "$root"/docs/*.md; do
+  extract_and_check "$doc"
+done
+
+if [ "$total" -eq 0 ]; then
+  echo "FAIL: no \`\`\`cpp blocks found — extraction is broken" >&2
+  exit 1
+fi
+echo "check_docs: $total snippet(s) compiled, status $status"
+exit "$status"

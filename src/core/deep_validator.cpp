@@ -6,9 +6,11 @@
 #include "core/probe_reducer.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/serialize.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace dv {
 
@@ -30,6 +32,7 @@ void append_rows(tensor& dst, const tensor& block, std::int64_t total_rows,
 void deep_validator::fit(sequential& model, const dataset& train,
                          const deep_validator_config& config) {
   stopwatch timer;
+  trace_span fit_span{"validator.fit"};
   spatial_ = config.spatial;
   eval_batch_ = config.eval_batch;
 
@@ -111,9 +114,18 @@ void deep_validator::fit(sequential& model, const dataset& train,
   // Algorithm 1 main loop: one SVM per (layer, class).
   validators_.clear();
   validators_.resize(probe_indices_.size());
+  metrics::histogram* layer_fit_seconds = metrics::get_histogram(
+      "dv_validator_layer_fit_seconds", metrics::histogram_options::latency());
   for (std::size_t v = 0; v < validators_.size(); ++v) {
+    trace_span layer_span{"validator.fit_layer"};
+    const std::int64_t layer_start_ns = metrics::now_ns();
     validators_[v].fit(features[v], fit_set.labels, fit_set.num_classes,
                        config.svm);
+    if (layer_fit_seconds != nullptr) {
+      layer_fit_seconds->observe(
+          static_cast<double>(metrics::now_ns() - layer_start_ns) * 1e-9);
+      metrics::count("dv_validator_layers_fitted_total");
+    }
     log_info() << "deep_validator::fit: layer " << probe_indices_[v]
                << " (dim " << features[v].extent(1) << ") fitted "
                << fit_set.num_classes << " SVMs";
@@ -124,6 +136,10 @@ void deep_validator::fit(sequential& model, const dataset& train,
 deep_validator::scores deep_validator::evaluate(sequential& model,
                                                 const tensor& images) const {
   if (!fitted()) throw std::logic_error{"deep_validator: not fitted"};
+  trace_span eval_span{"validator.evaluate"};
+  metrics::counter* images_scored = metrics::get_counter("dv_validator_images_scored_total");
+  metrics::histogram* score_seconds = metrics::get_histogram(
+      "dv_validator_score_seconds", metrics::histogram_options::latency());
   const std::int64_t n = images.extent(0);
   scores out;
   out.per_layer.assign(validators_.size(),
@@ -152,6 +168,8 @@ deep_validator::scores deep_validator::evaluate(sequential& model,
     // bit-identical for any thread count).
     parallel_for(0, end - begin, 1, [&](std::int64_t lo, std::int64_t hi) {
       for (std::int64_t i = lo; i < hi; ++i) {
+        const std::int64_t image_start_ns =
+            score_seconds != nullptr ? metrics::now_ns() : 0;
         const auto pred = preds[static_cast<std::size_t>(i)];
         const auto slot = static_cast<std::size_t>(begin + i);
         double joint = 0.0;
@@ -164,8 +182,16 @@ deep_validator::scores deep_validator::evaluate(sequential& model,
         }
         out.joint[slot] = joint;
         out.predictions[slot] = pred;
+        if (score_seconds != nullptr) {
+          score_seconds->observe(
+              static_cast<double>(metrics::now_ns() - image_start_ns) *
+              1e-9);
+        }
       }
     });
+    if (images_scored != nullptr) {
+      images_scored->add(static_cast<std::uint64_t>(end - begin));
+    }
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/metrics.h"
 #include "util/serialize.h"
 
 namespace dv {
@@ -20,6 +21,9 @@ void layer_validator::fit(const tensor& features,
   scaler_.transform(scaled);
 
   const std::int64_t d = scaled.extent(1);
+  metrics::counter* svms_fitted = metrics::get_counter("dv_validator_svms_fitted_total");
+  metrics::histogram* svm_fit_seconds = metrics::get_histogram(
+      "dv_validator_svm_fit_seconds", metrics::histogram_options::latency());
   svms_.clear();
   svms_.resize(static_cast<std::size_t>(num_classes));
   for (int k = 0; k < num_classes; ++k) {
@@ -37,7 +41,14 @@ void layer_validator::fit(const tensor& features,
       std::copy_n(scaled.data() + rows[i] * d, d,
                   subset.data() + static_cast<std::int64_t>(i) * d);
     }
+    const std::int64_t svm_start_ns =
+        svm_fit_seconds != nullptr ? metrics::now_ns() : 0;
     svms_[static_cast<std::size_t>(k)].fit(subset, config);
+    if (svm_fit_seconds != nullptr) {
+      svm_fit_seconds->observe(
+          static_cast<double>(metrics::now_ns() - svm_start_ns) * 1e-9);
+      svms_fitted->add();
+    }
   }
 }
 

@@ -2,7 +2,21 @@
 
 #include <stdexcept>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace dv {
+
+namespace {
+/// Joint discrepancies in practice sit in [-0.5, 2]; valid frames are
+/// negative, corner cases positive (see EXPERIMENTS.md), so linear
+/// buckets across that range separate the two populations. Values are
+/// deterministic model outputs — with 2^20 fixed-point resolution the
+/// histogram sum is bitwise stable across thread counts.
+metrics::histogram_options discrepancy_buckets() {
+  return metrics::histogram_options::linear(-0.5, 2.0, 10, /*scale=*/1048576.0);
+}
+}  // namespace
 
 runtime_monitor::runtime_monitor(sequential& model,
                                  const deep_validator& validator,
@@ -18,6 +32,7 @@ runtime_monitor::runtime_monitor(sequential& model,
 }
 
 monitor_verdict runtime_monitor::observe(const tensor& frame) {
+  trace_span span{"monitor.observe"};
   tensor batch = frame;
   if (batch.dim() == 3) {
     batch.reshape({1, frame.extent(0), frame.extent(1), frame.extent(2)});
@@ -41,12 +56,29 @@ monitor_verdict runtime_monitor::observe(const tensor& frame) {
   } else {
     ++consecutive_valid_;
   }
+  bool latched = false;
+  bool released = false;
   if (!alarmed_ && invalid_in_window >= config_.trigger_count) {
     alarmed_ = true;
+    latched = true;
   } else if (alarmed_ && consecutive_valid_ >= config_.release_count) {
     alarmed_ = false;
+    released = true;
   }
   v.alarm = alarmed_;
+
+  if (metrics::enabled()) {
+    metrics::count("dv_monitor_frames_total");
+    if (v.frame_invalid) metrics::count("dv_monitor_frames_invalid_total");
+    if (v.alarm) metrics::count("dv_monitor_alarm_frames_total");
+    if (latched) metrics::count("dv_monitor_alarm_latch_total");
+    if (released) metrics::count("dv_monitor_alarm_release_total");
+    metrics::observe("dv_monitor_discrepancy", discrepancy_buckets(),
+                   v.discrepancy);
+    metrics::set("dv_monitor_window_invalid_fraction",
+               static_cast<double>(invalid_in_window) /
+                   static_cast<double>(window_.size()));
+  }
   return v;
 }
 

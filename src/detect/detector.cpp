@@ -1,8 +1,32 @@
 #include "detect/detector.h"
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace dv {
 
+namespace {
+std::string labeled(const char* base, const std::string& detector) {
+  return std::string{base} + "{detector=\"" + detector + "\"}";
+}
+}  // namespace
+
 std::vector<double> anomaly_detector::score_batch(const tensor& images) {
+  if (!metrics::enabled()) return do_score_batch(images);
+  trace_span span{"detect.score_batch"};
+  metrics::histogram* batch_seconds =
+      metrics::get_histogram(labeled("dv_detector_score_batch_seconds", name()),
+                       metrics::histogram_options::latency());
+  const std::int64_t start_ns = metrics::now_ns();
+  std::vector<double> out = do_score_batch(images);
+  batch_seconds->observe(
+      static_cast<double>(metrics::now_ns() - start_ns) * 1e-9);
+  metrics::count(labeled("dv_detector_images_scored_total", name()),
+               static_cast<std::uint64_t>(images.extent(0)));
+  return out;
+}
+
+std::vector<double> anomaly_detector::do_score_batch(const tensor& images) {
   const std::int64_t n = images.extent(0);
   std::vector<double> out;
   out.reserve(static_cast<std::size_t>(n));
@@ -10,6 +34,28 @@ std::vector<double> anomaly_detector::score_batch(const tensor& images) {
     out.push_back(score(images.sample(i)));
   }
   return out;
+}
+
+void record_detection_counts(const std::string& detector,
+                             const std::vector<double>& anomalous_scores,
+                             const std::vector<double>& clean_scores,
+                             double threshold) {
+  if (!metrics::enabled()) return;
+  std::uint64_t tp = 0, fn = 0, fp = 0, tn = 0;
+  for (const double s : anomalous_scores) (s >= threshold ? tp : fn) += 1;
+  for (const double s : clean_scores) (s >= threshold ? fp : tn) += 1;
+  metrics::count(labeled("dv_detector_true_positives_total", detector), tp);
+  metrics::count(labeled("dv_detector_false_negatives_total", detector), fn);
+  metrics::count(labeled("dv_detector_false_positives_total", detector), fp);
+  metrics::count(labeled("dv_detector_true_negatives_total", detector), tn);
+  if (tp + fn > 0) {
+    metrics::set(labeled("dv_detector_tpr", detector),
+               static_cast<double>(tp) / static_cast<double>(tp + fn));
+  }
+  if (fp + tn > 0) {
+    metrics::set(labeled("dv_detector_fpr", detector),
+               static_cast<double>(fp) / static_cast<double>(fp + tn));
+  }
 }
 
 }  // namespace dv

@@ -23,11 +23,27 @@ class anomaly_detector {
   /// Anomaly score of one [C,H,W] image (higher = more anomalous).
   virtual double score(const tensor& image) = 0;
 
-  /// Scores a batch [N,C,H,W]; the default loops over score(). Detectors
-  /// with cheaper batched paths override this.
-  virtual std::vector<double> score_batch(const tensor& images);
+  /// Scores a batch [N,C,H,W]. Non-virtual: records per-detector batch
+  /// timing and image counts into the metrics registry (when DV_METRICS
+  /// is on), then delegates to do_score_batch().
+  std::vector<double> score_batch(const tensor& images);
 
   virtual std::string name() const = 0;
+
+ protected:
+  /// Batch implementation; the default loops over score(). Detectors with
+  /// cheaper batched paths override this.
+  virtual std::vector<double> do_score_batch(const tensor& images);
 };
+
+/// Records per-detector confusion counters into the metrics registry
+/// (dv_detector_{true,false}_{positives,negatives}_total{detector="..."},
+/// plus the derived dv_detector_tpr / dv_detector_fpr gauges) from scored
+/// anomalous / clean populations and a decision threshold (score >=
+/// threshold flags the input). No-op when metrics are disabled.
+void record_detection_counts(const std::string& detector,
+                             const std::vector<double>& anomalous_scores,
+                             const std::vector<double>& clean_scores,
+                             double threshold);
 
 }  // namespace dv

@@ -14,7 +14,7 @@ class deep_validation_detector : public anomaly_detector {
       : model_{model}, validator_{validator} {}
 
   double score(const tensor& image) override;
-  std::vector<double> score_batch(const tensor& images) override;
+  std::vector<double> do_score_batch(const tensor& images) override;
   std::string name() const override { return "deep_validation"; }
 
  private:

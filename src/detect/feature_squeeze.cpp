@@ -31,7 +31,7 @@ double feature_squeezing_detector::score(const tensor& image) {
   return score_batch(batch).front();
 }
 
-std::vector<double> feature_squeezing_detector::score_batch(
+std::vector<double> feature_squeezing_detector::do_score_batch(
     const tensor& images) {
   const std::int64_t n = images.extent(0);
   const tensor base = batched_probabilities(model_, images);

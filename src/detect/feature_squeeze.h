@@ -28,7 +28,7 @@ class feature_squeezing_detector : public anomaly_detector {
   static std::vector<std::unique_ptr<squeezer>> standard_bank(bool greyscale);
 
   double score(const tensor& image) override;
-  std::vector<double> score_batch(const tensor& images) override;
+  std::vector<double> do_score_batch(const tensor& images) override;
   std::string name() const override { return "feature_squeezing"; }
 
  private:

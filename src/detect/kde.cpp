@@ -106,7 +106,7 @@ double kde_detector::score(const tensor& image) {
   return score_batch(batch).front();
 }
 
-std::vector<double> kde_detector::score_batch(const tensor& images) {
+std::vector<double> kde_detector::do_score_batch(const tensor& images) {
   const std::int64_t n = images.extent(0);
   std::vector<double> out;
   out.reserve(static_cast<std::size_t>(n));

@@ -33,7 +33,7 @@ class kde_detector : public anomaly_detector {
                const kde_config& config);
 
   double score(const tensor& image) override;
-  std::vector<double> score_batch(const tensor& images) override;
+  std::vector<double> do_score_batch(const tensor& images) override;
   std::string name() const override { return "kernel_density"; }
 
   double bandwidth(int cls) const {

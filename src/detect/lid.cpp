@@ -121,7 +121,7 @@ double lid_detector::score(const tensor& image) {
   return score_batch(batch).front();
 }
 
-std::vector<double> lid_detector::score_batch(const tensor& images) {
+std::vector<double> lid_detector::do_score_batch(const tensor& images) {
   const auto feats = lid_features(images);
   std::vector<double> out;
   out.reserve(feats.size());

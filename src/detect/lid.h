@@ -41,7 +41,7 @@ class lid_detector : public anomaly_detector {
                const tensor& negatives, const lid_config& config);
 
   double score(const tensor& image) override;
-  std::vector<double> score_batch(const tensor& images) override;
+  std::vector<double> do_score_batch(const tensor& images) override;
   std::string name() const override { return "lid"; }
 
   int layers() const { return static_cast<int>(reference_.size()); }

@@ -30,7 +30,7 @@ class mahalanobis_detector : public anomaly_detector {
                        const mahalanobis_config& config);
 
   double score(const tensor& image) override;
-  std::vector<double> score_batch(const tensor& images) override;
+  std::vector<double> do_score_batch(const tensor& images) override;
   std::string name() const override { return "mahalanobis"; }
 
   int num_classes() const { return static_cast<int>(means_.size()); }

@@ -4,6 +4,7 @@
 
 #include "nn/layers.h"
 #include "tensor/ops.h"
+#include "util/trace.h"
 #include "util/thread_pool.h"
 
 namespace dv {
@@ -52,6 +53,7 @@ conv2d::conv2d(std::int64_t in_c, std::int64_t out_c, std::int64_t kernel,
 }
 
 tensor conv2d::forward(const tensor& x, bool /*training*/) {
+  trace_span span{"nn.conv2d.forward"};
   if (x.dim() != 4 || x.extent(1) != in_c_) {
     throw std::invalid_argument{"conv2d::forward: expected [N," +
                                 std::to_string(in_c_) + ",H,W], got " +
@@ -96,6 +98,7 @@ tensor conv2d::forward(const tensor& x, bool /*training*/) {
 }
 
 tensor conv2d::backward(const tensor& grad_out) {
+  trace_span span{"nn.conv2d.backward"};
   const conv_geometry g{in_c_, input_.extent(2), input_.extent(3), kernel_,
                         stride_, pad_};
   const std::int64_t oh = g.out_h();

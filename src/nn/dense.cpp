@@ -4,6 +4,7 @@
 
 #include "nn/layers.h"
 #include "tensor/ops.h"
+#include "util/trace.h"
 
 namespace dv {
 
@@ -22,6 +23,7 @@ dense::dense(std::int64_t in_f, std::int64_t out_f, rng& gen, bool bias)
 }
 
 tensor dense::forward(const tensor& x, bool /*training*/) {
+  trace_span span{"nn.dense.forward"};
   if (x.dim() != 2 || x.extent(1) != in_f_) {
     throw std::invalid_argument{"dense::forward: expected [N," +
                                 std::to_string(in_f_) + "], got " +
@@ -43,6 +45,7 @@ tensor dense::forward(const tensor& x, bool /*training*/) {
 }
 
 tensor dense::backward(const tensor& grad_out) {
+  trace_span span{"nn.dense.backward"};
   const std::int64_t n = input_.extent(0);
   if (grad_out.dim() != 2 || grad_out.extent(0) != n ||
       grad_out.extent(1) != out_f_) {

@@ -8,7 +8,9 @@
 #include "nn/optimizer.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace dv {
 
@@ -48,12 +50,21 @@ train_report fit(sequential& model, const tensor& images,
   auto opt = make_optimizer(model, config);
   auto* ada = dynamic_cast<adadelta*>(opt.get());
 
+  trace_span fit_span{"train.fit"};
+  metrics::counter* epochs_total = metrics::get_counter("dv_train_epochs_total");
+  metrics::counter* batches_total = metrics::get_counter("dv_train_batches_total");
+  metrics::counter* images_total = metrics::get_counter("dv_train_images_total");
+  metrics::histogram* epoch_seconds = metrics::get_histogram(
+      "dv_train_epoch_seconds", metrics::histogram_options::latency());
+
   std::vector<std::size_t> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   rng shuffle_gen{config.shuffle_seed};
 
   train_report report;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    trace_span epoch_span{"train.epoch"};
+    const std::int64_t epoch_start_ns = metrics::now_ns();
     shuffle_gen.shuffle_indices(order.size(), [&](std::size_t a, std::size_t b) {
       std::swap(order[a], order[b]);
     });
@@ -88,6 +99,15 @@ train_report fit(sequential& model, const tensor& images,
         static_cast<float>(correct) / static_cast<float>(std::max<std::int64_t>(1, n));
     report.epoch_loss.push_back(epoch_loss);
     report.epoch_accuracy.push_back(epoch_acc);
+    if (epochs_total != nullptr) {
+      epochs_total->add();
+      batches_total->add(static_cast<std::uint64_t>(batches));
+      images_total->add(static_cast<std::uint64_t>(n));
+      epoch_seconds->observe(
+          static_cast<double>(metrics::now_ns() - epoch_start_ns) * 1e-9);
+      metrics::set("dv_train_loss", epoch_loss);
+      metrics::set("dv_train_accuracy", epoch_acc);
+    }
     if (config.verbose) {
       log_info() << "epoch " << (epoch + 1) << "/" << config.epochs
                  << " loss " << epoch_loss << " acc " << epoch_acc;
@@ -98,6 +118,7 @@ train_report fit(sequential& model, const tensor& images,
 
 double accuracy(sequential& model, const tensor& images,
                 const std::vector<std::int64_t>& labels, int batch_size) {
+  trace_span span{"train.accuracy"};
   const std::int64_t n = images.extent(0);
   std::int64_t correct = 0;
   for (std::int64_t begin = 0; begin < n; begin += batch_size) {

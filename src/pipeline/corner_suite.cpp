@@ -3,8 +3,10 @@
 #include <stdexcept>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/serialize.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace dv {
 
@@ -147,19 +149,23 @@ corner_suite load_or_generate_corners(const experiment_config& config,
   const std::string path = suite_path(config);
   if (file_exists(path)) {
     log_info() << "loaded cached corner suite from " << path;
+    metrics::count("dv_corner_suite_cache_hits_total");
     return corner_suite::load(path);
   }
 
   stopwatch timer;
+  trace_span search_span{"corner.search"};
   corner_suite suite;
   suite.seeds = select_seeds(model, test, config.seed_images,
                              config.seed_selection_seed);
 
   std::vector<transform_chain> usable_singles;
   for (const auto kind : applicable_transforms(config.data.kind)) {
+    trace_span transform_span{"corner.search_transform"};
     const auto space = standard_search_space(kind, config.data.kind);
     corner_search_result res =
         search_corner_cases(model, suite.seeds, space);
+    metrics::count("dv_corner_transforms_searched_total");
     corner_entry entry;
     entry.kind = kind;
     entry.usable = res.usable;
@@ -196,6 +202,17 @@ corner_suite load_or_generate_corners(const experiment_config& config,
     suite.entries.push_back(std::move(entry));
   } catch (const std::invalid_argument& e) {
     log_warn() << "combined transformation skipped: " << e.what();
+  }
+
+  if (metrics::enabled()) {
+    std::uint64_t sccs = 0, fccs = 0;
+    for (const auto& e : suite.entries) {
+      if (!e.usable) continue;
+      metrics::count("dv_corner_transforms_usable_total");
+      for (const auto m : e.misclassified) (m != 0 ? sccs : fccs) += 1;
+    }
+    metrics::count("dv_corner_sccs_total", sccs);
+    metrics::count("dv_corner_fccs_total", fccs);
   }
 
   log_info() << "corner suite generated in " << timer.seconds() << "s";

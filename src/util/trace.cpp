@@ -1,0 +1,166 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "util/metrics.h"
+
+namespace dv {
+
+namespace detail {
+
+/// One (parent, name) aggregation slot in a per-thread tree. calls and
+/// total_ns are atomic because trace_snapshot() reads them from another
+/// thread while the owner keeps recording; children mutate only under
+/// the global trace mutex (creation is rare — once per distinct path).
+struct span_node {
+  explicit span_node(std::string span_name, span_node* parent_node)
+      : name{std::move(span_name)}, parent{parent_node} {}
+
+  std::string name;
+  span_node* parent;
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::int64_t> total_ns{0};
+  std::vector<std::unique_ptr<span_node>> children;
+};
+
+struct thread_tree {
+  span_node root{"", nullptr};
+  span_node* current{&root};
+};
+
+struct trace_state {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<thread_tree>> trees;
+};
+
+trace_state& state() {
+  static trace_state* s = new trace_state;  // never destroyed
+  return *s;
+}
+
+thread_tree& local_tree() {
+  thread_local thread_tree* tree = [] {
+    auto owned = std::make_unique<thread_tree>();
+    thread_tree* raw = owned.get();
+    auto& s = state();
+    std::lock_guard<std::mutex> lock{s.mutex};
+    s.trees.push_back(std::move(owned));
+    return raw;
+  }();
+  return *tree;
+}
+
+span_node* enter(std::string_view name) {
+  thread_tree& tree = local_tree();
+  span_node* parent = tree.current;
+  // Fan-out per node is small (a handful of distinct child spans), so a
+  // linear scan beats a map. The scan runs lock-free: children only ever
+  // grow, and growth is published under the mutex below.
+  for (const auto& child : parent->children) {
+    if (child->name == name) {
+      tree.current = child.get();
+      return child.get();
+    }
+  }
+  auto& s = state();
+  std::lock_guard<std::mutex> lock{s.mutex};
+  for (const auto& child : parent->children) {  // re-check under the lock
+    if (child->name == name) {
+      tree.current = child.get();
+      return child.get();
+    }
+  }
+  parent->children.push_back(
+      std::make_unique<span_node>(std::string{name}, parent));
+  span_node* node = parent->children.back().get();
+  tree.current = node;
+  return node;
+}
+
+void merge_into(std::vector<trace_node>& out, const span_node& node) {
+  for (const auto& child : node.children) {
+    auto it = std::find_if(out.begin(), out.end(), [&](const trace_node& n) {
+      return n.name == child->name;
+    });
+    if (it == out.end()) {
+      out.push_back(trace_node{child->name, 0, 0.0, {}});
+      it = out.end() - 1;
+    }
+    it->calls += child->calls.load(std::memory_order_relaxed);
+    it->total_seconds +=
+        static_cast<double>(child->total_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    merge_into(it->children, *child);
+  }
+}
+
+void sort_tree(std::vector<trace_node>& nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const trace_node& a, const trace_node& b) {
+              return a.name < b.name;
+            });
+  for (auto& n : nodes) sort_tree(n.children);
+}
+
+void render(std::string& out, const std::vector<trace_node>& nodes,
+            int depth) {
+  for (const auto& n : nodes) {
+    char line[160];
+    std::snprintf(line, sizeof line, "%*s%-*s calls %8llu   total %10.4fs\n",
+                  2 * depth, "", std::max(1, 44 - 2 * depth), n.name.c_str(),
+                  static_cast<unsigned long long>(n.calls), n.total_seconds);
+    out += line;
+    render(out, n.children, depth + 1);
+  }
+}
+
+}  // namespace detail
+
+trace_span::trace_span(std::string_view name) {
+  if (!metrics::enabled()) return;
+  node_ = detail::enter(name);
+  start_ns_ = metrics::now_ns();
+}
+
+trace_span::~trace_span() {
+  if (node_ == nullptr) return;
+  auto* node = static_cast<detail::span_node*>(node_);
+  node->calls.fetch_add(1, std::memory_order_relaxed);
+  node->total_ns.fetch_add(metrics::now_ns() - start_ns_,
+                           std::memory_order_relaxed);
+  detail::local_tree().current = node->parent;
+}
+
+std::vector<trace_node> trace_snapshot() {
+  std::vector<trace_node> out;
+  auto& s = detail::state();
+  std::lock_guard<std::mutex> lock{s.mutex};
+  for (const auto& tree : s.trees) {
+    detail::merge_into(out, tree->root);
+  }
+  detail::sort_tree(out);
+  return out;
+}
+
+std::string trace_report() {
+  const auto tree = trace_snapshot();
+  if (tree.empty()) return "";
+  std::string out = "trace (spans aggregated by path over all threads):\n";
+  detail::render(out, tree, 1);
+  return out;
+}
+
+void trace_reset() {
+  auto& s = detail::state();
+  std::lock_guard<std::mutex> lock{s.mutex};
+  for (auto& tree : s.trees) {
+    tree->current = &tree->root;
+    tree->root.children.clear();
+  }
+}
+
+}  // namespace dv

@@ -1,0 +1,58 @@
+// Lightweight span tracing: RAII timers that nest into a per-thread trace
+// tree, merged across threads into one aggregate tree for reporting.
+//
+// A trace_span opened while another span is active on the same thread
+// becomes its child; spans with the same name under the same parent
+// aggregate into one node (call count + total wall time) rather than one
+// node per call, so a 10k-image scoring loop costs one tree node. Spans
+// opened on pool worker threads have no view of the caller's stack and
+// root at that worker's tree; the merged snapshot therefore shows them as
+// top-level nodes (see docs/OBSERVABILITY.md).
+//
+// Tracing shares the DV_METRICS gate and the observability clock with
+// util/metrics.h: disabled spans are a single predicted branch, and the
+// frozen clock (DV_METRICS_DETERMINISTIC=1) makes reports deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dv {
+
+/// RAII span: starts on construction, stops on destruction.
+class trace_span {
+ public:
+  explicit trace_span(std::string_view name);
+  ~trace_span();
+  trace_span(const trace_span&) = delete;
+  trace_span& operator=(const trace_span&) = delete;
+
+ private:
+  void* node_{nullptr};  // detail::span_node*, null when tracing is off
+  std::int64_t start_ns_{0};
+};
+
+/// One node of the merged trace tree.
+struct trace_node {
+  std::string name;
+  std::uint64_t calls{0};
+  double total_seconds{0.0};
+  std::vector<trace_node> children;  // sorted by name
+};
+
+/// Merges every thread's tree by span path; roots and children are sorted
+/// by name so the result is deterministic for any thread count (durations
+/// are wall time and deterministic only under the frozen clock).
+std::vector<trace_node> trace_snapshot();
+
+/// Indented text rendering of trace_snapshot() — the trace tree printed
+/// by examples/runtime_monitor. Empty string when nothing was traced.
+std::string trace_report();
+
+/// Drops all recorded spans. Only call while no span is open on any
+/// thread (e.g. between pipeline stages or in tests).
+void trace_reset();
+
+}  // namespace dv
