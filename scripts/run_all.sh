@@ -10,6 +10,12 @@ cmake --build build
 
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
+# Lint + sanitizer gate (dv_lint, clang-tidy if present, TSan, ASan/UBSan).
+# DV_SKIP_STATIC_ANALYSIS=1 skips it when only the tables are wanted.
+if [ "${DV_SKIP_STATIC_ANALYSIS:-0}" != "1" ]; then
+  scripts/run_static_analysis.sh
+fi
+
 for b in build/bench/*; do
   [ -x "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Static-analysis and sanitizer gate. Runs, in order:
+#   1. dv_lint over src/, bench/, tests/ (fails on any violation),
+#   2. the clang-tidy target (no-op with a notice when clang-tidy is absent),
+#   3. the test suite under ThreadSanitizer      (build-tsan/),
+#   4. the test suite under Address+UBSanitizer  (build-asan/).
+# All builds use DV_WERROR=ON, so new warnings fail the gate too. Each
+# configuration keeps its own build directory; later runs are incremental.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== dv_lint =="
+cmake -B build-lint -G Ninja -DCMAKE_BUILD_TYPE=Release -DDV_WERROR=ON
+cmake --build build-lint --target dv_lint
+./build-lint/tools/dv_lint/dv_lint --root . src bench tests
+
+echo "== clang-tidy =="
+cmake --build build-lint --target tidy
+
+echo "== ThreadSanitizer =="
+cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDV_WERROR=ON -DDV_SANITIZE=thread
+cmake --build build-tsan
+ctest --test-dir build-tsan --output-on-failure
+
+echo "== Address+UndefinedBehaviorSanitizer =="
+cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDV_WERROR=ON -DDV_SANITIZE=address,undefined
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure
+
+echo "static analysis gate: all clean"

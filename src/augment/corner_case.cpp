@@ -93,6 +93,30 @@ corner_search_space standard_search_space(transform_kind kind,
       out.schedule.push_back({kind, 0.0f, 0.0f});
       out.range_description = "maximum pixel value 1.0";
       break;
+    case transform_kind::blur: {
+      const float step = 0.25f;
+      for (float s = step; s <= 4.0f + 1e-4f; s += step) {
+        out.schedule.push_back({kind, s, 0.0f});
+      }
+      out.range_description = "sigma " + range_text(0.0f, 4.0f, step);
+      break;
+    }
+    case transform_kind::noise: {
+      const float step = 0.02f;
+      for (float s = step; s <= 0.5f + 1e-4f; s += step) {
+        out.schedule.push_back({kind, s, 0.0f});
+      }
+      out.range_description = "stddev " + range_text(0.0f, 0.5f, step);
+      break;
+    }
+    case transform_kind::occlusion: {
+      const float step = 0.05f;
+      for (float s = step; s <= 0.6f + 1e-4f; s += step) {
+        out.schedule.push_back({kind, s, 0.0f});
+      }
+      out.range_description = "patch fraction " + range_text(0.0f, 0.6f, step);
+      break;
+    }
   }
   return out;
 }

@@ -166,6 +166,7 @@ deep_validator::scores deep_validator::evaluate(sequential& model,
     // writes only that image's output slots, so images within the batch
     // parallelize with no reduction (per-image math is unchanged —
     // bit-identical for any thread count).
+    // dv:parallel-safe(per-image disjoint output slots, SVMs read-only)
     parallel_for(0, end - begin, 1, [&](std::int64_t lo, std::int64_t hi) {
       for (std::int64_t i = lo; i < hi; ++i) {
         const std::int64_t image_start_ns =

@@ -74,6 +74,7 @@ tensor conv2d::forward(const tensor& x, bool /*training*/) {
   const std::int64_t out_stride = out_c_ * oh * ow;
   // Each sample writes a disjoint slice of `out`, so the batch loop is
   // embarrassingly parallel; only the im2col scratch is per-thread.
+  // dv:parallel-safe(disjoint output slices per sample, scratch per thread)
   parallel_for_chunks(
       0, n, k_sample_grain,
       [&](std::int64_t, std::int64_t begin, std::int64_t end, int rank) {
@@ -126,6 +127,7 @@ tensor conv2d::backward(const tensor& grad_out) {
     dw_partial.resize(static_cast<std::size_t>(num_chunks));
     if (has_bias_) db_partial.resize(static_cast<std::size_t>(num_chunks));
   }
+  // dv:parallel-safe(per-chunk gradient partials folded in chunk order)
   parallel_for_chunks(
       0, n, k_sample_grain,
       [&](std::int64_t chunk, std::int64_t begin, std::int64_t end,

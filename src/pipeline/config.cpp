@@ -15,8 +15,9 @@ bool fast_mode() {
 double scale_factor() {
   const char* v = std::getenv("DV_SCALE");
   if (v == nullptr) return 1.0;
-  const double s = std::atof(v);
-  return s > 0.0 ? s : 1.0;
+  char* end = nullptr;
+  const double s = std::strtod(v, &end);
+  return end != v && s > 0.0 ? s : 1.0;
 }
 
 experiment_config standard_config(dataset_kind kind) {

@@ -32,6 +32,7 @@ tensor kernel_matrix(kernel_kind kind, const tensor& samples, double gamma) {
   // Row i computes the lower-triangular entries j <= i and mirrors them.
   // Every (i, j) cell is written by exactly one row, so rows parallelize
   // with no reduction; the small grain keeps the triangular work balanced.
+  // dv:parallel-safe(each cell written by exactly one row, no reduction)
   parallel_for(0, n, 4, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t i = begin; i < end; ++i) {
       const float* xi = samples.data() + i * d;

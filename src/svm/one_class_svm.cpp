@@ -43,6 +43,7 @@ void one_class_svm::fit(const tensor& samples,
   // is written by exactly one row with a fixed inner summation order, so
   // the parallel rows are bit-identical for any thread count.
   std::vector<double> grad(static_cast<std::size_t>(n), 0.0);
+  // dv:parallel-safe(disjoint grad entries, fixed inner summation order)
   parallel_for(0, n, 16, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t i = begin; i < end; ++i) {
       double acc = 0.0;
@@ -168,6 +169,7 @@ std::vector<double> one_class_svm::decision_batch(const tensor& x) const {
   const std::int64_t d = support_vectors_.extent(1);
   std::vector<double> out(static_cast<std::size_t>(n));
   // One output per row; per-row math is the sequential decision() loop.
+  // dv:parallel-safe(one disjoint output slot per row, no reduction)
   parallel_for(0, n, 8, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t i = begin; i < end; ++i) {
       out[static_cast<std::size_t>(i)] =

@@ -17,6 +17,7 @@ std::vector<double> column_means(const tensor& samples) {
   // Parallel over columns: each out[j] sums its own column in ascending
   // row order, so the result is bit-identical to the sequential loop for
   // any thread count.
+  // dv:parallel-safe(each column sums into its own slot in fixed order)
   parallel_for(0, d, 16, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t j = begin; j < end; ++j) {
       double acc = 0.0;
@@ -40,6 +41,7 @@ std::vector<double> covariance(const tensor& samples,
   // cov[a][:] accumulates over samples in ascending row order, identical
   // to the sequential rank-1-update formulation bit for bit.
   std::vector<double> centered(static_cast<std::size_t>(n * d));
+  // dv:parallel-safe(centering writes disjoint rows, no reduction)
   parallel_for(0, n, 32, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t i = begin; i < end; ++i) {
       const float* row = samples.data() + i * d;
@@ -50,6 +52,7 @@ std::vector<double> covariance(const tensor& samples,
     }
   });
   std::vector<double> cov(static_cast<std::size_t>(d * d), 0.0);
+  // dv:parallel-safe(each cov row accumulates alone in ascending order)
   parallel_for(0, d, 8, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t a = begin; a < end; ++a) {
       double* crow = cov.data() + a * d;

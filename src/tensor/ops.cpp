@@ -121,6 +121,7 @@ void gemm_tiled(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
       b_panel.resize(static_cast<std::size_t>(nc_strips * kc * NR));
       pack_b(b, b_trans, ldb, pc, jc, kc, nc, b_panel.data());
       const std::int64_t row_blocks = (m + MR - 1) / MR;
+      // dv:parallel-safe(row blocks write disjoint C tiles, per-thread packing)
       parallel_for(0, row_blocks, ROW_BLOCK_GRAIN, [&](std::int64_t rb_begin,
                                                        std::int64_t rb_end) {
         thread_local std::vector<float> a_panel;
@@ -158,6 +159,7 @@ void gemm_small(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   if (alpha == 0.0f || k == 0) return;
   // Rows are independent (disjoint writes, fixed inner order), so the
   // row loop parallelizes bit-identically for any thread count.
+  // dv:parallel-safe(disjoint C rows, fixed inner order)
   parallel_for(0, m, 64, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t i = begin; i < end; ++i) {
       float* crow = c + i * n;

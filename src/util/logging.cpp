@@ -1,12 +1,13 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 
 namespace dv {
 
 namespace {
-log_level g_level = log_level::info;
+std::atomic<log_level> g_level{log_level::info};
 
 const char* level_tag(log_level level) {
   switch (level) {
@@ -25,11 +26,15 @@ double elapsed_seconds() {
 }
 }  // namespace
 
-void set_log_level(log_level level) { g_level = level; }
-log_level get_log_level() { return g_level; }
+void set_log_level(log_level level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+log_level get_log_level() {
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void log_message(log_level level, const std::string& text) {
-  if (level < g_level) return;
+  if (level < get_log_level()) return;
   std::fprintf(stderr, "[%8.2fs] %s %s\n", elapsed_seconds(), level_tag(level),
                text.c_str());
 }

@@ -94,6 +94,8 @@ struct counter::impl {
 
 counter::counter() : impl_{new impl} {}
 
+counter::~counter() { delete impl_; }
+
 void counter::add(std::uint64_t delta) {
   impl_->lanes[metric_lane()].value.fetch_add(delta,
                                               std::memory_order_relaxed);
@@ -112,6 +114,8 @@ struct gauge::impl {
 };
 
 gauge::gauge() : impl_{new impl} {}
+
+gauge::~gauge() { delete impl_; }
 
 void gauge::set(double value) {
   impl_->value.store(value, std::memory_order_relaxed);
@@ -169,6 +173,8 @@ struct histogram::impl {
 
 histogram::histogram(histogram_options options)
     : impl_{new impl{std::move(options)}} {}
+
+histogram::~histogram() { delete impl_; }
 
 void histogram::observe(double value) {
   const auto& bounds = impl_->options.bounds;
@@ -238,6 +244,9 @@ struct registry_state {
 };
 
 registry_state& registry() {
+  // Process-wide registry singleton; all mutation goes through its
+  // internal mutex / per-thread shards.
+  // dv-lint: allow(thread-safety) mutex-guarded singleton
   static registry_state* state = new registry_state;  // never destroyed
   return *state;
 }

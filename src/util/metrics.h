@@ -53,12 +53,13 @@ bool clock_frozen();
 
 // ---------------------------------------------------------------------------
 // Metric types. Instances live in the global registry and are never
-// destroyed or moved; pointers returned by the lookup helpers stay valid
-// for the life of the process.
+// moved; pointers returned by the lookup helpers stay valid until
+// reset() drops the registry (tests/bench teardown only).
 
 /// Monotonic counter, sharded per thread.
 class counter {
  public:
+  ~counter();
   void add(std::uint64_t delta = 1);
   /// Sum over all shards.
   std::uint64_t value() const;
@@ -66,6 +67,8 @@ class counter {
  private:
   friend struct detail::registry_access;
   counter();
+  counter(const counter&) = delete;
+  counter& operator=(const counter&) = delete;
   struct impl;
   impl* impl_;
 };
@@ -73,12 +76,15 @@ class counter {
 /// Last-write-wins double. Set only from deterministic program points.
 class gauge {
  public:
+  ~gauge();
   void set(double value);
   double value() const;
 
  private:
   friend struct detail::registry_access;
   gauge();
+  gauge(const gauge&) = delete;
+  gauge& operator=(const gauge&) = delete;
   struct impl;
   impl* impl_;
 };
@@ -103,6 +109,7 @@ struct histogram_options {
 
 class histogram {
  public:
+  ~histogram();
   void observe(double value);
   /// Total observations (sum over buckets, including overflow).
   std::uint64_t count() const;
@@ -116,6 +123,8 @@ class histogram {
  private:
   friend struct detail::registry_access;
   explicit histogram(histogram_options options);
+  histogram(const histogram&) = delete;
+  histogram& operator=(const histogram&) = delete;
   struct impl;
   impl* impl_;
 };

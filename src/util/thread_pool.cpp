@@ -36,8 +36,11 @@ constexpr int k_max_threads = 256;
 
 int default_thread_count() {
   if (const char* env = std::getenv("DV_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) return std::min(n, k_max_threads);
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && n > 0) {
+      return static_cast<int>(std::min<long>(n, k_max_threads));
+    }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
@@ -159,6 +162,9 @@ class thread_pool {
 };
 
 thread_pool& pool() {
+  // The process-wide worker pool itself; construction is thread-safe
+  // (magic static) and all state is mutex-guarded.
+  // dv-lint: allow(thread-safety) mutex-guarded pool singleton
   static thread_pool instance;
   return instance;
 }

@@ -38,6 +38,9 @@ struct trace_state {
 };
 
 trace_state& state() {
+  // Process-wide trace singleton; guarded by its internal mutex, and the
+  // per-thread trees are thread_local.
+  // dv-lint: allow(thread-safety) mutex-guarded singleton
   static trace_state* s = new trace_state;  // never destroyed
   return *s;
 }

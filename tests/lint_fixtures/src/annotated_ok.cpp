@@ -1,0 +1,15 @@
+// Fixture: a correctly annotated parallel call site and a guarded
+// metrics handle — the clean patterns the checks are steering toward.
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+namespace fixture {
+void fill(float* out) {
+  dv::metrics::counter* fills =
+      dv::metrics::get_counter("fixture_fills_total");
+  if (fills != nullptr) fills->add();
+  // dv:parallel-safe(disjoint writes per index, no reduction)
+  dv::parallel_for(0, 64, 8, [out](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) out[i] = 0.0f;
+  });
+}
+}  // namespace fixture

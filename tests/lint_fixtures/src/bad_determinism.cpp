@@ -1,0 +1,12 @@
+// Fixture: every determinism violation the check knows about.
+namespace fixture {
+int noise() {
+  int x = rand();
+  srand(7);
+  std::random_device rd;
+  auto t = std::chrono::system_clock::now();
+  long w = time(nullptr);
+  (void)rd; (void)t; (void)w;
+  return x;
+}
+}  // namespace fixture

@@ -1,0 +1,4 @@
+// Fixture: header without #pragma once plus a leaking using-directive.
+#include <string>
+using namespace std;
+inline string shout(const string& s) { return s + "!"; }

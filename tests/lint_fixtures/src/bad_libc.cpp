@@ -1,0 +1,12 @@
+// Fixture: banned unsafe libc calls.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+namespace fixture {
+void format(char* out, const char* in) {
+  sprintf(out, "%s", in);
+  strcpy(out, in);
+  int n = atoi(in);
+  (void)n;
+}
+}  // namespace fixture

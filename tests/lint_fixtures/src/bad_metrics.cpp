@@ -1,0 +1,11 @@
+// Fixture: ungated dv::metrics use outside src/util.
+#include "util/metrics.h"
+namespace fixture {
+void record(double v) {
+  dv::metrics::counter* events =
+      dv::metrics::get_counter("fixture_events_total");
+  events->add();
+  dv::metrics::set_enabled(true);
+  dv::metrics::get_gauge("fixture_level")->set(v);
+}
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: unannotated parallel site, mutable static, mutable global.
+#include "util/thread_pool.h"
+namespace fixture {
+int g_mode = 0;
+void run() {
+  static int calls = 0;
+  ++calls;
+  dv::parallel_for(0, 8, 1, [](long lo, long hi) {
+    (void)lo;
+    (void)hi;
+  });
+  (void)g_mode;
+}
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: real violations silenced with dv-lint: allow — same line
+// and line-above placements both count.
+namespace fixture {
+int g_mode = 0;  // dv-lint: allow(thread-safety) set once before threads start
+int jitter() {
+  // dv-lint: allow(determinism) fixture exercises the suppression grammar
+  return rand();
+}
+}  // namespace fixture

@@ -1,0 +1,234 @@
+// Golden tests for the dv_lint static checker: exact diagnostics over
+// tests/lint_fixtures/ (one known-bad file per check plus suppression and
+// clean-pattern cases), lexer robustness, and CLI exit codes.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace {
+
+std::string read_fixture(const std::string& rel) {
+  const std::string path = std::string{DV_LINT_FIXTURE_DIR} + "/" + rel;
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Lints a fixture under its repo-style pseudo-path (fixtures live in a
+/// mini source tree, so path-dependent rules apply exactly as in src/).
+std::string lint_fixture(const std::string& rel) {
+  return dv_lint::format(dv_lint::lint_source(rel, read_fixture(rel)));
+}
+
+TEST(dv_lint, determinism_golden) {
+  EXPECT_EQ(
+      lint_fixture("src/bad_determinism.cpp"),
+      "src/bad_determinism.cpp:4: [determinism] 'rand' is ambient "
+      "randomness; draw from an explicitly seeded dv::rng (src/util/rng.h) "
+      "so runs reproduce bit-for-bit\n"
+      "src/bad_determinism.cpp:5: [determinism] 'srand' is ambient "
+      "randomness; draw from an explicitly seeded dv::rng (src/util/rng.h) "
+      "so runs reproduce bit-for-bit\n"
+      "src/bad_determinism.cpp:6: [determinism] 'std::random_device' seeds "
+      "are not reproducible; derive seeds from the experiment config and "
+      "draw from dv::rng (src/util/rng.h)\n"
+      "src/bad_determinism.cpp:7: [determinism] wall-clock read "
+      "'system_clock' breaks run-to-run determinism; use "
+      "dv::metrics::now_ns() (frozen under DV_METRICS_DETERMINISTIC) or "
+      "dv::stopwatch\n"
+      "src/bad_determinism.cpp:8: [determinism] wall-clock call 'time(' "
+      "breaks run-to-run determinism; use dv::metrics::now_ns() or "
+      "dv::stopwatch for timing\n");
+}
+
+TEST(dv_lint, thread_safety_golden) {
+  EXPECT_EQ(
+      lint_fixture("src/bad_thread_safety.cpp"),
+      "src/bad_thread_safety.cpp:4: [thread-safety] non-const global "
+      "'g_mode' is mutable shared state; make it const/constexpr, atomic, "
+      "or thread_local, or justify it with dv-lint: allow(thread-safety)\n"
+      "src/bad_thread_safety.cpp:6: [thread-safety] mutable function-local "
+      "static 'calls' is shared across threads; make it const, atomic, or "
+      "justify it with dv-lint: allow(thread-safety)\n"
+      "src/bad_thread_safety.cpp:8: [thread-safety] 'parallel_for' call "
+      "site missing a // dv:parallel-safe(<reason>) annotation stating why "
+      "the body is deterministic and race-free\n");
+}
+
+TEST(dv_lint, metrics_gating_golden) {
+  EXPECT_EQ(
+      lint_fixture("src/bad_metrics.cpp"),
+      "src/bad_metrics.cpp:7: [metrics-gating] metrics handle 'events' "
+      "dereferenced without a null check; lookups return nullptr when "
+      "DV_METRICS is off — guard with `if (events != nullptr)` or "
+      "metrics::enabled()\n"
+      "src/bad_metrics.cpp:8: [metrics-gating] 'metrics::set_enabled' "
+      "mutates global registry state and is reserved for tests/tools; "
+      "library code must stay gated behind DV_METRICS\n"
+      "src/bad_metrics.cpp:9: [metrics-gating] dereferencing "
+      "'metrics::get_gauge(...)' without a null check; the lookup returns "
+      "nullptr when DV_METRICS is off\n");
+}
+
+TEST(dv_lint, hygiene_header_golden) {
+  EXPECT_EQ(
+      lint_fixture("src/bad_hygiene.h"),
+      "src/bad_hygiene.h:2: [hygiene] header must start with #pragma once "
+      "(before any other declaration or directive)\n"
+      "src/bad_hygiene.h:3: [hygiene] 'using namespace' in a header leaks "
+      "into every includer; qualify names instead\n");
+}
+
+TEST(dv_lint, hygiene_libc_golden) {
+  EXPECT_EQ(
+      lint_fixture("src/bad_libc.cpp"),
+      "src/bad_libc.cpp:7: [hygiene] unsafe libc call 'sprintf': use "
+      "snprintf with an explicit buffer size\n"
+      "src/bad_libc.cpp:8: [hygiene] unsafe libc call 'strcpy': use "
+      "std::string or std::snprintf\n"
+      "src/bad_libc.cpp:9: [hygiene] unsafe libc call 'atoi': use "
+      "std::strtol / std::from_chars (atoi hides errors)\n");
+}
+
+TEST(dv_lint, allow_suppressions_silence_violations) {
+  EXPECT_EQ(lint_fixture("src/suppressed_ok.cpp"), "");
+}
+
+TEST(dv_lint, clean_patterns_pass) {
+  EXPECT_EQ(lint_fixture("src/annotated_ok.cpp"), "");
+}
+
+// ---------------------------------------------------------------------------
+// Lexer robustness: banned tokens in comments/strings never fire, and
+// context decides between calls and members.
+
+TEST(dv_lint, strings_and_comments_are_skipped) {
+  const std::string src =
+      "namespace f {\n"
+      "const char* k = \"call rand() and time() at 'random'\";\n"
+      "/* srand(1); std::random_device in prose */\n"
+      "// system_clock::now() mentioned in a comment\n"
+      "}\n";
+  EXPECT_EQ(dv_lint::format(dv_lint::lint_source("src/x.cpp", src)), "");
+}
+
+TEST(dv_lint, member_calls_are_not_free_calls) {
+  const std::string src =
+      "namespace f {\n"
+      "void g(watch& w, parser* p) {\n"
+      "  w.time();\n"
+      "  p->clock();\n"
+      "  custom::atoi(\"7\");\n"
+      "}\n"
+      "}\n";
+  EXPECT_EQ(dv_lint::format(dv_lint::lint_source("src/x.cpp", src)), "");
+}
+
+TEST(dv_lint, pragma_once_after_comments_is_fine) {
+  const std::string src =
+      "// File comment.\n"
+      "#pragma once\n"
+      "namespace f {}\n";
+  EXPECT_EQ(dv_lint::format(dv_lint::lint_source("src/x.h", src)), "");
+}
+
+TEST(dv_lint, allowlist_paths_skip_determinism) {
+  const std::string src = "namespace f { long t() { return time(0); } }\n";
+  EXPECT_EQ(dv_lint::format(
+                dv_lint::lint_source("src/util/metrics.cpp", src)),
+            "");
+  EXPECT_EQ(
+      dv_lint::format(dv_lint::lint_source("src/tensor/random.cpp", src)),
+      "");
+  EXPECT_NE(dv_lint::format(dv_lint::lint_source("src/nn/x.cpp", src)), "");
+}
+
+TEST(dv_lint, multi_check_allow_list) {
+  const std::string src =
+      "namespace f {\n"
+      "// dv-lint: allow(determinism, hygiene)\n"
+      "long g() { return time(0) + atoi(\"4\"); }\n"
+      "}\n";
+  EXPECT_EQ(dv_lint::format(dv_lint::lint_source("src/x.cpp", src)), "");
+}
+
+TEST(dv_lint, guarded_handles_pass_unguarded_fail) {
+  const std::string guarded =
+      "namespace dv {\n"
+      "void f() {\n"
+      "  metrics::counter* c = metrics::get_counter(\"x\");\n"
+      "  if (c != nullptr) c->add();\n"
+      "}\n"
+      "}\n";
+  EXPECT_EQ(dv_lint::format(dv_lint::lint_source("src/nn/m.cpp", guarded)),
+            "");
+  const std::string enabled_gate =
+      "namespace dv {\n"
+      "void f() {\n"
+      "  if (!metrics::enabled()) return;\n"
+      "  metrics::counter* c = metrics::get_counter(\"x\");\n"
+      "  c->add();\n"
+      "}\n"
+      "}\n";
+  EXPECT_EQ(
+      dv_lint::format(dv_lint::lint_source("src/nn/m.cpp", enabled_gate)),
+      "");
+  const std::string guard_does_not_outlive_function =
+      "namespace dv {\n"
+      "void f() {\n"
+      "  metrics::counter* c = metrics::get_counter(\"x\");\n"
+      "  if (c != nullptr) c->add();\n"
+      "}\n"
+      "void g() {\n"
+      "  metrics::counter* d = metrics::get_counter(\"y\");\n"
+      "  d->add();\n"
+      "}\n"
+      "}\n";
+  EXPECT_NE(dv_lint::format(dv_lint::lint_source(
+                "src/nn/m.cpp", guard_does_not_outlive_function)),
+            "");
+}
+
+// ---------------------------------------------------------------------------
+// CLI: exit codes and summary line.
+
+int cli(const std::vector<std::string>& args, std::string* stdout_text) {
+  std::ostringstream out, err;
+  const int code = dv_lint::run_cli(args, out, err);
+  if (stdout_text != nullptr) *stdout_text = out.str();
+  return code;
+}
+
+TEST(dv_lint_cli, violations_exit_1_with_summary) {
+  std::string out;
+  EXPECT_EQ(cli({"--root", DV_LINT_FIXTURE_DIR, "src"}, &out), 1);
+  EXPECT_NE(out.find("[determinism]"), std::string::npos);
+  EXPECT_NE(out.find("[thread-safety]"), std::string::npos);
+  EXPECT_NE(out.find("[metrics-gating]"), std::string::npos);
+  EXPECT_NE(out.find("[hygiene]"), std::string::npos);
+  EXPECT_NE(out.find("violation(s)\n"), std::string::npos);
+}
+
+TEST(dv_lint_cli, clean_file_exits_0) {
+  std::string out;
+  EXPECT_EQ(cli({"--root", DV_LINT_FIXTURE_DIR, "src/annotated_ok.cpp"},
+                &out),
+            0);
+  EXPECT_NE(out.find("1 file(s) scanned, 0 violation(s)"),
+            std::string::npos);
+}
+
+TEST(dv_lint_cli, usage_errors_exit_2) {
+  EXPECT_EQ(cli({"--bogus-flag"}, nullptr), 2);
+  EXPECT_EQ(cli({"--root", DV_LINT_FIXTURE_DIR, "no_such_dir"}, nullptr), 2);
+  EXPECT_EQ(cli({"--root"}, nullptr), 2);
+}
+
+}  // namespace

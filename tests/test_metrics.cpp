@@ -278,6 +278,9 @@ TEST_F(MetricsRegistry, SnapshotsBitwiseIdenticalAcrossThreadCounts) {
     metrics::counter* images = metrics::get_counter("dv_test_images_total");
     metrics::histogram* disc =
         metrics::get_histogram("dv_test_discrepancy", opts);
+    ASSERT_NE(images, nullptr);
+    ASSERT_NE(disc, nullptr);
+    // dv:parallel-safe(counters and histograms shard per thread)
     parallel_for(0, 10000, 1, [&](std::int64_t lo, std::int64_t hi) {
       for (std::int64_t i = lo; i < hi; ++i) {
         images->add();

@@ -52,6 +52,7 @@ TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   for (const auto& c : cases) {
     const std::int64_t len = std::max<std::int64_t>(0, c.end - c.begin);
     std::vector<std::atomic<int>> hits(static_cast<std::size_t>(len));
+    // dv:parallel-safe(atomic per-index hit counters, coverage test)
     parallel_for(c.begin, c.end, c.grain,
                  [&](std::int64_t lo, std::int64_t hi) {
                    ASSERT_LE(lo, hi);
@@ -74,6 +75,7 @@ TEST(ParallelFor, ChunkIdsAreDenseAndRanksInRange) {
   const std::int64_t chunks = parallel_chunk_count(begin, end, grain);
   EXPECT_EQ(chunks, (end - begin + grain - 1) / grain);
   std::vector<std::atomic<int>> seen(static_cast<std::size_t>(chunks));
+  // dv:parallel-safe(atomic per-chunk counters, decomposition test)
   parallel_for_chunks(begin, end, grain,
                       [&](std::int64_t chunk, std::int64_t lo,
                           std::int64_t hi, int rank) {
@@ -93,9 +95,12 @@ TEST(ParallelFor, ChunkIdsAreDenseAndRanksInRange) {
 TEST(ParallelFor, EmptyRangeRunsNothingAndBadGrainThrows) {
   thread_count_guard guard;
   bool ran = false;
+  // dv:parallel-safe(empty range, body never runs)
   parallel_for(4, 4, 1, [&](std::int64_t, std::int64_t) { ran = true; });
+  // dv:parallel-safe(empty range, body never runs)
   parallel_for(4, 0, 1, [&](std::int64_t, std::int64_t) { ran = true; });
   EXPECT_FALSE(ran);
+  // dv:parallel-safe(invalid grain throws before running anything)
   EXPECT_THROW(parallel_for(0, 3, 0, [](std::int64_t, std::int64_t) {}),
                std::invalid_argument);
 }
@@ -104,6 +109,7 @@ TEST(ParallelFor, PropagatesFirstException) {
   thread_count_guard guard;
   set_thread_count(4);
   EXPECT_THROW(
+      // dv:parallel-safe(exception propagation test, no shared writes)
       parallel_for(0, 64, 1,
                    [](std::int64_t lo, std::int64_t) {
                      if (lo >= 32) throw std::runtime_error{"chunk failed"};
@@ -111,6 +117,7 @@ TEST(ParallelFor, PropagatesFirstException) {
       std::runtime_error);
   // The pool stays usable after a failed region.
   std::atomic<std::int64_t> sum{0};
+  // dv:parallel-safe(atomic sum, pool-reuse smoke test)
   parallel_for(0, 10, 1, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
   });
@@ -121,8 +128,10 @@ TEST(ParallelFor, NestedRegionsRunSequentially) {
   thread_count_guard guard;
   set_thread_count(4);
   std::vector<std::atomic<int>> hits(64);
+  // dv:parallel-safe(atomic hit counters, nesting test)
   parallel_for(0, 8, 1, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) {
+      // dv:parallel-safe(atomic hit counters, nested region)
       parallel_for(0, 8, 1, [&](std::int64_t jlo, std::int64_t jhi) {
         for (std::int64_t j = jlo; j < jhi; ++j) {
           hits[static_cast<std::size_t>(i * 8 + j)].fetch_add(1);

@@ -1,0 +1,253 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace dv_lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses lint annotations out of one comment's text and attaches them to
+/// `notes`. Grammar (anywhere inside the comment, both forms may repeat):
+///   dv-lint: allow(<check>[, <check>...])
+///   dv:parallel-safe(<non-empty reason>)
+void scan_comment(std::string_view text, int line, line_notes& notes) {
+  constexpr std::string_view allow_tag = "dv-lint: allow(";
+  constexpr std::string_view safe_tag = "dv:parallel-safe(";
+  for (std::size_t pos = 0; (pos = text.find(allow_tag, pos)) != std::string_view::npos;) {
+    pos += allow_tag.size();
+    const std::size_t close = text.find(')', pos);
+    if (close == std::string_view::npos) break;
+    std::string_view list = text.substr(pos, close - pos);
+    while (!list.empty()) {
+      const std::size_t comma = list.find(',');
+      std::string_view item = list.substr(0, comma);
+      while (!item.empty() && (item.front() == ' ' || item.front() == '\t')) {
+        item.remove_prefix(1);
+      }
+      while (!item.empty() && (item.back() == ' ' || item.back() == '\t')) {
+        item.remove_suffix(1);
+      }
+      if (!item.empty()) notes.allowed.emplace_back(item);
+      if (comma == std::string_view::npos) break;
+      list.remove_prefix(comma + 1);
+    }
+    pos = close;
+  }
+  const std::size_t safe = text.find(safe_tag);
+  if (safe != std::string_view::npos) {
+    const std::size_t open = safe + safe_tag.size();
+    const std::size_t close = text.find(')', open);
+    if (close != std::string_view::npos && close > open) {
+      notes.parallel_safe = true;
+    }
+  }
+  (void)line;
+}
+
+class lexer {
+ public:
+  explicit lexer(std::string_view source) : src_{source} {}
+
+  lex_result run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        pp_line();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '"' || c == '\'') {
+        quoted(c);
+        continue;
+      }
+      if (c == 'R' && peek(1) == '"') {
+        raw_string();
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        number();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void emit(token_kind kind, std::string text, int line) {
+    out_.tokens.push_back({kind, std::move(text), line});
+  }
+
+  void line_comment() {
+    const int start = line_;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    scan_comment(src_.substr(begin, pos_ - begin), start, out_.notes[start]);
+  }
+
+  void block_comment() {
+    const int start = line_;
+    const std::size_t begin = pos_;
+    pos_ += 2;
+    while (pos_ < src_.size() &&
+           !(src_[pos_] == '*' && peek(1) == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ < src_.size()) pos_ += 2;
+    scan_comment(src_.substr(begin, pos_ - begin), start, out_.notes[start]);
+  }
+
+  /// One preprocessor logical line, including backslash continuations.
+  /// Trailing // and /* comments still get annotation-scanned.
+  void pp_line() {
+    const int start = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        if (!text.empty() && text.back() == '\\') {
+          text.pop_back();
+          ++line_;
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        break;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      text.push_back(c);
+      ++pos_;
+    }
+    emit(token_kind::pp_directive, std::move(text), start);
+    at_line_start_ = true;  // consumed up to (not including) the newline
+  }
+
+  void quoted(char quote) {
+    const int start = line_;
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != quote) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;
+    emit(token_kind::string_lit, "", start);
+  }
+
+  void raw_string() {
+    const int start = line_;
+    pos_ += 2;  // R"
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim.push_back(src_[pos_++]);
+    const std::string close = ")" + delim + "\"";
+    while (pos_ < src_.size() && src_.compare(pos_, close.size(), close) != 0) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ < src_.size()) pos_ += close.size();
+    emit(token_kind::string_lit, "", start);
+  }
+
+  void identifier() {
+    const int start = line_;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) ++pos_;
+    emit(token_kind::identifier, std::string{src_.substr(begin, pos_ - begin)},
+         start);
+  }
+
+  void number() {
+    const int start = line_;
+    const std::size_t begin = pos_;
+    // Good enough for lint purposes: digits, hex, separators, exponents
+    // (with signs), suffixes, and the decimal point.
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    emit(token_kind::number, std::string{src_.substr(begin, pos_ - begin)},
+         start);
+  }
+
+  void punct() {
+    const int start = line_;
+    const char c = src_[pos_];
+    const char n = peek(1);
+    // Multi-character tokens the checks care about stay intact.
+    if ((c == ':' && n == ':') || (c == '-' && n == '>') ||
+        (c == '!' && n == '=') || (c == '=' && n == '=') ||
+        (c == '&' && n == '&') || (c == '|' && n == '|')) {
+      emit(token_kind::punct, std::string{c} + n, start);
+      pos_ += 2;
+      return;
+    }
+    emit(token_kind::punct, std::string(1, c), start);
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_{0};
+  int line_{1};
+  bool at_line_start_{true};
+  lex_result out_;
+};
+
+}  // namespace
+
+lex_result lex(std::string_view source) { return lexer{source}.run(); }
+
+}  // namespace dv_lint

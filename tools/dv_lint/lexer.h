@@ -1,0 +1,50 @@
+// Hand-rolled C++ lexer for dv_lint: just enough tokenization to walk the
+// repository's own sources without a compiler frontend. Comments, string
+// and character literals, and preprocessor directives are consumed whole,
+// so banned identifiers inside them never produce false positives — and
+// lint annotations (`// dv-lint: allow(check)`, `// dv:parallel-safe(why)`)
+// are recovered from the comment text they live in.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dv_lint {
+
+enum class token_kind {
+  identifier,   // [A-Za-z_][A-Za-z0-9_]*
+  number,       // integer / floating literal (value not interpreted)
+  punct,        // one operator or punctuator; "::", "->", "!=", "==",
+                // "&&", "||" are kept as single tokens
+  string_lit,   // "...", R"(...)", '...' — contents discarded
+  pp_directive  // one whole preprocessor logical line, continuations folded
+};
+
+struct token {
+  token_kind kind{token_kind::punct};
+  std::string text;  // identifier/punct spelling; directive text for pp
+  int line{1};       // 1-based line the token starts on
+};
+
+/// Lint annotations attached to a source line by its comments.
+struct line_notes {
+  /// Check names named by `dv-lint: allow(<name>[, <name>...])`.
+  std::vector<std::string> allowed;
+  /// True when the line carries `dv:parallel-safe(<reason>)` with a
+  /// non-empty reason.
+  bool parallel_safe{false};
+};
+
+struct lex_result {
+  std::vector<token> tokens;
+  /// Line number -> annotations found in comments starting on that line.
+  std::map<int, line_notes> notes;
+};
+
+/// Tokenizes `source`. Never throws on malformed input: unterminated
+/// literals and comments simply end at end-of-file.
+lex_result lex(std::string_view source);
+
+}  // namespace dv_lint

@@ -1,0 +1,644 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "lexer.h"
+
+namespace dv_lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Everything the checks need to know about the file being linted.
+struct file_ctx {
+  std::string rel_path;
+  const lex_result* lx{nullptr};
+  std::vector<violation>* out{nullptr};
+
+  bool is_header{false};
+  bool in_src{false};       // under src/
+  bool in_src_util{false};  // under src/util/
+  /// Files allowed to read clocks / own RNG internals (tensor random
+  /// fills, the observability clock, span tracing).
+  bool determinism_allowlisted{false};
+  /// parallel_for's declaration/definition home; call-site rule is skipped.
+  bool thread_pool_home{false};
+
+  bool suppressed(std::string_view check, int line) const {
+    for (const int l : {line, line - 1}) {
+      const auto it = lx->notes.find(l);
+      if (it == lx->notes.end()) continue;
+      for (const auto& name : it->second.allowed) {
+        if (name == check) return true;
+      }
+    }
+    return false;
+  }
+
+  bool parallel_safe(int line) const {
+    for (const int l : {line, line - 1}) {
+      const auto it = lx->notes.find(l);
+      if (it != lx->notes.end() && it->second.parallel_safe) return true;
+    }
+    return false;
+  }
+
+  void report(int line, std::string check, std::string message) const {
+    if (suppressed(check, line)) return;
+    out->push_back({rel_path, line, std::move(check), std::move(message)});
+  }
+};
+
+file_ctx make_ctx(const std::string& rel_path, const lex_result& lx,
+                  std::vector<violation>& out) {
+  file_ctx ctx;
+  ctx.rel_path = rel_path;
+  ctx.lx = &lx;
+  ctx.out = &out;
+  ctx.is_header = ends_with(rel_path, ".h");
+  ctx.in_src = starts_with(rel_path, "src/");
+  ctx.in_src_util = starts_with(rel_path, "src/util/");
+  ctx.determinism_allowlisted = starts_with(rel_path, "src/tensor/") ||
+                                starts_with(rel_path, "src/util/metrics") ||
+                                starts_with(rel_path, "src/util/trace");
+  ctx.thread_pool_home = rel_path == "src/util/thread_pool.h" ||
+                         rel_path == "src/util/thread_pool.cpp";
+  return ctx;
+}
+
+/// Token-stream cursor helpers. `prev`/`next` step over preprocessor
+/// directives so `#include` lines never masquerade as expression context.
+const token* neighbor(const std::vector<token>& toks, std::size_t i,
+                      int step) {
+  for (std::size_t j = i;;) {
+    if (step < 0 && j == 0) return nullptr;
+    j = static_cast<std::size_t>(static_cast<long long>(j) + step);
+    if (j >= toks.size()) return nullptr;
+    if (toks[j].kind != token_kind::pp_directive) return &toks[j];
+  }
+}
+
+bool is_ident(const token* t, std::string_view text) {
+  return t != nullptr && t->kind == token_kind::identifier && t->text == text;
+}
+
+bool is_punct(const token* t, std::string_view text) {
+  return t != nullptr && t->kind == token_kind::punct && t->text == text;
+}
+
+/// True for a free-function call spelling: bare `name(` or `std::name(`,
+/// but not `obj.name(`, `obj->name(`, or `other_ns::name(`.
+bool is_free_call(const std::vector<token>& toks, std::size_t i) {
+  if (!is_punct(neighbor(toks, i, 1), "(")) return false;
+  const token* prev = neighbor(toks, i, -1);
+  if (prev == nullptr) return true;
+  if (is_punct(prev, ".") || is_punct(prev, "->")) return false;
+  if (is_punct(prev, "::")) {
+    const token* qual = neighbor(toks, i, -2);
+    return is_ident(qual, "std");
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// determinism: no ambient randomness, no wall-clock reads.
+
+void check_determinism(const file_ctx& ctx) {
+  if (ctx.determinism_allowlisted) return;
+  const auto& toks = ctx.lx->tokens;
+  static const std::unordered_set<std::string> rng_idents = {
+      "random_device"};
+  static const std::unordered_set<std::string> rng_calls = {
+      "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48"};
+  static const std::unordered_set<std::string> clock_calls = {
+      "time", "clock", "gettimeofday", "localtime", "gmtime", "ctime"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const token& t = toks[i];
+    if (t.kind != token_kind::identifier) continue;
+    if (rng_idents.count(t.text) != 0) {
+      ctx.report(t.line, "determinism",
+                 "'std::" + t.text +
+                     "' seeds are not reproducible; derive seeds from the "
+                     "experiment config and draw from dv::rng "
+                     "(src/util/rng.h)");
+      continue;
+    }
+    if (t.text == "system_clock") {
+      ctx.report(t.line, "determinism",
+                 "wall-clock read 'system_clock' breaks run-to-run "
+                 "determinism; use dv::metrics::now_ns() (frozen under "
+                 "DV_METRICS_DETERMINISTIC) or dv::stopwatch");
+      continue;
+    }
+    if (rng_calls.count(t.text) != 0 && is_free_call(toks, i)) {
+      ctx.report(t.line, "determinism",
+                 "'" + t.text +
+                     "' is ambient randomness; draw from an explicitly "
+                     "seeded dv::rng (src/util/rng.h) so runs reproduce "
+                     "bit-for-bit");
+      continue;
+    }
+    if (clock_calls.count(t.text) != 0 && is_free_call(toks, i)) {
+      ctx.report(t.line, "determinism",
+                 "wall-clock call '" + t.text +
+                     "(' breaks run-to-run determinism; use "
+                     "dv::metrics::now_ns() or dv::stopwatch for timing");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// thread-safety: annotated parallel_for sites, no mutable statics/globals.
+
+/// What kind of scope a `{` opened. Derived from the tokens preceding it.
+enum class brace_kind : char {
+  ns,    // namespace / extern "C"
+  type,  // class / struct / union / enum body
+  code,  // function, lambda, or control-flow body
+  expr   // braced initializer or unknown
+};
+
+brace_kind classify_brace(const std::vector<token>& toks, std::size_t open) {
+  int seen = 0;
+  for (const token* t = neighbor(toks, open, -1); t != nullptr && seen < 12;
+       ++seen) {
+    if (t->kind == token_kind::punct &&
+        (t->text == ";" || t->text == "{" || t->text == "}")) {
+      break;
+    }
+    if (is_punct(t, ")")) return brace_kind::code;
+    if (t->kind == token_kind::identifier) {
+      if (t->text == "namespace" || t->text == "extern") return brace_kind::ns;
+      if (t->text == "class" || t->text == "struct" || t->text == "union" ||
+          t->text == "enum") {
+        return brace_kind::type;
+      }
+      if (t->text == "else" || t->text == "do" || t->text == "try") {
+        return brace_kind::code;
+      }
+      if (t->text == "return") return brace_kind::expr;
+    }
+    if (is_punct(t, "=")) return brace_kind::expr;
+    const std::size_t idx = static_cast<std::size_t>(t - toks.data());
+    t = neighbor(toks, idx, -1);
+  }
+  return brace_kind::expr;
+}
+
+bool all_ns(const std::vector<brace_kind>& stack) {
+  return std::all_of(stack.begin(), stack.end(), [](brace_kind k) {
+    return k == brace_kind::ns;
+  });
+}
+
+bool contains_code(const std::vector<brace_kind>& stack) {
+  return std::find(stack.begin(), stack.end(), brace_kind::code) !=
+         stack.end();
+}
+
+/// Scans a declaration starting at `i` up to `;`, `=`, `{`, or `(` and
+/// reports whether a constness/immunity keyword appears in the prefix and
+/// which identifier names the variable.
+struct decl_scan {
+  bool immune{false};       // const/constexpr/constinit/atomic/thread_local
+  bool function_like{false};  // hit '(' right after the declared name
+  std::string name;
+  std::size_t end{0};  // index of the terminator token
+};
+
+decl_scan scan_decl(const std::vector<token>& toks, std::size_t i) {
+  decl_scan d;
+  std::string last_ident;
+  for (; i < toks.size(); ++i) {
+    const token& t = toks[i];
+    if (t.kind == token_kind::pp_directive) continue;
+    if (t.kind == token_kind::identifier) {
+      if (t.text == "const" || t.text == "constexpr" ||
+          t.text == "constinit" || t.text == "atomic" ||
+          t.text == "thread_local") {
+        d.immune = true;
+      }
+      if (t.text == "operator") {  // operator overloads are functions
+        d.function_like = true;
+        d.end = i;
+        return d;
+      }
+      last_ident = t.text;
+      continue;
+    }
+    if (t.kind == token_kind::punct) {
+      if (t.text == ";" || t.text == "=" || t.text == "{") {
+        d.name = last_ident;
+        d.end = i;
+        return d;
+      }
+      if (t.text == "(") {
+        d.function_like = true;
+        d.name = last_ident;
+        d.end = i;
+        return d;
+      }
+    }
+  }
+  d.end = toks.size();
+  d.name = last_ident;
+  return d;
+}
+
+void check_thread_safety(const file_ctx& ctx) {
+  const auto& toks = ctx.lx->tokens;
+  std::vector<brace_kind> stack;
+  bool statement_start = true;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const token& t = toks[i];
+    if (t.kind == token_kind::pp_directive) {
+      statement_start = true;
+      continue;
+    }
+    if (is_punct(&t, "{")) {
+      stack.push_back(classify_brace(toks, i));
+      statement_start = true;
+      continue;
+    }
+    if (is_punct(&t, "}")) {
+      if (!stack.empty()) stack.pop_back();
+      statement_start = true;
+      continue;
+    }
+
+    // (a) every parallel_for / parallel_for_chunks call site needs a
+    // dv:parallel-safe(<reason>) annotation explaining why the body is
+    // safe under the determinism contract.
+    if (!ctx.thread_pool_home &&
+        (t.text == "parallel_for" || t.text == "parallel_for_chunks") &&
+        t.kind == token_kind::identifier &&
+        is_punct(neighbor(toks, i, 1), "(")) {
+      if (!ctx.parallel_safe(t.line)) {
+        ctx.report(t.line, "thread-safety",
+                   "'" + t.text +
+                       "' call site missing a // dv:parallel-safe(<reason>) "
+                       "annotation stating why the body is deterministic "
+                       "and race-free");
+      }
+    }
+
+    if (!ctx.in_src) {  // statics/globals are enforced for library code
+      statement_start = is_punct(&t, ";");
+      continue;
+    }
+
+    // (b) mutable function-local statics.
+    if (t.kind == token_kind::identifier && t.text == "static" &&
+        contains_code(stack)) {
+      const decl_scan d = scan_decl(toks, i + 1);
+      if (!d.immune && !d.function_like && !d.name.empty()) {
+        ctx.report(t.line, "thread-safety",
+                   "mutable function-local static '" + d.name +
+                       "' is shared across threads; make it const, atomic, "
+                       "or justify it with dv-lint: allow(thread-safety)");
+      }
+      statement_start = false;
+      continue;
+    }
+
+    // (c) mutable namespace-scope globals.
+    if (statement_start && all_ns(stack) &&
+        t.kind == token_kind::identifier) {
+      static const std::unordered_set<std::string> decl_openers = {
+          "using",    "namespace", "class",  "struct",   "union",
+          "enum",     "template",  "typedef", "friend",  "static_assert",
+          "extern",   "concept",   "operator", "requires"};
+      if (decl_openers.count(t.text) == 0) {
+        decl_scan d = scan_decl(toks, i);
+        // Require a type + name so stray tokens are never flagged.
+        if (!d.immune && !d.function_like && !d.name.empty() &&
+            d.end > i + 1) {
+          ctx.report(t.line, "thread-safety",
+                     "non-const global '" + d.name +
+                         "' is mutable shared state; make it const/"
+                         "constexpr, atomic, or thread_local, or justify "
+                         "it with dv-lint: allow(thread-safety)");
+        }
+      }
+    }
+    statement_start = is_punct(&t, ";");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// metrics-gating: dv::metrics handles must be null-guarded outside
+// src/util (all lookup helpers return nullptr when DV_METRICS is off).
+
+bool qualified_metrics(const std::vector<token>& toks, std::size_t i) {
+  const token* colons = neighbor(toks, i, -1);
+  const token* qual = neighbor(toks, i, -2);
+  return is_punct(colons, "::") && is_ident(qual, "metrics");
+}
+
+/// Index just past the `)` matching the `(` at `open` (or toks.size()).
+std::size_t skip_parens(const std::vector<token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(&toks[i], "(")) ++depth;
+    if (is_punct(&toks[i], ")") && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+void check_metrics_gating(const file_ctx& ctx) {
+  if (ctx.in_src_util) return;
+  const auto& toks = ctx.lx->tokens;
+  static const std::unordered_set<std::string> lookups = {
+      "get_counter", "get_gauge", "get_histogram"};
+  static const std::unordered_set<std::string> mutators = {
+      "set_enabled", "reset", "set_clock_frozen"};
+
+  std::unordered_map<std::string, int> handles;  // var -> decl brace depth
+  int depth = 0;
+  bool guard_seen = false;
+  int guard_depth = 0;
+
+  auto note_guard = [&] {
+    guard_seen = true;
+    guard_depth = depth;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const token& t = toks[i];
+    if (is_punct(&t, "{")) {
+      ++depth;
+      continue;
+    }
+    if (is_punct(&t, "}")) {
+      --depth;
+      if (guard_seen && depth < guard_depth) guard_seen = false;
+      for (auto it = handles.begin(); it != handles.end();) {
+        it = depth < it->second ? handles.erase(it) : std::next(it);
+      }
+      continue;
+    }
+    if (t.kind != token_kind::identifier) continue;
+
+    // Registry mutators are reserved for tests and tools.
+    if (ctx.in_src && mutators.count(t.text) != 0 &&
+        qualified_metrics(toks, i)) {
+      ctx.report(t.line, "metrics-gating",
+                 "'metrics::" + t.text +
+                     "' mutates global registry state and is reserved for "
+                     "tests/tools; library code must stay gated behind "
+                     "DV_METRICS");
+      continue;
+    }
+
+    // `metrics::enabled()` anywhere in the enclosing scope counts as the
+    // gate for every handle (the helpers are all-null or all-non-null).
+    if (t.text == "enabled" && qualified_metrics(toks, i)) {
+      note_guard();
+      continue;
+    }
+
+    if (lookups.count(t.text) != 0 && qualified_metrics(toks, i)) {
+      // `metrics::get_x(...)->use(...)` dereferences a maybe-null handle.
+      const std::size_t after = skip_parens(toks, i + 1);
+      if (!guard_seen && after < toks.size() &&
+          is_punct(&toks[after], "->")) {
+        ctx.report(t.line, "metrics-gating",
+                   "dereferencing 'metrics::" + t.text +
+                       "(...)' without a null check; the lookup returns "
+                       "nullptr when DV_METRICS is off");
+      }
+      // `type* var = metrics::get_x(...)` registers a handle variable
+      // (the `dv::` qualification is optional).
+      const token* eq = neighbor(toks, i, -3);  // before `metrics ::`
+      const token* var = neighbor(toks, i, -4);
+      if (is_punct(eq, "::") && is_ident(var, "dv")) {
+        eq = neighbor(toks, i, -5);
+        var = neighbor(toks, i, -6);
+      }
+      if (is_punct(eq, "=") && var != nullptr &&
+          var->kind == token_kind::identifier) {
+        handles[var->text] = depth;
+      }
+      continue;
+    }
+
+    // Guard spellings on a known handle variable: `if (h)`, `!h`,
+    // `h != nullptr`, `h == nullptr`, `h && ...`, `h ? ... : ...`,
+    // `ASSERT/EXPECT_NE(h, nullptr)`.
+    if (handles.count(t.text) != 0) {
+      const token* next = neighbor(toks, i, 1);
+      const token* next2 = neighbor(toks, i, 2);
+      const token* prev = neighbor(toks, i, -1);
+      const token* prev2 = neighbor(toks, i, -2);
+      const bool vs_nullptr =
+          (is_punct(next, "!=") || is_punct(next, "==") ||
+           is_punct(next, ",")) &&
+          is_ident(next2, "nullptr");
+      const bool truthy = is_punct(next, "&&") || is_punct(next, "?") ||
+                          is_punct(prev, "!") ||
+                          (is_punct(prev, "(") && is_ident(prev2, "if") &&
+                           is_punct(next, ")"));
+      if (vs_nullptr || truthy) {
+        note_guard();
+        continue;
+      }
+      if (is_punct(next, "->") && !guard_seen) {
+        ctx.report(t.line, "metrics-gating",
+                   "metrics handle '" + t.text +
+                       "' dereferenced without a null check; lookups "
+                       "return nullptr when DV_METRICS is off — guard "
+                       "with `if (" +
+                       t.text + " != nullptr)` or metrics::enabled()");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hygiene: #pragma once, no `using namespace` in headers, no unsafe libc.
+
+void check_hygiene(const file_ctx& ctx) {
+  const auto& toks = ctx.lx->tokens;
+  if (ctx.is_header) {
+    bool pragma_once_first = false;
+    int first_line = 1;
+    if (!toks.empty()) {
+      first_line = toks.front().line;
+      if (toks.front().kind == token_kind::pp_directive) {
+        std::string squashed;
+        for (const char c : toks.front().text) {
+          if (c != ' ' && c != '\t') squashed.push_back(c);
+        }
+        pragma_once_first = squashed == "#pragmaonce";
+      }
+    }
+    if (!pragma_once_first) {
+      ctx.report(first_line, "hygiene",
+                 "header must start with #pragma once (before any other "
+                 "declaration or directive)");
+    }
+  }
+
+  static const std::unordered_map<std::string, std::string> banned = {
+      {"sprintf", "use snprintf with an explicit buffer size"},
+      {"vsprintf", "use vsnprintf with an explicit buffer size"},
+      {"strcpy", "use std::string or std::snprintf"},
+      {"strcat", "use std::string"},
+      {"gets", "use std::getline"},
+      {"tmpnam", "use mkstemp-style unique creation"},
+      {"atoi", "use std::strtol / std::from_chars (atoi hides errors)"},
+      {"atol", "use std::strtol / std::from_chars (atol hides errors)"},
+      {"atoll", "use std::strtoll / std::from_chars (atoll hides errors)"},
+      {"atof", "use std::strtod (atof hides errors)"},
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const token& t = toks[i];
+    if (t.kind != token_kind::identifier) continue;
+    if (ctx.is_header && t.text == "using" &&
+        is_ident(neighbor(toks, i, 1), "namespace")) {
+      ctx.report(t.line, "hygiene",
+                 "'using namespace' in a header leaks into every includer; "
+                 "qualify names instead");
+      continue;
+    }
+    const auto it = banned.find(t.text);
+    if (it != banned.end() && is_free_call(toks, i)) {
+      ctx.report(t.line, "hygiene",
+                 "unsafe libc call '" + t.text + "': " + it->second);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<violation> lint_source(const std::string& rel_path,
+                                   std::string_view source) {
+  const lex_result lx = lex(source);
+  std::vector<violation> out;
+  const file_ctx ctx = make_ctx(rel_path, lx, out);
+  check_determinism(ctx);
+  check_thread_safety(ctx);
+  check_metrics_gating(ctx);
+  check_hygiene(ctx);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const violation& a, const violation& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.check < b.check;
+                   });
+  return out;
+}
+
+std::string format(const std::vector<violation>& violations) {
+  std::ostringstream os;
+  for (const auto& v : violations) {
+    os << v.file << ':' << v.line << ": [" << v.check << "] " << v.message
+       << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+bool skip_dir(const std::string& name) {
+  return name == ".git" || name == "lint_fixtures" ||
+         starts_with(name, "build") || starts_with(name, "artifacts");
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp";
+}
+
+void collect(const fs::path& root, const fs::path& path,
+             std::set<std::string>& files) {
+  if (fs::is_directory(path)) {
+    for (fs::recursive_directory_iterator it{path}, end; it != end; ++it) {
+      if (it->is_directory() && skip_dir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && lintable(it->path())) {
+        files.insert(fs::relative(it->path(), root).generic_string());
+      }
+    }
+    return;
+  }
+  files.insert(fs::relative(path, root).generic_string());
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  fs::path root = ".";
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--root") {
+      if (i + 1 >= args.size()) {
+        err << "dv_lint: --root requires a directory\n";
+        return 2;
+      }
+      root = args[++i];
+    } else if (starts_with(args[i], "--")) {
+      err << "dv_lint: unknown option '" << args[i]
+          << "' (usage: dv_lint [--root <dir>] [path...])\n";
+      return 2;
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (!fs::is_directory(root)) {
+    err << "dv_lint: root '" << root.string() << "' is not a directory\n";
+    return 2;
+  }
+  if (paths.empty()) paths = {"src", "bench", "tests"};
+
+  std::set<std::string> files;
+  for (const auto& p : paths) {
+    const fs::path full = root / p;
+    if (!fs::exists(full)) {
+      err << "dv_lint: path '" << p << "' not found under '"
+          << root.string() << "'\n";
+      return 2;
+    }
+    collect(root, full, files);
+  }
+
+  std::vector<violation> all;
+  for (const auto& rel : files) {
+    std::ifstream in{root / rel, std::ios::binary};
+    if (!in) {
+      err << "dv_lint: cannot read '" << rel << "'\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string source = ss.str();
+    const auto file_violations = lint_source(rel, source);
+    all.insert(all.end(), file_violations.begin(), file_violations.end());
+  }
+
+  out << format(all);
+  out << "dv_lint: " << files.size() << " file(s) scanned, " << all.size()
+      << " violation(s)\n";
+  return all.empty() ? 0 : 1;
+}
+
+}  // namespace dv_lint

@@ -1,0 +1,46 @@
+// dv_lint check engine: repo-invariant checks over the token stream
+// produced by lexer.h. Four named checks (see docs/STATIC_ANALYSIS.md for
+// the catalogue and the annotation grammar):
+//
+//   determinism    — no ambient randomness or wall-clock reads
+//   thread-safety  — parallel_for sites annotated; no mutable statics
+//   metrics-gating — dv::metrics handles null-guarded outside src/util
+//   hygiene        — #pragma once, no `using namespace` in headers,
+//                    no sprintf/strcpy/atoi-style libc calls
+//
+// Any violation is suppressible on its own line or the line above with
+// `// dv-lint: allow(<check>)`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dv_lint {
+
+struct violation {
+  std::string file;  // repo-relative path, forward slashes
+  int line{0};
+  std::string check;    // "determinism", "thread-safety", ...
+  std::string message;  // human-readable explanation with a suggested fix
+};
+
+/// Runs every check over one file's contents. `rel_path` is the
+/// repo-relative path (forward slashes); it selects which checks and
+/// allowlists apply (e.g. src/util/ may own mutable statics, headers must
+/// start with #pragma once). Results are sorted by line.
+std::vector<violation> lint_source(const std::string& rel_path,
+                                   std::string_view source);
+
+/// Formats violations one per line: `file:line: [check] message`.
+std::string format(const std::vector<violation>& violations);
+
+/// Full command line: `dv_lint [--root <dir>] [path...]` where paths are
+/// files or directories relative to the root (default: src bench tests).
+/// Prints violations and a summary to `out`, errors to `err`. Returns 0
+/// when clean, 1 on violations, 2 on usage or I/O errors.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace dv_lint

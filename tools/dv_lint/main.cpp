@@ -1,0 +1,14 @@
+// dv_lint — repo-invariant static checker for the deterministic runtime.
+// See docs/STATIC_ANALYSIS.md for the check catalogue.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return dv_lint::run_cli(args, std::cout, std::cerr);
+}
