@@ -17,6 +17,7 @@
 #include "eval/table.h"
 #include "pipeline/artifacts.h"
 #include "pipeline/corner_suite.h"
+#include "pipeline/models.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 

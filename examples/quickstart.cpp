@@ -15,6 +15,7 @@
 #include "core/explain.h"
 #include "eval/metrics.h"
 #include "pipeline/artifacts.h"
+#include "pipeline/models.h"
 #include "pipeline/corner_suite.h"
 #include "util/logging.h"
 

@@ -8,6 +8,12 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 
+# Fast incremental lint with the API-surface snapshot check: per-file
+# results are cached under build/dv_lint_cache, so this is near-free on
+# warm runs and fails early on any violation or public-API drift.
+./build/tools/dv_lint/dv_lint --root . --check-api-surface \
+  --cache-dir build/dv_lint_cache src bench tests tools
+
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
 # Lint + sanitizer gate (dv_lint, clang-tidy if present, TSan, ASan/UBSan).

@@ -1,32 +1,77 @@
 #!/usr/bin/env bash
 # Static-analysis and sanitizer gate. Runs, in order:
-#   1. dv_lint over src/, bench/, tests/ (fails on any violation),
+#   1. dv_lint over src/, bench/, tests/, tools/ with the API-surface
+#      check (fails on any violation or snapshot drift),
 #   2. the clang-tidy target (no-op with a notice when clang-tidy is absent),
 #   3. the test suite under ThreadSanitizer      (build-tsan/),
 #   4. the test suite under Address+UBSanitizer  (build-asan/).
 # All builds use DV_WERROR=ON, so new warnings fail the gate too. Each
 # configuration keeps its own build directory; later runs are incremental.
-set -euo pipefail
+#
+# Every stage always runs, even after an earlier stage failed: one CI run
+# reports every broken gate instead of stopping at the first. The script
+# exits non-zero if any stage failed and prints a per-stage summary.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== dv_lint =="
-cmake -B build-lint -G Ninja -DCMAKE_BUILD_TYPE=Release -DDV_WERROR=ON
-cmake --build build-lint --target dv_lint
-./build-lint/tools/dv_lint/dv_lint --root . src bench tests
+stage_names=()
+stage_results=()
 
-echo "== clang-tidy =="
-cmake --build build-lint --target tidy
+# run_stage <name> <command...>: runs the command, records pass/fail.
+run_stage() {
+  local name="$1"
+  shift
+  echo "== ${name} =="
+  if "$@"; then
+    stage_names+=("${name}")
+    stage_results+=(pass)
+  else
+    stage_names+=("${name}")
+    stage_results+=(FAIL)
+  fi
+}
 
-echo "== ThreadSanitizer =="
-cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DDV_WERROR=ON -DDV_SANITIZE=thread
-cmake --build build-tsan
-ctest --test-dir build-tsan --output-on-failure
+lint_stage() {
+  cmake -B build-lint -G Ninja -DCMAKE_BUILD_TYPE=Release -DDV_WERROR=ON &&
+    cmake --build build-lint --target dv_lint &&
+    ./build-lint/tools/dv_lint/dv_lint --root . --check-api-surface \
+      src bench tests tools
+}
 
-echo "== Address+UndefinedBehaviorSanitizer =="
-cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DDV_WERROR=ON -DDV_SANITIZE=address,undefined
-cmake --build build-asan
-ctest --test-dir build-asan --output-on-failure
+tidy_stage() {
+  cmake --build build-lint --target tidy
+}
 
+tsan_stage() {
+  cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDV_WERROR=ON -DDV_SANITIZE=thread &&
+    cmake --build build-tsan &&
+    ctest --test-dir build-tsan --output-on-failure
+}
+
+asan_stage() {
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDV_WERROR=ON -DDV_SANITIZE=address,undefined &&
+    cmake --build build-asan &&
+    ctest --test-dir build-asan --output-on-failure
+}
+
+run_stage "dv_lint" lint_stage
+run_stage "clang-tidy" tidy_stage
+run_stage "ThreadSanitizer" tsan_stage
+run_stage "Address+UndefinedBehaviorSanitizer" asan_stage
+
+echo
+echo "== static analysis gate summary =="
+failed=0
+for i in "${!stage_names[@]}"; do
+  printf '  %-38s %s\n' "${stage_names[$i]}" "${stage_results[$i]}"
+  if [ "${stage_results[$i]}" != pass ]; then
+    failed=1
+  fi
+done
+if [ "${failed}" -ne 0 ]; then
+  echo "static analysis gate: FAILED"
+  exit 1
+fi
 echo "static analysis gate: all clean"

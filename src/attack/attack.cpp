@@ -5,7 +5,6 @@
 #include <stdexcept>
 
 #include "nn/loss.h"
-#include "tensor/ops.h"
 
 namespace dv {
 

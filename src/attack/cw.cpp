@@ -6,7 +6,6 @@
 #include <stdexcept>
 #include <vector>
 
-#include "tensor/ops.h"
 
 namespace dv {
 

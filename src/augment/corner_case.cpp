@@ -5,7 +5,6 @@
 #include <stdexcept>
 
 #include "nn/trainer.h"
-#include "tensor/ops.h"
 #include "util/logging.h"
 
 namespace dv {

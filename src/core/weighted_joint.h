@@ -10,7 +10,7 @@
 #pragma once
 
 #include "core/deep_validator.h"
-#include "eval/logistic.h"
+#include "nn/logistic.h"
 
 namespace dv {
 

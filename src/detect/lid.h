@@ -17,7 +17,7 @@
 
 #include "data/dataset.h"
 #include "detect/detector.h"
-#include "eval/logistic.h"
+#include "nn/logistic.h"
 #include "nn/model.h"
 
 namespace dv {

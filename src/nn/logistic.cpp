@@ -1,4 +1,4 @@
-#include "eval/logistic.h"
+#include "nn/logistic.h"
 
 #include <cmath>
 #include <stdexcept>

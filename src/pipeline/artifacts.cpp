@@ -1,5 +1,7 @@
 #include "pipeline/artifacts.h"
 
+#include "pipeline/models.h"
+
 #include "util/logging.h"
 #include "util/serialize.h"
 #include "util/stopwatch.h"

@@ -9,8 +9,8 @@
 #include <memory>
 
 #include "core/deep_validator.h"
+#include "nn/model.h"
 #include "pipeline/config.h"
-#include "pipeline/models.h"
 
 namespace dv {
 

@@ -1,0 +1,8 @@
+#pragma once
+namespace dv {
+struct point {
+  double x{0.0};
+  double y{0.0};
+};
+point lerp(const point& a, const point& b, double t);
+}  // namespace dv

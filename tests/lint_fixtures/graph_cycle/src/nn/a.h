@@ -1,0 +1,7 @@
+#pragma once
+#include "nn/b.h"
+namespace dv {
+struct cyc_a {
+  cyc_b* other;
+};
+}  // namespace dv

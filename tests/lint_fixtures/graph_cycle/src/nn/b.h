@@ -1,0 +1,7 @@
+#pragma once
+#include "nn/a.h"
+namespace dv {
+struct cyc_b {
+  cyc_a* other;
+};
+}  // namespace dv

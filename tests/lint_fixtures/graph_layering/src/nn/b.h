@@ -1,0 +1,7 @@
+#pragma once
+#include "util/a.h"
+namespace dv {
+struct beta {
+  alpha a;
+};
+}  // namespace dv

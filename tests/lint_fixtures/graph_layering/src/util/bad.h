@@ -1,0 +1,7 @@
+#pragma once
+#include "nn/b.h"
+namespace dv {
+struct gamma {
+  beta b;
+};
+}  // namespace dv

@@ -1,0 +1,7 @@
+#include "util/dead.h"
+// dv-lint: allow(unused-include) fixture: re-exported on purpose
+#include "util/dead2.h"
+#include "util/used.h"
+namespace dv {
+widget make() { return widget{}; }
+}  // namespace dv

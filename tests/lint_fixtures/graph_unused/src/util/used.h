@@ -1,0 +1,4 @@
+#pragma once
+namespace dv {
+struct widget {};
+}  // namespace dv

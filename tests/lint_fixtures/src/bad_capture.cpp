@@ -1,0 +1,13 @@
+// Fixture: by-ref capture written by every chunk without loop-local
+// indexing — the canonical parallel reduction race.
+namespace dv {
+// dv:parallel-safe(prototype, not a call site)
+void parallel_for(long, long, long, void (*)(long, long));
+void f() {
+  double sum = 0.0;
+  // dv:parallel-safe(fixture: the capture check must flag this anyway)
+  parallel_for(0, 8, 1, [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) sum += 1.0;
+  });
+}
+}  // namespace dv

@@ -1,0 +1,22 @@
+// Fixture: the three sanctioned parallel-write shapes pass the capture
+// check — disjoint slots indexed by the loop variable, per-chunk
+// partials, and an explicitly waived reviewed reduction.
+namespace dv {
+// dv:parallel-safe(prototype, not a call site)
+void parallel_for(long, long, long, void (*)(long, long));
+// dv:parallel-safe(prototype, not a call site)
+void parallel_for_chunks(long, long, long, void (*)(long, long, long, int));
+void f(float* out, float* partial) {
+  // dv:parallel-safe(disjoint slots per index)
+  parallel_for(0, 8, 1, [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) out[i] = 1.0f;
+  });
+  // dv:parallel-safe(per-chunk partials folded after the loop)
+  parallel_for_chunks(0, 8, 1, [&](long chunk, long lo, long hi, int) {
+    for (long i = lo; i < hi; ++i) partial[chunk] += 1.0f;
+  });
+  double acc = 0.0;
+  // dv:parallel-safe(reviewed) dv-lint: allow(capture) single-chunk call
+  parallel_for(0, 8, 8, [&](long lo, long hi) { acc += double(hi - lo); });
+}
+}  // namespace dv

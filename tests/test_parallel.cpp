@@ -95,9 +95,9 @@ TEST(ParallelFor, ChunkIdsAreDenseAndRanksInRange) {
 TEST(ParallelFor, EmptyRangeRunsNothingAndBadGrainThrows) {
   thread_count_guard guard;
   bool ran = false;
-  // dv:parallel-safe(empty range, body never runs)
+  // dv:parallel-safe(empty range) dv-lint: allow(capture) body never runs
   parallel_for(4, 4, 1, [&](std::int64_t, std::int64_t) { ran = true; });
-  // dv:parallel-safe(empty range, body never runs)
+  // dv:parallel-safe(empty range) dv-lint: allow(capture) body never runs
   parallel_for(4, 0, 1, [&](std::int64_t, std::int64_t) { ran = true; });
   EXPECT_FALSE(ran);
   // dv:parallel-safe(invalid grain throws before running anything)

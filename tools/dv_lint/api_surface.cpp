@@ -1,0 +1,411 @@
+#include "api_surface.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <unordered_set>
+
+#include "token_utils.h"
+
+namespace dv_lint {
+
+namespace {
+
+bool is_keyword_like(const std::string& s) {
+  static const std::unordered_set<std::string> kw = {
+      "if",     "for",      "while",   "switch",   "return", "sizeof",
+      "alignof", "alignas", "static_assert", "decltype", "noexcept",
+      "throw",  "catch",    "new",     "delete",   "operator", "requires",
+      "case",   "goto",     "do",      "else",     "typename", "typedef",
+      "using",  "template", "class",   "struct",   "union",  "enum",
+      "namespace", "public", "private", "protected", "virtual", "override",
+      "final",  "const",    "constexpr", "constinit", "consteval",
+      "static", "inline",   "explicit", "friend",   "extern", "mutable",
+      "volatile", "register", "this",   "true",     "false",  "nullptr",
+      "concept", "export",  "auto",    "void",     "bool",   "char",
+      "int",    "float",    "double",  "long",     "short",  "signed",
+      "unsigned", "wchar_t"};
+  return kw.count(s) != 0;
+}
+
+/// Skips a template argument/parameter list starting at the `<` token,
+/// treating a `>>` token as two closers. Returns the index just past it.
+std::size_t skip_angles(const std::vector<token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const token& t = toks[i];
+    if (token_is_punct(&t, "<")) ++depth;
+    if (token_is_punct(&t, "<<")) depth += 2;
+    if (token_is_punct(&t, ">")) {
+      if (--depth <= 0) return i + 1;
+    }
+    if (token_is_punct(&t, ">>")) {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    }
+    if (token_is_punct(&t, ";") || token_is_punct(&t, "{")) return i;
+  }
+  return toks.size();
+}
+
+struct scope {
+  brace_kind kind;
+  std::string name;  // namespace or type name, "" otherwise
+};
+
+class extractor {
+ public:
+  explicit extractor(const lex_result& lx) : lx_{lx}, toks_{lx.tokens} {}
+
+  header_decls run() {
+    for (i_ = 0; i_ < toks_.size(); ++i_) {
+      const token& t = toks_[i_];
+      if (t.kind == token_kind::pp_directive) {
+        scan_define(t.text);
+        continue;
+      }
+      if (token_is_punct(&t, "{")) {
+        scope s{classify_brace(toks_, i_), ""};
+        if ((s.kind == brace_kind::ns || s.kind == brace_kind::type) &&
+            !pending_name_.empty()) {
+          s.name = pending_name_;
+        }
+        pending_name_.clear();
+        stack_.push_back(std::move(s));
+        continue;
+      }
+      if (token_is_punct(&t, "}")) {
+        if (!stack_.empty()) stack_.pop_back();
+        continue;
+      }
+      if (t.kind != token_kind::identifier) continue;
+      if (t.text == "template") {
+        const token* next = neighbor_token(toks_, i_, 1);
+        if (token_is_punct(next, "<")) {
+          i_ = skip_angles(toks_, i_ + 1) - 1;
+        }
+        continue;
+      }
+      if (t.text == "namespace") {
+        handle_namespace();
+        continue;
+      }
+      if (t.text == "enum") {
+        handle_enum();
+        continue;
+      }
+      if (t.text == "class" || t.text == "struct" || t.text == "union") {
+        handle_class(t.text);
+        continue;
+      }
+      if (t.text == "using") {
+        handle_using();
+        continue;
+      }
+      if (t.text == "typedef") {
+        handle_typedef();
+        continue;
+      }
+      if (t.text == "operator") {
+        // Skip the operator token itself; never collect operator names.
+        continue;
+      }
+      handle_plain_ident();
+    }
+    std::sort(out_.declared.begin(), out_.declared.end());
+    out_.declared.erase(
+        std::unique(out_.declared.begin(), out_.declared.end()),
+        out_.declared.end());
+    std::sort(out_.api.begin(), out_.api.end());
+    out_.api.erase(std::unique(out_.api.begin(), out_.api.end()),
+                   out_.api.end());
+    return std::move(out_);
+  }
+
+ private:
+  bool collectible() const {
+    for (const scope& s : stack_) {
+      if (s.kind == brace_kind::code || s.kind == brace_kind::expr) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool at_namespace_scope() const {
+    for (const scope& s : stack_) {
+      if (s.kind != brace_kind::ns) return false;
+    }
+    return true;
+  }
+
+  std::string qualified(const std::string& name) const {
+    std::string q;
+    for (const scope& s : stack_) {
+      if (s.name.empty()) continue;
+      q += s.name;
+      q += "::";
+    }
+    return q + name;
+  }
+
+  void declare(const std::string& name) {
+    if (!name.empty()) out_.declared.push_back(name);
+  }
+
+  void scan_define(const std::string& text) {
+    std::size_t p = text.find_first_not_of(" \t");
+    if (p == std::string::npos || text[p] != '#') return;
+    p = text.find_first_not_of(" \t", p + 1);
+    if (p == std::string::npos || text.compare(p, 6, "define") != 0) return;
+    p = text.find_first_not_of(" \t", p + 6);
+    if (p == std::string::npos) return;
+    std::size_t e = p;
+    while (e < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[e])) ||
+            text[e] == '_')) {
+      ++e;
+    }
+    if (e > p) declare(text.substr(p, e - p));
+  }
+
+  const token* tok(std::size_t idx) const {
+    return idx < toks_.size() ? &toks_[idx] : nullptr;
+  }
+
+  void handle_namespace() {
+    const token* prev = neighbor_token(toks_, i_, -1);
+    if (token_is_ident(prev, "using")) return;
+    std::string name;
+    std::size_t j = i_ + 1;
+    while (j < toks_.size()) {
+      const token& t = toks_[j];
+      if (t.kind == token_kind::identifier) {
+        name += t.text;
+        ++j;
+        continue;
+      }
+      if (token_is_punct(&t, "::")) {
+        name += "::";
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (j < toks_.size() && token_is_punct(&toks_[j], "=")) {
+      // namespace alias: skip to the semicolon.
+      while (j < toks_.size() && !token_is_punct(&toks_[j], ";")) ++j;
+      i_ = j;
+      return;
+    }
+    if (!name.empty() && collectible()) {
+      out_.api.push_back("namespace " + qualified(name));
+    }
+    pending_name_ = name;
+    i_ = j - 1;
+  }
+
+  void handle_class(const std::string& kw) {
+    // `enum class` is routed through handle_enum before we get here.
+    std::size_t j = i_ + 1;
+    // Skip attributes and alignment specifiers.
+    while (j < toks_.size()) {
+      if (token_is_punct(&toks_[j], "[")) {
+        j = skip_balanced(toks_, j, "[", "]");
+        continue;
+      }
+      if (token_is_ident(&toks_[j], "alignas") &&
+          token_is_punct(tok(j + 1), "(")) {
+        j = skip_balanced(toks_, j + 1, "(", ")");
+        continue;
+      }
+      break;
+    }
+    if (j >= toks_.size() || toks_[j].kind != token_kind::identifier) return;
+    const std::string name = toks_[j].text;
+    // Decide between definition, forward declaration, and elaborated
+    // type in a variable declaration by peeking at what follows.
+    std::size_t k = j + 1;
+    if (k < toks_.size() && token_is_punct(&toks_[k], "<")) {
+      k = skip_angles(toks_, k);  // explicit specialization
+    }
+    if (k < toks_.size() && token_is_ident(&toks_[k], "final")) ++k;
+    if (k >= toks_.size()) return;
+    if (token_is_punct(&toks_[k], ";")) {  // forward declaration
+      declare(name);
+      i_ = k;
+      return;
+    }
+    if (!token_is_punct(&toks_[k], "{") && !token_is_punct(&toks_[k], ":")) {
+      return;  // elaborated type (e.g. `struct tm t;`) — not a declaration
+    }
+    declare(name);
+    if (collectible()) {
+      out_.api.push_back(kw + " " + qualified(name));
+    }
+    pending_name_ = name;
+    i_ = j;
+  }
+
+  void handle_enum() {
+    std::size_t j = i_ + 1;
+    if (j < toks_.size() && (token_is_ident(&toks_[j], "class") ||
+                             token_is_ident(&toks_[j], "struct"))) {
+      ++j;
+    }
+    std::string name;
+    if (j < toks_.size() && toks_[j].kind == token_kind::identifier) {
+      name = toks_[j].text;
+      ++j;
+    }
+    // Optional underlying type, then `{` (definition) or `;` (opaque).
+    while (j < toks_.size() && !token_is_punct(&toks_[j], "{") &&
+           !token_is_punct(&toks_[j], ";")) {
+      ++j;
+    }
+    if (j >= toks_.size() || token_is_punct(&toks_[j], ";")) {
+      declare(name);
+      i_ = j;
+      return;
+    }
+    const std::size_t close = skip_balanced(toks_, j, "{", "}") - 1;
+    std::vector<std::string> enumerators;
+    bool expect_name = true;
+    int depth = 0;
+    for (std::size_t k = j + 1; k < close; ++k) {
+      const token& t = toks_[k];
+      if (t.kind == token_kind::punct &&
+          (t.text == "(" || t.text == "{" || t.text == "[")) {
+        ++depth;
+      }
+      if (t.kind == token_kind::punct &&
+          (t.text == ")" || t.text == "}" || t.text == "]")) {
+        --depth;
+      }
+      if (depth == 0 && token_is_punct(&t, ",")) {
+        expect_name = true;
+        continue;
+      }
+      if (expect_name && t.kind == token_kind::identifier) {
+        enumerators.push_back(t.text);
+        declare(t.text);
+        expect_name = false;
+      }
+    }
+    declare(name);
+    if (!name.empty() && collectible()) {
+      std::string entry = "enum " + qualified(name) + " {";
+      for (std::size_t e = 0; e < enumerators.size(); ++e) {
+        entry += (e == 0 ? " " : ", ") + enumerators[e];
+      }
+      entry += enumerators.empty() ? "}" : " }";
+      out_.api.push_back(entry);
+    }
+    i_ = close;
+  }
+
+  void handle_using() {
+    const token* next = neighbor_token(toks_, i_, 1);
+    if (next == nullptr) return;
+    if (token_is_ident(next, "namespace")) {
+      while (i_ < toks_.size() && !token_is_punct(&toks_[i_], ";")) ++i_;
+      return;
+    }
+    if (next->kind == token_kind::identifier) {
+      const std::size_t name_idx =
+          static_cast<std::size_t>(next - toks_.data());
+      if (token_is_punct(tok(name_idx + 1), "=")) {
+        declare(next->text);  // alias declaration
+      }
+    }
+    while (i_ < toks_.size() && !token_is_punct(&toks_[i_], ";")) ++i_;
+  }
+
+  void handle_typedef() {
+    std::string last;
+    while (i_ < toks_.size() && !token_is_punct(&toks_[i_], ";")) {
+      if (toks_[i_].kind == token_kind::identifier) last = toks_[i_].text;
+      ++i_;
+    }
+    if (!is_keyword_like(last)) declare(last);
+  }
+
+  void handle_plain_ident() {
+    const token& t = toks_[i_];
+    if (is_keyword_like(t.text)) return;
+    if (!collectible()) return;
+    const token* prev = neighbor_token(toks_, i_, -1);
+    const token* next = neighbor_token(toks_, i_, 1);
+    const bool prev_ok =
+        prev == nullptr ||
+        (prev->kind == token_kind::identifier &&
+         prev->text != "operator" && prev->text != "return" &&
+         prev->text != "namespace") ||
+        token_is_punct(prev, ";") || token_is_punct(prev, "}") ||
+        token_is_punct(prev, "{") || token_is_punct(prev, ">") ||
+        token_is_punct(prev, ">>") || token_is_punct(prev, "*") ||
+        token_is_punct(prev, "&") || token_is_punct(prev, "&&") ||
+        token_is_punct(prev, "]");
+    if (token_is_punct(next, "(") && prev_ok) {
+      declare(t.text);  // function or constructor name
+      if (at_namespace_scope()) {
+        out_.api.push_back("function " + qualified(t.text));
+      }
+      // Skip the parameter list so parameter names are not collected.
+      i_ = skip_balanced(toks_, i_ + 1, "(", ")") - 1;
+      return;
+    }
+    const bool prev_typeish =
+        prev != nullptr &&
+        ((prev->kind == token_kind::identifier && !is_keyword_like(prev->text)
+              ? true
+              : (token_is_ident(prev, "auto") || token_is_ident(prev, "bool") ||
+                 token_is_ident(prev, "int") || token_is_ident(prev, "char") ||
+                 token_is_ident(prev, "float") ||
+                 token_is_ident(prev, "double") ||
+                 token_is_ident(prev, "long") ||
+                 token_is_ident(prev, "short") ||
+                 token_is_ident(prev, "unsigned") ||
+                 token_is_ident(prev, "signed") ||
+                 token_is_ident(prev, "const") ||
+                 token_is_ident(prev, "constexpr"))) ||
+         token_is_punct(prev, ">") || token_is_punct(prev, ">>") ||
+         token_is_punct(prev, "*") || token_is_punct(prev, "&") ||
+         token_is_punct(prev, "&&"));
+    if (prev_typeish && next != nullptr && next->kind == token_kind::punct &&
+        (next->text == "=" || next->text == ";" || next->text == "{" ||
+         next->text == "[" || next->text == ":" || next->text == ",")) {
+      declare(t.text);  // member / constant / variable declaration
+    }
+  }
+
+  const lex_result& lx_;
+  const std::vector<token>& toks_;
+  std::size_t i_{0};
+  std::vector<scope> stack_;
+  std::string pending_name_;
+  header_decls out_;
+};
+
+}  // namespace
+
+header_decls extract_decls(const lex_result& lx) {
+  return extractor{lx}.run();
+}
+
+std::string render_surface(const std::vector<file_summary>& summaries) {
+  std::set<std::string> lines;
+  for (const file_summary& s : summaries) {
+    for (const std::string& entry : s.api) {
+      lines.insert(s.rel_path + " " + entry);
+    }
+  }
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dv_lint

@@ -1,0 +1,39 @@
+// API-surface pass: extracts the public symbol inventory of a header —
+// namespaces, class/struct/union definitions, free functions, and enums
+// with their enumerator names — as canonical text entries. run_cli
+// aggregates the entries of every header under src/ into a sorted
+// snapshot, compares it against the checked-in golden
+// (tools/dv_lint/api_surface.golden) under --check-api-surface, and
+// rewrites the golden under --update-api-surface, so every API break is
+// an explicit, reviewable diff.
+//
+// The same extraction also yields the `declared` symbol set (a superset
+// of the API entries: members, aliases, macros, constants) that the
+// include-graph pass uses for its unused-include heuristic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "lint.h"
+
+namespace dv_lint {
+
+struct header_decls {
+  /// Canonical API entries, e.g. "class dv::tensor",
+  /// "function dv::gemm_nn", "enum dv::log_level { debug, info }".
+  std::vector<std::string> api;
+  /// Sorted unique names the file declares (types, functions, members,
+  /// enumerators, aliases, macros). Namespace names are excluded: a
+  /// `dv::` qualifier in an includer must not count as symbol use.
+  std::vector<std::string> declared;
+};
+
+header_decls extract_decls(const lex_result& lx);
+
+/// Renders the sorted, unique API snapshot over every summarized header
+/// under src/: one `<header> <entry>` line each, trailing newline.
+std::string render_surface(const std::vector<file_summary>& summaries);
+
+}  // namespace dv_lint

@@ -1,0 +1,160 @@
+#include "cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace dv_lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+fs::path record_path(const std::string& cache_dir,
+                     const std::string& rel_path) {
+  return fs::path{cache_dir} / (hex64(fnv1a_hash(rel_path)) + ".rec");
+}
+
+bool parse_int(const std::string& s, int& out) {
+  if (s.empty()) return false;
+  long v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+    if (v > 1000000000) return false;
+  }
+  out = static_cast<int>(v);
+  return true;
+}
+
+/// Splits `line` on tabs into at most `max_fields` pieces; the last
+/// piece keeps any remaining tabs (messages may contain them in theory).
+std::vector<std::string> split_tabs(const std::string& line,
+                                    std::size_t max_fields) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (out.size() + 1 < max_fields) {
+    const std::size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) break;
+    out.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  out.push_back(line.substr(start));
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a_hash(std::string_view data) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+bool cache_load(const std::string& cache_dir, const std::string& rel_path,
+                std::uint64_t content_hash, file_summary& out) {
+  std::ifstream in{record_path(cache_dir, rel_path)};
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line) ||
+      line != "dv_lint-cache " + std::to_string(k_cache_version)) {
+    return false;
+  }
+  if (!std::getline(in, line) || line != "path " + rel_path) return false;
+  if (!std::getline(in, line) || line != "hash " + hex64(content_hash)) {
+    return false;
+  }
+  file_summary s;
+  s.rel_path = rel_path;
+  s.content_hash = content_hash;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos) return false;
+    const std::string tag = line.substr(0, tab);
+    if (tag == "v") {
+      const auto f = split_tabs(line, 4);  // v, line, check, message
+      if (f.size() != 4) return false;
+      violation v;
+      v.file = rel_path;
+      if (!parse_int(f[1], v.line)) return false;
+      v.check = f[2];
+      v.message = f[3];
+      s.violations.push_back(std::move(v));
+    } else if (tag == "inc") {
+      const auto f = split_tabs(line, 4);  // inc, line, allow-csv, spelled
+      if (f.size() != 4) return false;
+      include_ref ref;
+      if (!parse_int(f[1], ref.line)) return false;
+      if (f[2] != "-") {
+        std::istringstream cs{f[2]};
+        std::string name;
+        while (std::getline(cs, name, ',')) {
+          if (!name.empty()) ref.allowed.push_back(name);
+        }
+      }
+      ref.spelled = f[3];
+      s.includes.push_back(std::move(ref));
+    } else if (tag == "sym") {
+      s.declared.push_back(line.substr(tab + 1));
+    } else if (tag == "use") {
+      s.used.push_back(line.substr(tab + 1));
+    } else if (tag == "api") {
+      s.api.push_back(line.substr(tab + 1));
+    } else {
+      return false;
+    }
+  }
+  out = std::move(s);
+  return true;
+}
+
+bool cache_store(const std::string& cache_dir, const file_summary& summary) {
+  std::error_code ec;
+  fs::create_directories(cache_dir, ec);
+  if (ec) return false;
+  const fs::path final_path = record_path(cache_dir, summary.rel_path);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream os{tmp_path, std::ios::trunc};
+    if (!os) return false;
+    os << "dv_lint-cache " << k_cache_version << '\n';
+    os << "path " << summary.rel_path << '\n';
+    os << "hash " << hex64(summary.content_hash) << '\n';
+    for (const auto& v : summary.violations) {
+      os << "v\t" << v.line << '\t' << v.check << '\t' << v.message << '\n';
+    }
+    for (const auto& ref : summary.includes) {
+      std::string csv;
+      for (const auto& name : ref.allowed) {
+        if (!csv.empty()) csv += ',';
+        csv += name;
+      }
+      os << "inc\t" << ref.line << '\t' << (csv.empty() ? "-" : csv) << '\t'
+         << ref.spelled << '\n';
+    }
+    for (const auto& name : summary.declared) os << "sym\t" << name << '\n';
+    for (const auto& name : summary.used) os << "use\t" << name << '\n';
+    for (const auto& entry : summary.api) os << "api\t" << entry << '\n';
+    if (!os) return false;
+  }
+  // Rename-into-place keeps concurrent readers from seeing a torn record.
+  fs::rename(tmp_path, final_path, ec);
+  return !ec;
+}
+
+}  // namespace dv_lint

@@ -1,0 +1,34 @@
+// Per-file result cache for dv_lint. Each scanned file's summary
+// (violations, includes, declared/used symbols, api entries) is stored
+// as a small text record under the cache dir, keyed by the FNV-1a hash
+// of the repo-relative path and guarded by the FNV-1a hash of the file
+// contents plus a format-version stamp. A warm run re-lints only files
+// whose contents changed; everything else is replayed from the records,
+// so the cross-file passes still see the full tree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "lint.h"
+
+namespace dv_lint {
+
+/// Bump when check logic or the record format changes; every stale
+/// record then misses and is rewritten.
+inline constexpr int k_cache_version = 1;
+
+std::uint64_t fnv1a_hash(std::string_view data);
+
+/// Loads the cached summary for `rel_path` into `out`. Returns false on
+/// a miss: no record, unreadable/garbled record, version or content-hash
+/// mismatch.
+bool cache_load(const std::string& cache_dir, const std::string& rel_path,
+                std::uint64_t content_hash, file_summary& out);
+
+/// Writes the record for `summary` (creates `cache_dir` if needed).
+/// Returns false on I/O failure — callers treat that as a soft error.
+bool cache_store(const std::string& cache_dir, const file_summary& summary);
+
+}  // namespace dv_lint

@@ -1,0 +1,383 @@
+#include "capture_check.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "token_utils.h"
+
+namespace dv_lint {
+
+namespace {
+
+const std::unordered_set<std::string>& ident_keywords() {
+  static const std::unordered_set<std::string> kw = {
+      "return", "new",    "delete",    "throw",    "else",
+      "case",   "goto",   "sizeof",    "co_return", "co_yield",
+      "co_await", "break", "continue", "do",       "if",
+      "for",    "while",  "switch",    "catch",    "try"};
+  return kw;
+}
+
+bool type_ish(const token* t) {
+  if (t == nullptr) return false;
+  if (t->kind == token_kind::identifier) {
+    return ident_keywords().count(t->text) == 0;
+  }
+  return token_is_punct(t, "*") || token_is_punct(t, "&") ||
+         token_is_punct(t, "&&") || token_is_punct(t, ">") ||
+         token_is_punct(t, ">>");
+}
+
+/// Index of the opener matching the closer at `close` (scanning
+/// backwards), or npos when unbalanced.
+std::size_t match_backward(const std::vector<token>& toks, std::size_t close,
+                           std::string_view open_ch,
+                           std::string_view close_ch) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (token_is_punct(&toks[i], close_ch)) ++depth;
+    if (token_is_punct(&toks[i], open_ch) && --depth == 0) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// How the lambda gets at each outer name.
+struct capture_set {
+  bool default_ref{false};   // [&]
+  bool default_val{false};   // [=]
+  bool captures_this{false};
+  std::unordered_set<std::string> by_ref;
+  std::unordered_set<std::string> by_val;
+};
+
+/// The resolved target of one write expression.
+struct lvalue {
+  std::string base;          // leftmost identifier of the access chain
+  bool deref{false};         // `*base = ...`
+  bool has_index{false};     // chain went through [...] or (...)
+  bool index_is_local{false};  // some index token is a lambda-local name
+  bool resolvable{false};
+};
+
+/// Walks an access chain backwards from `last` (the token just before an
+/// assignment operator, or just before/after ++/--) down to its base
+/// identifier, collecting subscript/argument tokens on the way.
+lvalue resolve_lvalue(const std::vector<token>& toks, std::size_t last,
+                      const std::unordered_set<std::string>& locals) {
+  lvalue lv;
+  std::size_t p = last;
+  for (int hops = 0; hops < 32; ++hops) {
+    const token& t = toks[p];
+    if (token_is_punct(&t, "]") || token_is_punct(&t, ")")) {
+      const bool bracket = t.text == "]";
+      const std::size_t open =
+          match_backward(toks, p, bracket ? "[" : "(", bracket ? "]" : ")");
+      if (open == static_cast<std::size_t>(-1) || open == 0) return lv;
+      lv.has_index = true;
+      for (std::size_t k = open + 1; k < p; ++k) {
+        if (toks[k].kind == token_kind::identifier &&
+            locals.count(toks[k].text) != 0) {
+          lv.index_is_local = true;
+        }
+      }
+      p = open - 1;
+      continue;
+    }
+    if (t.kind == token_kind::identifier) {
+      const token* prev = neighbor_token(toks, p, -1);
+      if (token_is_punct(prev, ".") || token_is_punct(prev, "->")) {
+        const std::size_t dot = static_cast<std::size_t>(prev - toks.data());
+        if (dot == 0) return lv;
+        p = dot - 1;
+        continue;
+      }
+      if (token_is_punct(prev, "::")) return lv;  // qualified: not a capture
+      lv.base = t.text;
+      lv.deref = token_is_punct(prev, "*");
+      lv.resolvable = true;
+      return lv;
+    }
+    return lv;
+  }
+  return lv;
+}
+
+capture_set parse_captures(const std::vector<token>& toks, std::size_t lb,
+                           std::size_t rb) {
+  capture_set caps;
+  int depth = 0;
+  bool entry_start = true;
+  for (std::size_t i = lb + 1; i < rb; ++i) {
+    const token& t = toks[i];
+    if (t.kind == token_kind::punct &&
+        (t.text == "(" || t.text == "[" || t.text == "{")) {
+      ++depth;
+    }
+    if (t.kind == token_kind::punct &&
+        (t.text == ")" || t.text == "]" || t.text == "}")) {
+      --depth;
+    }
+    if (depth == 0 && token_is_punct(&t, ",")) {
+      entry_start = true;
+      continue;
+    }
+    if (!entry_start) continue;
+    if (token_is_punct(&t, "&")) {
+      const token* next = neighbor_token(toks, i, 1);
+      if (next != nullptr && next->kind == token_kind::identifier) {
+        caps.by_ref.insert(next->text);
+        ++i;
+      } else {
+        caps.default_ref = true;
+      }
+      entry_start = false;
+      continue;
+    }
+    if (token_is_punct(&t, "=")) {
+      caps.default_val = true;
+      entry_start = false;
+      continue;
+    }
+    if (token_is_punct(&t, "*")) continue;  // *this: handled by `this`
+    if (t.kind == token_kind::identifier) {
+      if (t.text == "this") {
+        caps.captures_this = true;
+      } else {
+        caps.by_val.insert(t.text);
+      }
+      entry_start = false;
+    }
+  }
+  return caps;
+}
+
+/// Collects names that are local to the lambda: parameters, body
+/// declarations (heuristic: type-ish token, then the name, then a
+/// declarator-shaped follower), and structured bindings.
+std::unordered_set<std::string> collect_locals(const std::vector<token>& toks,
+                                               std::size_t params_open,
+                                               std::size_t params_close,
+                                               std::size_t body_open,
+                                               std::size_t body_close) {
+  std::unordered_set<std::string> locals;
+  for (std::size_t i = params_open + 1; i < params_close; ++i) {
+    if (toks[i].kind != token_kind::identifier) continue;
+    const token* next = neighbor_token(toks, i, 1);
+    if (token_is_punct(next, ",") || token_is_punct(next, ")")) {
+      locals.insert(toks[i].text);
+    }
+  }
+  static const std::unordered_set<std::string> follower = {
+      "=", ";", "{", "(", "[", ":", ",", ")"};
+  for (std::size_t i = body_open + 1; i < body_close; ++i) {
+    const token& t = toks[i];
+    if (t.kind != token_kind::identifier) continue;
+    if (t.text == "auto") {  // structured binding: auto [a, b] = ...
+      std::size_t j = i + 1;
+      while (j < body_close && (token_is_punct(&toks[j], "&") ||
+                                token_is_punct(&toks[j], "&&"))) {
+        ++j;
+      }
+      if (j < body_close && token_is_punct(&toks[j], "[")) {
+        const std::size_t end = skip_balanced(toks, j, "[", "]");
+        for (std::size_t k = j + 1; k + 1 < end; ++k) {
+          if (toks[k].kind == token_kind::identifier) {
+            locals.insert(toks[k].text);
+          }
+        }
+      }
+      continue;
+    }
+    if (ident_keywords().count(t.text) != 0) continue;
+    const token* prev = neighbor_token(toks, i, -1);
+    const token* next = neighbor_token(toks, i, 1);
+    if (type_ish(prev) && next != nullptr &&
+        next->kind == token_kind::punct && follower.count(next->text) != 0) {
+      locals.insert(t.text);
+    }
+  }
+  return locals;
+}
+
+bool write_op(const token& t) {
+  if (t.kind != token_kind::punct) return false;
+  static const std::unordered_set<std::string> ops = {
+      "=",  "+=", "-=", "*=", "/=", "%=",
+      "&=", "|=", "^=", "<<=", ">>="};
+  return ops.count(t.text) != 0;
+}
+
+struct site_finding {
+  int line;
+  std::string message;
+};
+
+void analyze_site(const std::vector<token>& toks, std::size_t name_idx,
+                  std::vector<site_finding>& findings) {
+  const std::string& fn_name = toks[name_idx].text;
+  const std::size_t call_open = name_idx + 1;
+  const std::size_t call_end = skip_balanced(toks, call_open, "(", ")");
+
+  // Locate a lambda introducer in argument position: `[` right after `(`
+  // or a top-level `,` of the call.
+  std::size_t lb = static_cast<std::size_t>(-1);
+  int depth = 0;
+  for (std::size_t i = call_open; i < call_end; ++i) {
+    const token& t = toks[i];
+    if (token_is_punct(&t, "(")) {
+      ++depth;
+      continue;
+    }
+    if (token_is_punct(&t, ")")) {
+      --depth;
+      continue;
+    }
+    if (depth == 1 && token_is_punct(&t, "[")) {
+      const token* prev = neighbor_token(toks, i, -1);
+      if (token_is_punct(prev, "(") || token_is_punct(prev, ",")) {
+        lb = i;
+        break;
+      }
+    }
+  }
+  if (lb == static_cast<std::size_t>(-1)) return;  // no lambda argument
+  const std::size_t rb = skip_balanced(toks, lb, "[", "]") - 1;
+  if (rb >= call_end) return;
+
+  // Parameter list and body.
+  std::size_t params_open = rb + 1;
+  while (params_open < call_end &&
+         toks[params_open].kind == token_kind::pp_directive) {
+    ++params_open;
+  }
+  if (!token_is_punct(&toks[params_open], "(")) return;
+  const std::size_t params_close =
+      skip_balanced(toks, params_open, "(", ")") - 1;
+  std::size_t body_open = params_close + 1;
+  while (body_open < call_end && !token_is_punct(&toks[body_open], "{")) {
+    ++body_open;
+  }
+  if (body_open >= call_end) return;
+  const std::size_t body_close = skip_balanced(toks, body_open, "{", "}") - 1;
+
+  const capture_set caps = parse_captures(toks, lb, rb);
+  const std::unordered_set<std::string> locals =
+      collect_locals(toks, params_open, params_close, body_open, body_close);
+
+  for (std::size_t i = body_open + 1; i < body_close; ++i) {
+    const token& t = toks[i];
+    // Nested parallel sites are analyzed on their own; skip their ranges.
+    if (t.kind == token_kind::identifier &&
+        (t.text == "parallel_for" || t.text == "parallel_for_chunks") &&
+        token_is_punct(neighbor_token(toks, i, 1), "(")) {
+      i = skip_balanced(toks, i + 1, "(", ")") - 1;
+      continue;
+    }
+    std::size_t target_end = static_cast<std::size_t>(-1);
+    if (write_op(t)) {
+      if (i == 0) continue;
+      target_end = i - 1;
+    } else if (token_is_punct(&t, "++") || token_is_punct(&t, "--")) {
+      const token* next = neighbor_token(toks, i, 1);
+      const token* prev = neighbor_token(toks, i, -1);
+      const bool postfix =
+          prev != nullptr && (prev->kind == token_kind::identifier ||
+                              token_is_punct(prev, "]") ||
+                              token_is_punct(prev, ")"));
+      if (postfix) {
+        target_end = i - 1;
+      } else if (next != nullptr && next->kind == token_kind::identifier) {
+        // Prefix: walk the chain forward to its last token, then resolve
+        // backwards like every other lvalue.
+        std::size_t e = static_cast<std::size_t>(next - toks.data());
+        while (e + 1 < body_close) {
+          const token& n = toks[e + 1];
+          if (token_is_punct(&n, ".") || token_is_punct(&n, "->")) {
+            e += 2;
+            continue;
+          }
+          if (token_is_punct(&n, "[")) {
+            e = skip_balanced(toks, e + 1, "[", "]") - 1;
+            continue;
+          }
+          break;
+        }
+        target_end = e;
+      } else {
+        continue;
+      }
+    } else {
+      continue;
+    }
+
+    const lvalue lv = resolve_lvalue(toks, target_end, locals);
+    if (!lv.resolvable || lv.base.empty()) continue;
+    if (locals.count(lv.base) != 0) continue;
+    if (lv.has_index && lv.index_is_local) continue;  // disjoint-slot write
+
+    // Decide whether the base reaches shared state.
+    bool shared = false;
+    std::string how;
+    const bool explicit_ref = caps.by_ref.count(lv.base) != 0;
+    const bool explicit_val = caps.by_val.count(lv.base) != 0;
+    if (lv.base == "this") {
+      shared = true;
+      how = "reached through the captured 'this'";
+    } else if (explicit_ref || (!explicit_val && caps.default_ref)) {
+      shared = true;
+      how = "captured by reference";
+    } else if ((explicit_val || caps.default_val) &&
+               (lv.deref || lv.has_index)) {
+      shared = true;
+      how = "a value-captured handle whose pointee is shared";
+    } else if (caps.captures_this && !explicit_val) {
+      // Not local, not captured by name, lambda holds `this`: the write
+      // lands on a member of the shared object.
+      shared = true;
+      how = "reached through the captured 'this'";
+    }
+    if (!shared) continue;
+
+    findings.push_back(
+        {t.line,
+         "'" + lv.base + "' is " + how + " and written by every chunk of "
+             "this '" + fn_name +
+             "' lambda without loop-local indexing; write disjoint slots "
+             "indexed by the loop variable, reduce into per-chunk partials "
+             "(DESIGN.md §8), or waive with // dv-lint: allow(capture) "
+             "<reason>"});
+  }
+}
+
+}  // namespace
+
+std::vector<violation> check_captures(const std::string& rel_path,
+                                      const lex_result& lx) {
+  const auto& toks = lx.tokens;
+  std::vector<site_finding> findings;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const token& t = toks[i];
+    if (t.kind != token_kind::identifier) continue;
+    if (t.text != "parallel_for" && t.text != "parallel_for_chunks") continue;
+    if (!token_is_punct(neighbor_token(toks, i, 1), "(")) continue;
+    if (line_allows(lx, "capture", t.line)) continue;  // site-level waiver
+    analyze_site(toks, i, findings);
+  }
+
+  std::vector<violation> out;
+  std::set<std::pair<int, std::string>> seen;
+  for (auto& f : findings) {
+    if (line_allows(lx, "capture", f.line)) continue;
+    if (!seen.insert({f.line, f.message}).second) continue;
+    out.push_back({rel_path, f.line, "capture", std::move(f.message)});
+  }
+  std::sort(out.begin(), out.end(), [](const violation& a, const violation& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.message < b.message;
+  });
+  return out;
+}
+
+}  // namespace dv_lint

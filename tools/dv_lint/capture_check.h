@@ -1,0 +1,29 @@
+// Capture-analysis pass: machine-checks the thread-safety story the
+// `// dv:parallel-safe(...)` comments used to carry on faith.
+//
+// For every `parallel_for` / `parallel_for_chunks` call site whose last
+// argument is a lambda, the pass classifies the captures (by-value,
+// by-reference, `this`, capture defaults) and walks the lambda body for
+// writes. A write is flagged when its target is captured by reference
+// (or reaches shared state through `this` / a value-captured pointer)
+// and the write is not indexed by a loop-local variable — i.e. it is not
+// the disjoint-slot pattern `out[i] = ...` nor the per-chunk-partials
+// pattern `partial[chunk] += ...` from the DESIGN.md §8 determinism
+// contract. Reviewed-and-safe sites are waived in place with
+// `// dv-lint: allow(capture) <reason>`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "lint.h"
+
+namespace dv_lint {
+
+/// Returns the capture violations for one file, sorted by line.
+/// Suppressions (`dv-lint: allow(capture)`) are already applied.
+std::vector<violation> check_captures(const std::string& rel_path,
+                                      const lex_result& lx);
+
+}  // namespace dv_lint

@@ -1,0 +1,376 @@
+#include "include_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace dv_lint {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool ref_allows(const include_ref& ref, std::string_view check) {
+  return std::find(ref.allowed.begin(), ref.allowed.end(), check) !=
+         ref.allowed.end();
+}
+
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string{} : path.substr(0, slash);
+}
+
+/// Collapses `a/./b` and `a/x/../b` segments so includer-relative
+/// includes resolve against the scanned-file set.
+std::string normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  std::istringstream is{path};
+  std::string seg;
+  while (std::getline(is, seg, '/')) {
+    if (seg.empty() || seg == ".") continue;
+    if (seg == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+      continue;
+    }
+    parts.push_back(seg);
+  }
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += '/';
+    out += p;
+  }
+  return out;
+}
+
+/// The module a src/ file belongs to: the path component directly after
+/// src/ ("" for files sitting at src/ itself or outside src/).
+std::string module_of(const std::string& rel_path) {
+  if (!starts_with(rel_path, "src/")) return {};
+  const std::size_t slash = rel_path.find('/', 4);
+  if (slash == std::string::npos) return {};
+  return rel_path.substr(4, slash - 4);
+}
+
+struct graph {
+  const std::vector<file_summary>* files{nullptr};
+  std::unordered_map<std::string, std::size_t> index;  // rel_path -> files idx
+  /// edges[i] = indices of files that files[i] directly includes.
+  std::vector<std::vector<std::size_t>> edges;
+  /// For each file, the resolved target index of each include (or npos).
+  std::vector<std::vector<std::size_t>> resolved;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+graph build_graph(const std::vector<file_summary>& files) {
+  graph g;
+  g.files = &files;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    g.index.emplace(files[i].rel_path, i);
+  }
+  g.edges.resize(files.size());
+  g.resolved.resize(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    g.resolved[i].assign(files[i].includes.size(), graph::npos);
+    for (std::size_t k = 0; k < files[i].includes.size(); ++k) {
+      const std::string& spelled = files[i].includes[k].spelled;
+      // Quoted includes in this repo are spelled src/-relative; fall
+      // back to includer-relative for fixtures and tools.
+      std::size_t target = graph::npos;
+      const auto src_it = g.index.find(normalize("src/" + spelled));
+      if (src_it != g.index.end()) {
+        target = src_it->second;
+      } else {
+        const std::string local =
+            normalize(dir_of(files[i].rel_path) + "/" + spelled);
+        const auto loc_it = g.index.find(local);
+        if (loc_it != g.index.end()) target = loc_it->second;
+      }
+      g.resolved[i][k] = target;
+      if (target != graph::npos && target != i) {
+        g.edges[i].push_back(target);
+      }
+    }
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// layering
+
+void check_layering(const graph& g, const layer_manifest& layers,
+                    std::vector<violation>& out) {
+  if (!layers.loaded) return;
+  const auto& files = *g.files;
+  // A module missing from the manifest is reported once, on the first
+  // (path-sorted) file of that module.
+  std::set<std::string> unknown_reported;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::string from_mod = module_of(files[i].rel_path);
+    if (from_mod.empty()) continue;
+    const auto from_rank = layers.rank.find(from_mod);
+    if (from_rank == layers.rank.end()) {
+      if (unknown_reported.insert(from_mod).second) {
+        out.push_back({files[i].rel_path, 1, "layering",
+                       "module '" + from_mod +
+                           "' is not listed in the layer manifest; add it "
+                           "to tools/dv_lint/layers.txt at its layer"});
+      }
+      continue;
+    }
+    for (std::size_t k = 0; k < files[i].includes.size(); ++k) {
+      const std::size_t target = g.resolved[i][k];
+      if (target == graph::npos) continue;
+      const include_ref& ref = files[i].includes[k];
+      if (ref_allows(ref, "layering")) continue;
+      const std::string to_mod = module_of(files[target].rel_path);
+      if (to_mod.empty() || to_mod == from_mod) continue;
+      const auto to_rank = layers.rank.find(to_mod);
+      if (to_rank == layers.rank.end()) continue;  // reported above
+      if (to_rank->second > from_rank->second) {
+        out.push_back(
+            {files[i].rel_path, ref.line, "layering",
+             "include of '" + ref.spelled + "' reaches up from layer-" +
+                 std::to_string(from_rank->second) + " module '" + from_mod +
+                 "' into layer-" + std::to_string(to_rank->second) +
+                 " module '" + to_mod +
+                 "'; move the shared code down a layer or invert the "
+                 "dependency (declared order: tools/dv_lint/layers.txt)"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// include-cycle (iterative Tarjan SCC)
+
+struct tarjan {
+  const graph* g{nullptr};
+  std::vector<int> index_of, low;
+  std::vector<bool> on_stack;
+  std::vector<std::size_t> stack;
+  int next_index{0};
+  std::vector<std::vector<std::size_t>> sccs;  // only size > 1
+
+  void run() {
+    const std::size_t n = g->edges.size();
+    index_of.assign(n, -1);
+    low.assign(n, 0);
+    on_stack.assign(n, false);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (index_of[v] < 0) strongconnect(v);
+    }
+  }
+
+  void strongconnect(std::size_t root) {
+    // Explicit stack: (node, next-edge cursor).
+    std::vector<std::pair<std::size_t, std::size_t>> work{{root, 0}};
+    while (!work.empty()) {
+      auto& [v, cursor] = work.back();
+      if (cursor == 0) {
+        index_of[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (cursor < g->edges[v].size()) {
+        const std::size_t w = g->edges[v][cursor++];
+        if (index_of[w] < 0) {
+          work.emplace_back(w, 0);
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], index_of[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index_of[v]) {
+        std::vector<std::size_t> scc;
+        for (;;) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc.push_back(w);
+          if (w == v) break;
+        }
+        if (scc.size() > 1) sccs.push_back(std::move(scc));
+      }
+      const std::size_t finished = v;
+      work.pop_back();
+      if (!work.empty()) {
+        const std::size_t parent = work.back().first;
+        low[parent] = std::min(low[parent], low[finished]);
+      }
+    }
+  }
+};
+
+void check_cycles(const graph& g, std::vector<violation>& out) {
+  tarjan t;
+  t.g = &g;
+  t.run();
+  const auto& files = *g.files;
+  for (auto& scc : t.sccs) {
+    std::vector<std::string> members;
+    members.reserve(scc.size());
+    for (const std::size_t idx : scc) {
+      members.push_back(files[idx].rel_path);
+    }
+    std::sort(members.begin(), members.end());
+    // Report on the smallest member, at the line of its first include
+    // that stays inside the SCC.
+    const std::size_t anchor = g.index.at(members.front());
+    const std::unordered_set<std::size_t> in_scc{scc.begin(), scc.end()};
+    int line = 1;
+    bool waived = false;
+    for (std::size_t k = 0; k < files[anchor].includes.size(); ++k) {
+      const std::size_t target = g.resolved[anchor][k];
+      if (target != graph::npos && in_scc.count(target) != 0) {
+        line = files[anchor].includes[k].line;
+        waived = ref_allows(files[anchor].includes[k], "include-cycle");
+        break;
+      }
+    }
+    if (waived) continue;
+    std::string list;
+    for (const auto& m : members) {
+      if (!list.empty()) list += ", ";
+      list += m;
+    }
+    out.push_back({members.front(), line, "include-cycle",
+                   "include cycle between {" + list +
+                       "}; break it with a forward declaration or by "
+                       "moving the shared pieces into a lower header"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unused-include (IWYU-lite over transitive provided() sets)
+
+struct provider {
+  const graph* g{nullptr};
+  std::vector<std::vector<std::string>> memo;  // sorted unique
+  std::vector<char> state;                     // 0 new, 1 visiting, 2 done
+
+  const std::vector<std::string>& provided(std::size_t i) {
+    if (state[i] == 2) return memo[i];
+    if (state[i] == 1) return memo[i];  // cycle guard: partial set
+    state[i] = 1;
+    std::set<std::string> acc((*g->files)[i].declared.begin(),
+                              (*g->files)[i].declared.end());
+    for (const std::size_t dep : g->edges[i]) {
+      const auto& sub = provided(dep);
+      acc.insert(sub.begin(), sub.end());
+    }
+    memo[i].assign(acc.begin(), acc.end());
+    state[i] = 2;
+    return memo[i];
+  }
+};
+
+bool self_paired(const std::string& includer, const std::string& target) {
+  // x.cpp may keep its own x.h even when no symbol is referenced yet.
+  if (!ends_with(includer, ".cpp") || !ends_with(target, ".h")) return false;
+  const std::string stem_inc = includer.substr(0, includer.size() - 4);
+  const std::string stem_tgt = target.substr(0, target.size() - 2);
+  const std::size_t slash_inc = stem_inc.rfind('/');
+  const std::size_t slash_tgt = stem_tgt.rfind('/');
+  const std::string base_inc = slash_inc == std::string::npos
+                                   ? stem_inc
+                                   : stem_inc.substr(slash_inc + 1);
+  const std::string base_tgt = slash_tgt == std::string::npos
+                                   ? stem_tgt
+                                   : stem_tgt.substr(slash_tgt + 1);
+  return base_inc == base_tgt;
+}
+
+bool sorted_intersects(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const int cmp = a[i].compare(b[j]);
+    if (cmp == 0) return true;
+    (cmp < 0 ? i : j)++;
+  }
+  return false;
+}
+
+void check_unused(const graph& g, std::vector<violation>& out) {
+  const auto& files = *g.files;
+  provider prov;
+  prov.g = &g;
+  prov.memo.resize(files.size());
+  prov.state.assign(files.size(), 0);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    // A file that uses no identifiers at all is an umbrella includer —
+    // its includes exist to re-export, not to be referenced.
+    if (files[i].used.empty()) continue;
+    for (std::size_t k = 0; k < files[i].includes.size(); ++k) {
+      const std::size_t target = g.resolved[i][k];
+      if (target == graph::npos || target == i) continue;
+      const include_ref& ref = files[i].includes[k];
+      if (ref_allows(ref, "unused-include")) continue;
+      if (self_paired(files[i].rel_path, files[target].rel_path)) continue;
+      // A header that declares symbols itself must have one of *its own*
+      // declarations referenced; only a pure umbrella header (declares
+      // nothing, exists to re-export) is judged by its transitive set —
+      // otherwise `#include "svm/kernel.h"` would count as used merely
+      // because kernel.h pulls in tensor.h and the includer uses tensors.
+      if (!files[target].declared.empty()) {
+        if (sorted_intersects(files[target].declared, files[i].used)) {
+          continue;
+        }
+      } else if (sorted_intersects(prov.provided(target), files[i].used)) {
+        continue;
+      }
+      out.push_back({files[i].rel_path, ref.line, "unused-include",
+                     "unused include '" + ref.spelled +
+                         "': no symbol declared by it (or its includes) is "
+                         "referenced in this file; delete it or waive with "
+                         "dv-lint: allow(unused-include) <reason>"});
+    }
+  }
+}
+
+}  // namespace
+
+layer_manifest parse_layer_manifest(std::string_view text) {
+  layer_manifest m;
+  std::istringstream is{std::string{text}};
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls{line};
+    std::vector<std::string> mods;
+    std::string mod;
+    while (ls >> mod) mods.push_back(mod);
+    if (mods.empty()) continue;
+    const int rank = static_cast<int>(m.layers.size());
+    for (const auto& name : mods) {
+      m.rank.emplace(name, rank);
+    }
+    m.layers.push_back(std::move(mods));
+  }
+  m.loaded = !m.layers.empty();
+  return m;
+}
+
+std::vector<violation> check_include_graph(
+    const std::vector<file_summary>& files, const layer_manifest& layers) {
+  const graph g = build_graph(files);
+  std::vector<violation> out;
+  check_layering(g, layers, out);
+  check_cycles(g, out);
+  check_unused(g, out);
+  return out;
+}
+
+}  // namespace dv_lint

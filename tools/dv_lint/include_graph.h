@@ -1,0 +1,48 @@
+// Include-graph pass: cross-file checks over the quoted-include DAG of
+// the scanned tree.
+//
+//   layering       — src/ modules may only include same-layer or
+//                    lower-layer modules per the checked-in manifest
+//                    (tools/dv_lint/layers.txt, one layer per line,
+//                    lowest first)
+//   include-cycle  — the quoted-include graph must stay acyclic; each
+//                    strongly connected component is reported once, on
+//                    its lexicographically smallest member
+//   unused-include — IWYU-lite: a direct include none of whose provided
+//                    symbols (its own declarations plus, transitively,
+//                    those of its includes) appear in the includer
+//
+// All three honor `// dv-lint: allow(<check>)` on the include line (the
+// per-include allow lists travel inside file_summary so cached files
+// keep their waivers).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "lint.h"
+
+namespace dv_lint {
+
+struct layer_manifest {
+  bool loaded{false};
+  /// layers[i] = module names at rank i; lower rank = lower layer.
+  std::vector<std::vector<std::string>> layers;
+  std::unordered_map<std::string, int> rank;  // module -> layer index
+};
+
+/// Parses the manifest text: one layer per line, whitespace-separated
+/// module names, `#` starts a comment. Lines are ordered lowest layer
+/// first.
+layer_manifest parse_layer_manifest(std::string_view text);
+
+/// Runs layering, include-cycle, and unused-include over the summarized
+/// files. Include targets are resolved against the scanned set only
+/// (first as src/-relative, then includer-relative), so unresolved
+/// includes — system headers, generated files — are simply skipped.
+std::vector<violation> check_include_graph(
+    const std::vector<file_summary>& files, const layer_manifest& layers);
+
+}  // namespace dv_lint

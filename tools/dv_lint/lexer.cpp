@@ -225,17 +225,21 @@ class lexer {
 
   void punct() {
     const int start = line_;
-    const char c = src_[pos_];
-    const char n = peek(1);
-    // Multi-character tokens the checks care about stay intact.
-    if ((c == ':' && n == ':') || (c == '-' && n == '>') ||
-        (c == '!' && n == '=') || (c == '=' && n == '=') ||
-        (c == '&' && n == '&') || (c == '|' && n == '|')) {
-      emit(token_kind::punct, std::string{c} + n, start);
-      pos_ += 2;
-      return;
+    // Multi-character operators stay intact (maximal munch, longest
+    // first) so the passes can tell `<=` from `<<=` from `<` `=` and
+    // recognize compound assignments / increments as single tokens.
+    static constexpr std::string_view multi[] = {
+        "<<=", ">>=", "<=>", "...", "::", "->", "!=", "==",
+        "&&",  "||",  "+=",  "-=",  "*=", "/=", "%=", "&=",
+        "|=",  "^=",  "<<",  ">>",  "<=", ">=", "++", "--"};
+    for (const std::string_view op : multi) {
+      if (src_.compare(pos_, op.size(), op) == 0) {
+        emit(token_kind::punct, std::string{op}, start);
+        pos_ += op.size();
+        return;
+      }
     }
-    emit(token_kind::punct, std::string(1, c), start);
+    emit(token_kind::punct, std::string(1, src_[pos_]), start);
     ++pos_;
   }
 

@@ -1,6 +1,8 @@
 #include "lint.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
@@ -9,7 +11,13 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "api_surface.h"
+#include "cache.h"
+#include "capture_check.h"
+#include "include_graph.h"
 #include "lexer.h"
+#include "token_utils.h"
+#include "util/thread_pool.h"
 
 namespace dv_lint {
 
@@ -83,24 +91,19 @@ file_ctx make_ctx(const std::string& rel_path, const lex_result& lx,
   return ctx;
 }
 
-/// Token-stream cursor helpers. `prev`/`next` step over preprocessor
-/// directives so `#include` lines never masquerade as expression context.
+// Token-cursor helpers now live in token_utils.h (shared with the
+// capture and api-surface passes); keep the short local names.
 const token* neighbor(const std::vector<token>& toks, std::size_t i,
                       int step) {
-  for (std::size_t j = i;;) {
-    if (step < 0 && j == 0) return nullptr;
-    j = static_cast<std::size_t>(static_cast<long long>(j) + step);
-    if (j >= toks.size()) return nullptr;
-    if (toks[j].kind != token_kind::pp_directive) return &toks[j];
-  }
+  return neighbor_token(toks, i, step);
 }
 
 bool is_ident(const token* t, std::string_view text) {
-  return t != nullptr && t->kind == token_kind::identifier && t->text == text;
+  return token_is_ident(t, text);
 }
 
 bool is_punct(const token* t, std::string_view text) {
-  return t != nullptr && t->kind == token_kind::punct && t->text == text;
+  return token_is_punct(t, text);
 }
 
 /// True for a free-function call spelling: bare `name(` or `std::name(`,
@@ -167,40 +170,8 @@ void check_determinism(const file_ctx& ctx) {
 // ---------------------------------------------------------------------------
 // thread-safety: annotated parallel_for sites, no mutable statics/globals.
 
-/// What kind of scope a `{` opened. Derived from the tokens preceding it.
-enum class brace_kind : char {
-  ns,    // namespace / extern "C"
-  type,  // class / struct / union / enum body
-  code,  // function, lambda, or control-flow body
-  expr   // braced initializer or unknown
-};
-
-brace_kind classify_brace(const std::vector<token>& toks, std::size_t open) {
-  int seen = 0;
-  for (const token* t = neighbor(toks, open, -1); t != nullptr && seen < 12;
-       ++seen) {
-    if (t->kind == token_kind::punct &&
-        (t->text == ";" || t->text == "{" || t->text == "}")) {
-      break;
-    }
-    if (is_punct(t, ")")) return brace_kind::code;
-    if (t->kind == token_kind::identifier) {
-      if (t->text == "namespace" || t->text == "extern") return brace_kind::ns;
-      if (t->text == "class" || t->text == "struct" || t->text == "union" ||
-          t->text == "enum") {
-        return brace_kind::type;
-      }
-      if (t->text == "else" || t->text == "do" || t->text == "try") {
-        return brace_kind::code;
-      }
-      if (t->text == "return") return brace_kind::expr;
-    }
-    if (is_punct(t, "=")) return brace_kind::expr;
-    const std::size_t idx = static_cast<std::size_t>(t - toks.data());
-    t = neighbor(toks, idx, -1);
-  }
-  return brace_kind::expr;
-}
+// brace_kind / classify_brace moved to token_utils.h (the api-surface
+// pass shares them).
 
 bool all_ns(const std::vector<brace_kind>& stack) {
   return std::all_of(stack.begin(), stack.end(), [](brace_kind k) {
@@ -352,14 +323,8 @@ bool qualified_metrics(const std::vector<token>& toks, std::size_t i) {
   return is_punct(colons, "::") && is_ident(qual, "metrics");
 }
 
-/// Index just past the `)` matching the `(` at `open` (or toks.size()).
 std::size_t skip_parens(const std::vector<token>& toks, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < toks.size(); ++i) {
-    if (is_punct(&toks[i], "(")) ++depth;
-    if (is_punct(&toks[i], ")") && --depth == 0) return i + 1;
-  }
-  return toks.size();
+  return skip_balanced(toks, open, "(", ")");
 }
 
 void check_metrics_gating(const file_ctx& ctx) {
@@ -526,23 +491,103 @@ void check_hygiene(const file_ctx& ctx) {
   }
 }
 
-}  // namespace
-
-std::vector<violation> lint_source(const std::string& rel_path,
-                                   std::string_view source) {
-  const lex_result lx = lex(source);
+std::vector<violation> lint_lexed(const std::string& rel_path,
+                                  const lex_result& lx) {
   std::vector<violation> out;
   const file_ctx ctx = make_ctx(rel_path, lx, out);
   check_determinism(ctx);
   check_thread_safety(ctx);
   check_metrics_gating(ctx);
   check_hygiene(ctx);
+  const auto captures = check_captures(rel_path, lx);
+  out.insert(out.end(), captures.begin(), captures.end());
   std::stable_sort(out.begin(), out.end(),
                    [](const violation& a, const violation& b) {
                      if (a.line != b.line) return a.line < b.line;
                      return a.check < b.check;
                    });
   return out;
+}
+
+/// Parses a pp directive's text as `#include "<path>"`; returns the path
+/// or "" when the directive is something else (or an angle include).
+std::string quoted_include_path(const std::string& text) {
+  std::size_t p = text.find_first_not_of(" \t");
+  if (p == std::string::npos || text[p] != '#') return {};
+  p = text.find_first_not_of(" \t", p + 1);
+  if (p == std::string::npos || text.compare(p, 7, "include") != 0) return {};
+  p = text.find_first_not_of(" \t", p + 7);
+  if (p == std::string::npos || text[p] != '"') return {};
+  const std::size_t close = text.find('"', p + 1);
+  if (close == std::string::npos) return {};
+  return text.substr(p + 1, close - p - 1);
+}
+
+std::vector<std::string> allows_on_line(const lex_result& lx, int line) {
+  std::vector<std::string> out;
+  for (const int l : {line, line - 1}) {
+    const auto it = lx.notes.find(l);
+    if (it == lx.notes.end()) continue;
+    for (const auto& name : it->second.allowed) {
+      if (std::find(out.begin(), out.end(), name) == out.end()) {
+        out.push_back(name);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<violation> lint_source(const std::string& rel_path,
+                                   std::string_view source) {
+  return lint_lexed(rel_path, lex(source));
+}
+
+file_summary summarize(const std::string& rel_path, std::string_view source) {
+  const lex_result lx = lex(source);
+  file_summary s;
+  s.rel_path = rel_path;
+  s.content_hash = fnv1a_hash(source);
+  s.violations = lint_lexed(rel_path, lx);
+
+  std::set<std::string> used;
+  for (const token& t : lx.tokens) {
+    if (t.kind == token_kind::identifier) {
+      used.insert(t.text);
+      continue;
+    }
+    if (t.kind != token_kind::pp_directive) continue;
+    const std::string spelled = quoted_include_path(t.text);
+    if (!spelled.empty()) {
+      s.includes.push_back({t.line, spelled, allows_on_line(lx, t.line)});
+      continue;
+    }
+    // Conditional-compilation and macro-body identifiers count as uses
+    // (`#if DV_METRICS`, `#define WRAP(x) dv::clamp(x)`).
+    std::string ident;
+    for (const char c : t.text) {
+      const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+      if (word) {
+        ident.push_back(c);
+      } else if (!ident.empty()) {
+        if (!(ident[0] >= '0' && ident[0] <= '9')) used.insert(ident);
+        ident.clear();
+      }
+    }
+    if (!ident.empty() && !(ident[0] >= '0' && ident[0] <= '9')) {
+      used.insert(ident);
+    }
+  }
+  s.used.assign(used.begin(), used.end());
+
+  if (ends_with(rel_path, ".h")) {
+    header_decls decls = extract_decls(lx);
+    s.api = std::move(decls.api);
+    s.declared = std::move(decls.declared);
+  }
+  return s;
 }
 
 std::string format(const std::vector<violation>& violations) {
@@ -583,22 +628,66 @@ void collect(const fs::path& root, const fs::path& path,
   files.insert(fs::relative(path, root).generic_string());
 }
 
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Prefer a root-relative spelling for paths inside the root (so the
+/// api-surface golden reports as tools/dv_lint/api_surface.golden, not
+/// an absolute path), falling back to the path as given.
+std::string display_path(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  if (!ec && !rel.empty() && rel.generic_string().compare(0, 2, "..") != 0) {
+    return rel.generic_string();
+  }
+  return path.generic_string();
+}
+
+constexpr std::string_view k_usage =
+    "usage: dv_lint [--root <dir>] [--layers <file>] [--cache-dir <dir>] "
+    "[--api-surface <file>] [--check-api-surface] [--update-api-surface] "
+    "[path...]";
+
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
   fs::path root = ".";
+  std::string layers_arg, cache_dir, api_arg;
+  bool check_api = false, update_api = false;
   std::vector<std::string> paths;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--root") {
+    auto value = [&](const char* flag, std::string& into) -> bool {
       if (i + 1 >= args.size()) {
-        err << "dv_lint: --root requires a directory\n";
-        return 2;
+        err << "dv_lint: " << flag << " requires an argument\n";
+        return false;
       }
-      root = args[++i];
+      into = args[++i];
+      return true;
+    };
+    if (args[i] == "--root") {
+      std::string r;
+      if (!value("--root", r)) return 2;
+      root = r;
+    } else if (args[i] == "--layers") {
+      if (!value("--layers", layers_arg)) return 2;
+    } else if (args[i] == "--cache-dir") {
+      if (!value("--cache-dir", cache_dir)) return 2;
+    } else if (args[i] == "--api-surface") {
+      if (!value("--api-surface", api_arg)) return 2;
+    } else if (args[i] == "--check-api-surface") {
+      check_api = true;
+    } else if (args[i] == "--update-api-surface") {
+      update_api = true;
     } else if (starts_with(args[i], "--")) {
-      err << "dv_lint: unknown option '" << args[i]
-          << "' (usage: dv_lint [--root <dir>] [path...])\n";
+      err << "dv_lint: unknown option '" << args[i] << "' (" << k_usage
+          << ")\n";
       return 2;
     } else {
       paths.push_back(args[i]);
@@ -608,9 +697,25 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     err << "dv_lint: root '" << root.string() << "' is not a directory\n";
     return 2;
   }
-  if (paths.empty()) paths = {"src", "bench", "tests"};
+  if (paths.empty()) paths = {"src", "bench", "tests", "tools"};
 
-  std::set<std::string> files;
+  // Layer manifest: an explicit --layers must exist; the default
+  // tools/dv_lint/layers.txt is optional (fixture trees may not have one).
+  layer_manifest manifest;
+  const fs::path layers_path =
+      layers_arg.empty() ? root / "tools/dv_lint/layers.txt"
+                         : fs::path{layers_arg};
+  {
+    std::string text;
+    if (read_file(layers_path, text)) {
+      manifest = parse_layer_manifest(text);
+    } else if (!layers_arg.empty()) {
+      err << "dv_lint: cannot read layer manifest '" << layers_arg << "'\n";
+      return 2;
+    }
+  }
+
+  std::set<std::string> file_set;
   for (const auto& p : paths) {
     const fs::path full = root / p;
     if (!fs::exists(full)) {
@@ -618,26 +723,115 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
           << root.string() << "'\n";
       return 2;
     }
-    collect(root, full, files);
+    collect(root, full, file_set);
+  }
+  const std::vector<std::string> files{file_set.begin(), file_set.end()};
+  const std::size_t n = files.size();
+
+  std::vector<file_summary> summaries(n);
+  std::vector<char> unreadable(n, 0);
+  std::atomic<int> cached{0};
+  // Each chunk owns a disjoint slice of the path-sorted file list; the
+  // cached counter is atomic and order-insensitive.
+  // dv:parallel-safe(chunks write only their own summaries/unreadable slots)
+  dv::parallel_for(
+      0, static_cast<std::int64_t>(n), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t idx = lo; idx < hi; ++idx) {
+          const std::size_t i = static_cast<std::size_t>(idx);
+          std::string source;
+          if (!read_file(root / files[i], source)) {
+            unreadable[i] = 1;
+            continue;
+          }
+          const std::uint64_t hash = fnv1a_hash(source);
+          if (!cache_dir.empty() &&
+              cache_load(cache_dir, files[i], hash, summaries[i])) {
+            cached.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          summaries[i] = summarize(files[i], source);
+          if (!cache_dir.empty()) cache_store(cache_dir, summaries[i]);
+        }
+      });
+  for (std::size_t i = 0; i < n; ++i) {
+    if (unreadable[i] != 0) {
+      err << "dv_lint: cannot read '" << files[i] << "'\n";
+      return 2;
+    }
   }
 
   std::vector<violation> all;
-  for (const auto& rel : files) {
-    std::ifstream in{root / rel, std::ios::binary};
-    if (!in) {
-      err << "dv_lint: cannot read '" << rel << "'\n";
-      return 2;
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    const std::string source = ss.str();
-    const auto file_violations = lint_source(rel, source);
-    all.insert(all.end(), file_violations.begin(), file_violations.end());
+  for (const auto& s : summaries) {
+    all.insert(all.end(), s.violations.begin(), s.violations.end());
   }
 
+  // Cross-file passes run over the library tree only: tests and tools may
+  // include src/ headers freely and are not part of the layer contract.
+  std::vector<file_summary> src_files;
+  for (const auto& s : summaries) {
+    if (starts_with(s.rel_path, "src/")) src_files.push_back(s);
+  }
+  const auto graph_violations = check_include_graph(src_files, manifest);
+  all.insert(all.end(), graph_violations.begin(), graph_violations.end());
+
+  if (check_api || update_api) {
+    const fs::path api_path = api_arg.empty()
+                                  ? root / "tools/dv_lint/api_surface.golden"
+                                  : fs::path{api_arg};
+    const std::string rendered = render_surface(src_files);
+    if (update_api) {
+      std::ofstream os{api_path, std::ios::trunc | std::ios::binary};
+      os << rendered;
+      if (!os) {
+        err << "dv_lint: cannot write api surface '" << api_path.string()
+            << "'\n";
+        return 2;
+      }
+    } else {
+      const std::string shown = display_path(api_path, root);
+      std::string golden;
+      if (!read_file(api_path, golden)) {
+        all.push_back({shown, 1, "api-surface",
+                       "golden snapshot missing; review the public API and "
+                       "generate it with dv_lint --update-api-surface"});
+      } else if (golden != rendered) {
+        // Report counts plus the first drifted entry in each direction so
+        // the diagnostic is actionable without opening a diff tool.
+        std::set<std::string> want, have;
+        std::istringstream ws{golden}, hs{rendered};
+        std::string line;
+        while (std::getline(ws, line)) want.insert(line);
+        while (std::getline(hs, line)) have.insert(line);
+        std::vector<std::string> added, removed;
+        std::set_difference(have.begin(), have.end(), want.begin(),
+                            want.end(), std::back_inserter(added));
+        std::set_difference(want.begin(), want.end(), have.begin(),
+                            have.end(), std::back_inserter(removed));
+        std::string msg = "public API surface drifted from the golden "
+                          "snapshot: " +
+                          std::to_string(added.size()) + " entry(ies) added, " +
+                          std::to_string(removed.size()) + " removed";
+        if (!added.empty()) msg += "; first added: '" + added.front() + "'";
+        if (!removed.empty()) {
+          msg += "; first removed: '" + removed.front() + "'";
+        }
+        msg += "; review the API change, then regenerate with dv_lint "
+               "--update-api-surface";
+        all.push_back({shown, 1, "api-surface", std::move(msg)});
+      }
+    }
+  }
+
+  std::stable_sort(all.begin(), all.end(),
+                   [](const violation& a, const violation& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.check < b.check;
+                   });
   out << format(all);
-  out << "dv_lint: " << files.size() << " file(s) scanned, " << all.size()
-      << " violation(s)\n";
+  out << "dv_lint: " << n << " file(s) scanned, " << cached.load()
+      << " cached, " << all.size() << " violation(s)\n";
   return all.empty() ? 0 : 1;
 }
 

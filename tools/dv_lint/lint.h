@@ -1,17 +1,26 @@
 // dv_lint check engine: repo-invariant checks over the token stream
-// produced by lexer.h. Four named checks (see docs/STATIC_ANALYSIS.md for
-// the catalogue and the annotation grammar):
+// produced by lexer.h, plus the cross-file passes wired up by run_cli.
+// Per-file checks (see docs/STATIC_ANALYSIS.md for the catalogue and the
+// annotation grammar):
 //
 //   determinism    — no ambient randomness or wall-clock reads
 //   thread-safety  — parallel_for sites annotated; no mutable statics
 //   metrics-gating — dv::metrics handles null-guarded outside src/util
 //   hygiene        — #pragma once, no `using namespace` in headers,
 //                    no sprintf/strcpy/atoi-style libc calls
+//   capture        — by-ref captures written in parallel_for lambdas
+//                    without loop-local indexing (capture_check.h)
+//
+// Cross-file passes (driven by run_cli over every scanned file):
+//
+//   layering / include-cycle / unused-include — include_graph.h
+//   api-surface — api_surface.h golden-snapshot comparison
 //
 // Any violation is suppressible on its own line or the line above with
 // `// dv-lint: allow(<check>)`.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -26,20 +35,51 @@ struct violation {
   std::string message;  // human-readable explanation with a suggested fix
 };
 
-/// Runs every check over one file's contents. `rel_path` is the
+/// One quoted `#include "..."` directive, with the suppression checks
+/// active on its line (so cross-file passes honor `dv-lint: allow(...)`
+/// without re-lexing the file).
+struct include_ref {
+  int line{0};
+  std::string spelled;               // the path between the quotes
+  std::vector<std::string> allowed;  // allow(...) names on this line
+};
+
+/// Everything the cross-file passes need to know about one file. This is
+/// the unit the per-file result cache stores (cache.h), so it must be
+/// derivable from (rel_path, content) alone.
+struct file_summary {
+  std::string rel_path;
+  std::uint64_t content_hash{0};
+  std::vector<violation> violations;  // per-file checks, sorted by line
+  std::vector<include_ref> includes;  // quoted includes in order
+  std::vector<std::string> declared;  // sorted unique declared symbols
+  std::vector<std::string> used;      // sorted unique identifiers used
+  std::vector<std::string> api;       // api-surface entries (headers only)
+};
+
+/// Runs every per-file check over one file's contents. `rel_path` is the
 /// repo-relative path (forward slashes); it selects which checks and
 /// allowlists apply (e.g. src/util/ may own mutable statics, headers must
 /// start with #pragma once). Results are sorted by line.
 std::vector<violation> lint_source(const std::string& rel_path,
                                    std::string_view source);
 
+/// lint_source plus the extracted inputs for the cross-file passes
+/// (includes, declared/used symbols, api-surface entries). content_hash
+/// is FNV-1a over `source`.
+file_summary summarize(const std::string& rel_path, std::string_view source);
+
 /// Formats violations one per line: `file:line: [check] message`.
 std::string format(const std::vector<violation>& violations);
 
-/// Full command line: `dv_lint [--root <dir>] [path...]` where paths are
-/// files or directories relative to the root (default: src bench tests).
-/// Prints violations and a summary to `out`, errors to `err`. Returns 0
-/// when clean, 1 on violations, 2 on usage or I/O errors.
+/// Full command line:
+///   dv_lint [--root <dir>] [--layers <file>] [--cache-dir <dir>]
+///           [--api-surface <file>] [--check-api-surface]
+///           [--update-api-surface] [path...]
+/// Paths are files or directories relative to the root (default: src
+/// bench tests tools). Prints violations and a summary to `out`, errors
+/// to `err`. Returns 0 when clean, 1 on violations, 2 on usage or I/O
+/// errors.
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err);
 

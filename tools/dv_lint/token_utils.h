@@ -1,0 +1,99 @@
+// Small token-cursor helpers shared by the dv_lint passes. Everything
+// here operates on the token stream from lexer.h; `neighbor` steps over
+// preprocessor directives so `#include` lines never masquerade as
+// expression context.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "lexer.h"
+
+namespace dv_lint {
+
+inline const token* neighbor_token(const std::vector<token>& toks,
+                                   std::size_t i, int step) {
+  for (std::size_t j = i;;) {
+    if (step < 0 && j == 0) return nullptr;
+    j = static_cast<std::size_t>(static_cast<long long>(j) + step);
+    if (j >= toks.size()) return nullptr;
+    if (toks[j].kind != token_kind::pp_directive) return &toks[j];
+  }
+}
+
+inline bool token_is_ident(const token* t, std::string_view text) {
+  return t != nullptr && t->kind == token_kind::identifier && t->text == text;
+}
+
+inline bool token_is_punct(const token* t, std::string_view text) {
+  return t != nullptr && t->kind == token_kind::punct && t->text == text;
+}
+
+/// Index just past the closer matching the opener at `open` (or
+/// toks.size() when unbalanced). `open_ch`/`close_ch` are single-char
+/// punctuators like "("/")" or "["/"]".
+inline std::size_t skip_balanced(const std::vector<token>& toks,
+                                 std::size_t open, std::string_view open_ch,
+                                 std::string_view close_ch) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (token_is_punct(&toks[i], open_ch)) ++depth;
+    if (token_is_punct(&toks[i], close_ch) && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+/// What kind of scope a `{` opened. Derived from the tokens preceding it.
+enum class brace_kind : char {
+  ns,    // namespace / extern "C"
+  type,  // class / struct / union / enum body
+  code,  // function, lambda, or control-flow body
+  expr   // braced initializer or unknown
+};
+
+inline brace_kind classify_brace(const std::vector<token>& toks,
+                                 std::size_t open) {
+  int seen = 0;
+  for (const token* t = neighbor_token(toks, open, -1);
+       t != nullptr && seen < 12; ++seen) {
+    if (t->kind == token_kind::punct &&
+        (t->text == ";" || t->text == "{" || t->text == "}")) {
+      break;
+    }
+    if (token_is_punct(t, ")")) return brace_kind::code;
+    if (t->kind == token_kind::identifier) {
+      if (t->text == "namespace" || t->text == "extern") {
+        return brace_kind::ns;
+      }
+      if (t->text == "class" || t->text == "struct" || t->text == "union" ||
+          t->text == "enum") {
+        return brace_kind::type;
+      }
+      if (t->text == "else" || t->text == "do" || t->text == "try") {
+        return brace_kind::code;
+      }
+      if (t->text == "return") return brace_kind::expr;
+    }
+    if (token_is_punct(t, "=")) return brace_kind::expr;
+    const std::size_t idx = static_cast<std::size_t>(t - toks.data());
+    t = neighbor_token(toks, idx, -1);
+  }
+  return brace_kind::expr;
+}
+
+/// True when `// dv-lint: allow(<check>)` appears on `line` or the line
+/// directly above it.
+inline bool line_allows(const lex_result& lx, std::string_view check,
+                        int line) {
+  for (const int l : {line, line - 1}) {
+    const auto it = lx.notes.find(l);
+    if (it == lx.notes.end()) continue;
+    for (const auto& name : it->second.allowed) {
+      if (name == check) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dv_lint
