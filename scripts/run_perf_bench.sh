@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Runs the core kernel microbenchmarks and records them as
-# BENCH_perf_core.json so the perf trajectory is tracked across PRs.
+# Runs the core kernel microbenchmarks (BENCH_perf_core.json) and the
+# serving-layer benchmark (BENCH_serve.json) so the perf trajectory is
+# tracked across PRs.
 #
 # Usage: scripts/run_perf_bench.sh [extra google-benchmark flags...]
 # e.g.   scripts/run_perf_bench.sh --benchmark_filter='bm_gemm.*'
@@ -8,7 +9,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build -j --target bench_perf_core >/dev/null
+cmake --build build -j --target bench_perf_core --target bench_serve >/dev/null
 
 ./build/bench/bench_perf_core \
   --benchmark_out=BENCH_perf_core.json \
@@ -17,3 +18,7 @@ cmake --build build -j --target bench_perf_core >/dev/null
   "$@"
 
 echo "wrote BENCH_perf_core.json"
+
+# bench_serve writes BENCH_serve.json into the working directory itself
+# (single-frame baseline vs micro-batched serving at batch 1/8/32).
+./build/bench/bench_serve

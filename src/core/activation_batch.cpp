@@ -1,0 +1,41 @@
+#include "core/activation_batch.h"
+
+#include <stdexcept>
+
+#include "core/probe_reducer.h"
+#include "tensor/ops.h"
+
+namespace dv {
+
+tensor activation_batch::probe_features(int p, int spatial) const {
+  return reduce_probe(probes[static_cast<std::size_t>(p)], spatial);
+}
+
+tensor activation_batch::last_probe_features() const {
+  if (probes.empty()) {
+    throw std::logic_error{"activation_batch: model has no probes"};
+  }
+  tensor feat = probes.back();
+  return feat.reshape({feat.extent(0), feat.numel() / feat.extent(0)});
+}
+
+activation_batch extract_activations(sequential& model, tensor images) {
+  if (images.dim() == 3) {
+    images.reshape(
+        {1, images.extent(0), images.extent(1), images.extent(2)});
+  }
+  if (images.dim() != 4) {
+    throw std::invalid_argument{
+        "extract_activations: expected [N,C,H,W] images"};
+  }
+  activation_batch out;
+  out.logits = model.forward(images, false);
+  out.predictions = argmax_rows(out.logits);
+  const auto probes = model.probes();
+  out.probes.reserve(probes.size());
+  for (const tensor* p : probes) out.probes.push_back(*p);
+  out.images = std::move(images);
+  return out;
+}
+
+}  // namespace dv

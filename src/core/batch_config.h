@@ -1,0 +1,17 @@
+// The single batching knob shared by every component that chunks images
+// through the model: deep_validator::fit / ::evaluate, the statistical
+// detectors, and the serving layer's micro-batcher. One struct instead of
+// per-component `eval_batch` ints, so the batch size cannot silently
+// diverge between fitting, evaluation, and serving. Batch size never
+// affects scores: every kernel in the forward path is per-row independent
+// (DESIGN.md §8), so chunking is purely a memory/throughput trade-off.
+#pragma once
+
+namespace dv {
+
+struct batch_config {
+  /// Maximum images per forward pass (and per coalesced serving batch).
+  int max_batch{128};
+};
+
+}  // namespace dv

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "core/probe_reducer.h"
-#include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/serialize.h"
@@ -34,7 +32,7 @@ void deep_validator::fit(sequential& model, const dataset& train,
   stopwatch timer;
   trace_span fit_span{"validator.fit"};
   spatial_ = config.spatial;
-  eval_batch_ = config.eval_batch;
+  batch_ = config.batch;
 
   // Algorithm 1, line 2: keep only correctly classified training images.
   std::vector<std::int64_t> kept;
@@ -97,16 +95,16 @@ void deep_validator::fit(sequential& model, const dataset& train,
   // Extract reduced features for every validated probe, in batches.
   std::vector<tensor> features(probe_indices_.size());
   std::vector<std::int64_t> cursors(probe_indices_.size(), 0);
-  for (std::int64_t begin = 0; begin < n; begin += eval_batch_) {
-    const std::int64_t end = std::min(n, begin + eval_batch_);
-    (void)model.forward(fit_set.images.slice_rows(begin, end), false);
-    const auto probes = model.probes();
-    if (static_cast<int>(probes.size()) != total_probes) {
+  for (std::int64_t begin = 0; begin < n; begin += batch_.max_batch) {
+    const std::int64_t end = std::min<std::int64_t>(n, begin + batch_.max_batch);
+    const activation_batch acts =
+        extract_activations(model, fit_set.images.slice_rows(begin, end));
+    if (acts.probe_count() != total_probes) {
       throw std::logic_error{"deep_validator::fit: probe count changed"};
     }
     for (std::size_t v = 0; v < probe_indices_.size(); ++v) {
-      const tensor reduced = reduce_probe(
-          *probes[static_cast<std::size_t>(probe_indices_[v])], spatial_);
+      const tensor reduced =
+          acts.probe_features(probe_indices_[v], spatial_);
       append_rows(features[v], reduced, n, cursors[v]);
     }
   }
@@ -137,9 +135,6 @@ deep_validator::scores deep_validator::evaluate(sequential& model,
                                                 const tensor& images) const {
   if (!fitted()) throw std::logic_error{"deep_validator: not fitted"};
   trace_span eval_span{"validator.evaluate"};
-  metrics::counter* images_scored = metrics::get_counter("dv_validator_images_scored_total");
-  metrics::histogram* score_seconds = metrics::get_histogram(
-      "dv_validator_score_seconds", metrics::histogram_options::latency());
   const std::int64_t n = images.extent(0);
   scores out;
   out.per_layer.assign(validators_.size(),
@@ -147,54 +142,75 @@ deep_validator::scores deep_validator::evaluate(sequential& model,
   out.joint.assign(static_cast<std::size_t>(n), 0.0);
   out.predictions.assign(static_cast<std::size_t>(n), 0);
 
-  const int total_probes = model.probe_count();
-  for (std::int64_t begin = 0; begin < n; begin += eval_batch_) {
-    const std::int64_t end = std::min(n, begin + eval_batch_);
-    tensor logits = model.forward(images.slice_rows(begin, end), false);
-    const auto preds = argmax_rows(logits);
-    const auto probes = model.probes();
-    if (static_cast<int>(probes.size()) != total_probes) {
-      throw std::logic_error{"deep_validator::evaluate: probe count changed"};
-    }
-    // Reduce each validated probe once for the whole mini-batch.
-    std::vector<tensor> reduced(validators_.size());
-    for (std::size_t v = 0; v < validators_.size(); ++v) {
-      reduced[v] = reduce_probe(
-          *probes[static_cast<std::size_t>(probe_indices_[v])], spatial_);
-    }
-    // Scoring an image touches every (layer, predicted-class) SVM but
-    // writes only that image's output slots, so images within the batch
-    // parallelize with no reduction (per-image math is unchanged —
-    // bit-identical for any thread count).
-    // dv:parallel-safe(per-image disjoint output slots, SVMs read-only)
-    parallel_for(0, end - begin, 1, [&](std::int64_t lo, std::int64_t hi) {
-      for (std::int64_t i = lo; i < hi; ++i) {
-        const std::int64_t image_start_ns =
-            score_seconds != nullptr ? metrics::now_ns() : 0;
-        const auto pred = preds[static_cast<std::size_t>(i)];
-        const auto slot = static_cast<std::size_t>(begin + i);
-        double joint = 0.0;
-        for (std::size_t v = 0; v < validators_.size(); ++v) {
-          const std::int64_t d = reduced[v].extent(1);
-          const double disc = validators_[v].discrepancy(
-              pred, {reduced[v].data() + i * d, static_cast<std::size_t>(d)});
-          out.per_layer[v][slot] = disc;
-          joint += disc;
-        }
-        out.joint[slot] = joint;
-        out.predictions[slot] = pred;
-        if (score_seconds != nullptr) {
-          score_seconds->observe(
-              static_cast<double>(metrics::now_ns() - image_start_ns) *
-              1e-9);
-        }
-      }
-    });
-    if (images_scored != nullptr) {
-      images_scored->add(static_cast<std::uint64_t>(end - begin));
-    }
+  for (std::int64_t begin = 0; begin < n; begin += batch_.max_batch) {
+    const std::int64_t end = std::min<std::int64_t>(n, begin + batch_.max_batch);
+    const activation_batch acts =
+        extract_activations(model, images.slice_rows(begin, end));
+    score_into(acts, out, begin);
   }
   return out;
+}
+
+deep_validator::scores deep_validator::evaluate(
+    const activation_batch& acts) const {
+  if (!fitted()) throw std::logic_error{"deep_validator: not fitted"};
+  trace_span eval_span{"validator.evaluate"};
+  const auto n = static_cast<std::size_t>(acts.size());
+  scores out;
+  out.per_layer.assign(validators_.size(), std::vector<double>(n));
+  out.joint.assign(n, 0.0);
+  out.predictions.assign(n, 0);
+  score_into(acts, out, 0);
+  return out;
+}
+
+void deep_validator::score_into(const activation_batch& acts, scores& out,
+                                std::int64_t base) const {
+  metrics::counter* images_scored =
+      metrics::get_counter("dv_validator_images_scored_total");
+  metrics::histogram* score_seconds = metrics::get_histogram(
+      "dv_validator_score_seconds", metrics::histogram_options::latency());
+  if (!probe_indices_.empty() &&
+      probe_indices_.back() >= acts.probe_count()) {
+    throw std::logic_error{"deep_validator::evaluate: probe count changed"};
+  }
+  const std::int64_t count = acts.size();
+  const auto& preds = acts.predictions;
+  // Reduce each validated probe once for the whole mini-batch.
+  std::vector<tensor> reduced(validators_.size());
+  for (std::size_t v = 0; v < validators_.size(); ++v) {
+    reduced[v] = acts.probe_features(probe_indices_[v], spatial_);
+  }
+  // Scoring an image touches every (layer, predicted-class) SVM but
+  // writes only that image's output slots, so images within the batch
+  // parallelize with no reduction (per-image math is unchanged —
+  // bit-identical for any thread count).
+  // dv:parallel-safe(per-image disjoint output slots, SVMs read-only)
+  parallel_for(0, count, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const std::int64_t image_start_ns =
+          score_seconds != nullptr ? metrics::now_ns() : 0;
+      const auto pred = preds[static_cast<std::size_t>(i)];
+      const auto slot = static_cast<std::size_t>(base + i);
+      double joint = 0.0;
+      for (std::size_t v = 0; v < validators_.size(); ++v) {
+        const std::int64_t d = reduced[v].extent(1);
+        const double disc = validators_[v].discrepancy(
+            pred, {reduced[v].data() + i * d, static_cast<std::size_t>(d)});
+        out.per_layer[v][slot] = disc;
+        joint += disc;
+      }
+      out.joint[slot] = joint;
+      out.predictions[slot] = pred;
+      if (score_seconds != nullptr) {
+        score_seconds->observe(
+            static_cast<double>(metrics::now_ns() - image_start_ns) * 1e-9);
+      }
+    }
+  });
+  if (images_scored != nullptr) {
+    images_scored->add(static_cast<std::uint64_t>(count));
+  }
 }
 
 double deep_validator::joint_discrepancy(sequential& model,
@@ -213,7 +229,7 @@ void deep_validator::save(const std::string& path) const {
   if (!fitted()) throw std::logic_error{"deep_validator::save: not fitted"};
   binary_writer w{path, k_dv_magic};
   w.write_i32(spatial_);
-  w.write_i32(eval_batch_);
+  w.write_i32(batch_.max_batch);
   w.write_f64(threshold_);
   w.write_i32_vector(probe_indices_);
   w.write_u64(validators_.size());
@@ -225,7 +241,7 @@ deep_validator deep_validator::load(const std::string& path) {
   binary_reader r{path, k_dv_magic};
   deep_validator out;
   out.spatial_ = r.read_i32();
-  out.eval_batch_ = r.read_i32();
+  out.batch_.max_batch = r.read_i32();
   out.threshold_ = r.read_f64();
   out.probe_indices_ = r.read_i32_vector();
   const auto n = r.read_u64();

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "core/activation_batch.h"
+#include "core/batch_config.h"
 #include "core/layer_validator.h"
 #include "data/dataset.h"
 #include "nn/model.h"
@@ -29,7 +31,8 @@ struct deep_validator_config {
   /// Per-class cap on SVM training samples (subsampled deterministically).
   std::int64_t max_train_per_class{500};
   std::uint64_t seed{7};
-  int eval_batch{128};
+  /// Shared batching knob for fit and evaluate (core/batch_config.h).
+  batch_config batch{};
 };
 
 class deep_validator {
@@ -50,11 +53,21 @@ class deep_validator {
     std::vector<std::int64_t> predictions;
   };
 
-  /// Algorithm 2 over a batch of images.
+  /// Algorithm 2 over a batch of images: chunks by the configured batch
+  /// size, extracting activations once per chunk.
   scores evaluate(sequential& model, const tensor& images) const;
+
+  /// Algorithm 2 over pre-extracted activations — the batch-first entry
+  /// point shared with the detectors and the serving layer. No forward
+  /// pass; scores are bitwise identical to evaluate(model, images) for
+  /// the same rows (per-row kernels, DESIGN.md §8).
+  scores evaluate(const activation_batch& acts) const;
 
   /// Joint discrepancy of a single [C,H,W] image.
   double joint_discrepancy(sequential& model, const tensor& image) const;
+
+  /// Batching configuration captured at fit time.
+  const batch_config& batching() const { return batch_; }
 
   /// Number of validated layers.
   int validated_layers() const {
@@ -77,10 +90,15 @@ class deep_validator {
   static deep_validator load(const std::string& path);
 
  private:
+  /// Scores `acts` into out.{per_layer,joint,predictions} rows
+  /// [base, base + acts.size()).
+  void score_into(const activation_batch& acts, scores& out,
+                  std::int64_t base) const;
+
   std::vector<layer_validator> validators_;
   std::vector<int> probe_indices_;
   int spatial_{1};
-  int eval_batch_{128};
+  batch_config batch_{};
   double threshold_{0.0};
 };
 

@@ -31,17 +31,10 @@ runtime_monitor::runtime_monitor(sequential& model,
   }
 }
 
-monitor_verdict runtime_monitor::observe(const tensor& frame) {
-  trace_span span{"monitor.observe"};
-  tensor batch = frame;
-  if (batch.dim() == 3) {
-    batch.reshape({1, frame.extent(0), frame.extent(1), frame.extent(2)});
-  }
-  const auto scores = validator_.evaluate(model_, batch);
-
+monitor_verdict runtime_monitor::apply(const frame_score& score) {
   monitor_verdict v;
-  v.discrepancy = scores.joint.front();
-  v.prediction = scores.predictions.front();
+  v.discrepancy = score.discrepancy;
+  v.prediction = score.prediction;
   v.frame_invalid = validator_.flags_invalid(v.discrepancy);
 
   window_.push_back(v.frame_invalid);
@@ -80,6 +73,28 @@ monitor_verdict runtime_monitor::observe(const tensor& frame) {
                    static_cast<double>(window_.size()));
   }
   return v;
+}
+
+monitor_verdict runtime_monitor::observe(const tensor& frame) {
+  trace_span span{"monitor.observe"};
+  tensor batch = frame;
+  if (batch.dim() == 3) {
+    batch.reshape({1, frame.extent(0), frame.extent(1), frame.extent(2)});
+  }
+  const auto scores = validator_.evaluate(model_, batch);
+  return apply({scores.joint.front(), scores.predictions.front()});
+}
+
+std::vector<monitor_verdict> runtime_monitor::observe_batch(
+    const tensor& frames) {
+  trace_span span{"monitor.observe_batch"};
+  const auto scores = validator_.evaluate(model_, frames);
+  std::vector<monitor_verdict> out;
+  out.reserve(scores.joint.size());
+  for (std::size_t i = 0; i < scores.joint.size(); ++i) {
+    out.push_back(apply({scores.joint[i], scores.predictions[i]}));
+  }
+  return out;
 }
 
 double runtime_monitor::window_invalid_fraction() const {

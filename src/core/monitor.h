@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "core/deep_validator.h"
 
@@ -35,6 +36,14 @@ struct monitor_verdict {
   bool alarm{false};  // latched state after this frame
 };
 
+/// One scored frame as produced by the batch path: the joint discrepancy
+/// and the model prediction. The monitor's hysteresis state machine is
+/// fed these — it never runs the model itself on this path.
+struct frame_score {
+  double discrepancy{0.0};
+  std::int64_t prediction{-1};
+};
+
 class runtime_monitor {
  public:
   /// `model` and `validator` must outlive the monitor; the validator's
@@ -42,8 +51,23 @@ class runtime_monitor {
   runtime_monitor(sequential& model, const deep_validator& validator,
                   monitor_config config = {});
 
+  /// Pure state-machine step: folds one scored frame into the sliding
+  /// window, updates the hysteresis latch, and returns the verdict. Not
+  /// thread-safe — callers (the serving worker, observe) apply scores in
+  /// stream order.
+  monitor_verdict apply(const frame_score& score);
+
   /// Feeds one [C,H,W] frame; returns the verdict and updates alarm state.
+  /// Thin wrapper: one-frame evaluate + apply().
   monitor_verdict observe(const tensor& frame);
+
+  /// Feeds a [N,C,H,W] batch of consecutive stream frames with shared
+  /// activation extraction; verdicts are applied in row order and are
+  /// bitwise identical to calling observe() per frame.
+  std::vector<monitor_verdict> observe_batch(const tensor& frames);
+
+  /// The validator whose threshold defines per-frame validity.
+  const deep_validator& validator() const { return validator_; }
 
   bool alarmed() const { return alarmed_; }
   /// Fraction of invalid frames in the current window.

@@ -53,6 +53,18 @@ std::vector<double> weighted_joint_validator::score_batch(
   return out;
 }
 
+std::vector<double> weighted_joint_validator::score_batch(
+    const deep_validator& base, const activation_batch& acts) const {
+  if (!fitted()) {
+    throw std::logic_error{"weighted_joint_validator: not fitted"};
+  }
+  const auto rows = per_layer_rows(base.evaluate(acts));
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(combiner_.decision(row));
+  return out;
+}
+
 tensor weighted_joint_validator::make_noise_outliers(
     const std::vector<std::int64_t>& shape, std::uint64_t seed) {
   rng gen{seed};

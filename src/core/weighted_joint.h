@@ -26,6 +26,12 @@ class weighted_joint_validator {
                                   const deep_validator& base,
                                   const tensor& images) const;
 
+  /// Batch-first variant over pre-extracted activations (no forward
+  /// pass); bitwise identical to score_batch(model, base, images) for
+  /// the same rows.
+  std::vector<double> score_batch(const deep_validator& base,
+                                  const activation_batch& acts) const;
+
   bool fitted() const { return combiner_.fitted(); }
   /// Learned per-layer weights (one per validated layer).
   const std::vector<double>& weights() const { return combiner_.weights(); }

@@ -26,6 +26,27 @@ std::vector<double> anomaly_detector::score_batch(const tensor& images) {
   return out;
 }
 
+std::vector<double> anomaly_detector::score_activations(
+    const activation_batch& acts) {
+  if (!metrics::enabled()) return do_score_activations(acts);
+  trace_span span{"detect.score_activations"};
+  metrics::histogram* batch_seconds =
+      metrics::get_histogram(labeled("dv_detector_score_batch_seconds", name()),
+                       metrics::histogram_options::latency());
+  const std::int64_t start_ns = metrics::now_ns();
+  std::vector<double> out = do_score_activations(acts);
+  batch_seconds->observe(
+      static_cast<double>(metrics::now_ns() - start_ns) * 1e-9);
+  metrics::count(labeled("dv_detector_images_scored_total", name()),
+               static_cast<std::uint64_t>(acts.size()));
+  return out;
+}
+
+std::vector<double> anomaly_detector::do_score_activations(
+    const activation_batch& acts) {
+  return do_score_batch(acts.images);
+}
+
 std::vector<double> anomaly_detector::do_score_batch(const tensor& images) {
   const std::int64_t n = images.extent(0);
   std::vector<double> out;

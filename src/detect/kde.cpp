@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/activation_batch.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -44,7 +45,7 @@ double median_pairwise_distance(const tensor& features, rng& gen) {
 
 kde_detector::kde_detector(sequential& model, const dataset& train,
                            const kde_config& config)
-    : model_{model}, eval_batch_{config.eval_batch} {
+    : model_{model}, batch_{config.batch} {
   rng gen{config.seed};
 
   // Keep only correctly classified training images, grouped per class.
@@ -110,37 +111,44 @@ std::vector<double> kde_detector::do_score_batch(const tensor& images) {
   const std::int64_t n = images.extent(0);
   std::vector<double> out;
   out.reserve(static_cast<std::size_t>(n));
-  for (std::int64_t begin = 0; begin < n; begin += eval_batch_) {
-    const std::int64_t end = std::min(n, begin + eval_batch_);
-    tensor batch = images.slice_rows(begin, end);
-    tensor logits = model_.forward(batch, false);
-    const auto preds = argmax_rows(logits);
-    const auto probes = model_.probes();
-    tensor feat = *probes.back();
-    feat.reshape({feat.extent(0), feat.numel() / feat.extent(0)});
-    const std::int64_t d = feat.extent(1);
-    for (std::int64_t i = 0; i < end - begin; ++i) {
-      const auto cls = static_cast<std::size_t>(preds[static_cast<std::size_t>(i)]);
-      const tensor& ref = class_features_[cls];
-      const double inv_two_sigma2 =
-          1.0 / (2.0 * bandwidth_[cls] * bandwidth_[cls]);
-      const std::int64_t m = ref.extent(0);
-      // log-sum-exp of -||x - x_i||^2 / (2 sigma^2), numerically stable.
-      std::vector<double> exps(static_cast<std::size_t>(m));
-      double max_e = -1e300;
-      for (std::int64_t t = 0; t < m; ++t) {
-        const double e = -squared_distance(feat.data() + i * d,
-                                           ref.data() + t * d, d) *
-                         inv_two_sigma2;
-        exps[static_cast<std::size_t>(t)] = e;
-        max_e = std::max(max_e, e);
-      }
-      double acc = 0.0;
-      for (const double e : exps) acc += std::exp(e - max_e);
-      const double log_density =
-          max_e + std::log(acc / static_cast<double>(m));
-      out.push_back(-log_density);  // higher = less dense = more anomalous
+  for (std::int64_t begin = 0; begin < n; begin += batch_.max_batch) {
+    const std::int64_t end = std::min<std::int64_t>(n, begin + batch_.max_batch);
+    const auto part =
+        do_score_activations(extract_activations(model_, images.slice_rows(begin, end)));
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+std::vector<double> kde_detector::do_score_activations(
+    const activation_batch& acts) {
+  const std::int64_t n = acts.size();
+  const auto& preds = acts.predictions;
+  const tensor feat = acts.last_probe_features();
+  const std::int64_t d = feat.extent(1);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto cls = static_cast<std::size_t>(preds[static_cast<std::size_t>(i)]);
+    const tensor& ref = class_features_[cls];
+    const double inv_two_sigma2 =
+        1.0 / (2.0 * bandwidth_[cls] * bandwidth_[cls]);
+    const std::int64_t m = ref.extent(0);
+    // log-sum-exp of -||x - x_i||^2 / (2 sigma^2), numerically stable.
+    std::vector<double> exps(static_cast<std::size_t>(m));
+    double max_e = -1e300;
+    for (std::int64_t t = 0; t < m; ++t) {
+      const double e = -squared_distance(feat.data() + i * d,
+                                         ref.data() + t * d, d) *
+                       inv_two_sigma2;
+      exps[static_cast<std::size_t>(t)] = e;
+      max_e = std::max(max_e, e);
     }
+    double acc = 0.0;
+    for (const double e : exps) acc += std::exp(e - max_e);
+    const double log_density =
+        max_e + std::log(acc / static_cast<double>(m));
+    out.push_back(-log_density);  // higher = less dense = more anomalous
   }
   return out;
 }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/batch_config.h"
 #include "data/dataset.h"
 #include "detect/detector.h"
 #include "nn/model.h"
@@ -23,7 +24,7 @@ struct kde_config {
   /// Per-class cap on stored training features.
   std::int64_t max_train_per_class{400};
   std::uint64_t seed{13};
-  int eval_batch{128};
+  batch_config batch{};
 };
 
 class kde_detector : public anomaly_detector {
@@ -34,6 +35,8 @@ class kde_detector : public anomaly_detector {
 
   double score(const tensor& image) override;
   std::vector<double> do_score_batch(const tensor& images) override;
+  std::vector<double> do_score_activations(
+      const activation_batch& acts) override;
   std::string name() const override { return "kernel_density"; }
 
   double bandwidth(int cls) const {
@@ -42,7 +45,7 @@ class kde_detector : public anomaly_detector {
 
  private:
   sequential& model_;
-  int eval_batch_;
+  batch_config batch_;
   std::vector<tensor> class_features_;  // per class [n_k, d]
   std::vector<double> bandwidth_;       // per class sigma
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/activation_batch.h"
 #include "core/probe_reducer.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -97,19 +98,30 @@ lid_detector::lid_detector(sequential& model, const dataset& train,
 std::vector<std::vector<double>> lid_detector::lid_features(
     const tensor& images) {
   const std::int64_t n = images.extent(0);
+  std::vector<std::vector<double>> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t begin = 0; begin < n; begin += config_.batch.max_batch) {
+    const std::int64_t end =
+        std::min<std::int64_t>(n, begin + config_.batch.max_batch);
+    auto rows = lid_rows(
+        extract_activations(model_, images.slice_rows(begin, end)));
+    for (auto& row : rows) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> lid_detector::lid_rows(
+    const activation_batch& acts) {
+  const std::int64_t n = acts.size();
   std::vector<std::vector<double>> out(static_cast<std::size_t>(n));
-  for (std::int64_t begin = 0; begin < n; begin += config_.eval_batch) {
-    const std::int64_t end = std::min(n, begin + config_.eval_batch);
-    const auto feats = reduced_probes(model_, images.slice_rows(begin, end),
-                                      config_.spatial);
-    for (std::int64_t i = 0; i < end - begin; ++i) {
-      auto& row = out[static_cast<std::size_t>(begin + i)];
-      row.reserve(feats.size());
-      for (std::size_t l = 0; l < feats.size(); ++l) {
-        const std::int64_t d = feats[l].extent(1);
-        row.push_back(lid_estimate(feats[l].data() + i * d, reference_[l],
-                                   config_.neighbors));
-      }
+  for (int l = 0; l < acts.probe_count(); ++l) {
+    const tensor feat = acts.probe_features(l, config_.spatial);
+    const std::int64_t d = feat.extent(1);
+    for (std::int64_t i = 0; i < n; ++i) {
+      out[static_cast<std::size_t>(i)].push_back(
+          lid_estimate(feat.data() + i * d,
+                       reference_[static_cast<std::size_t>(l)],
+                       config_.neighbors));
     }
   }
   return out;
@@ -123,6 +135,15 @@ double lid_detector::score(const tensor& image) {
 
 std::vector<double> lid_detector::do_score_batch(const tensor& images) {
   const auto feats = lid_features(images);
+  std::vector<double> out;
+  out.reserve(feats.size());
+  for (const auto& row : feats) out.push_back(combiner_.decision(row));
+  return out;
+}
+
+std::vector<double> lid_detector::do_score_activations(
+    const activation_batch& acts) {
+  const auto feats = lid_rows(acts);
   std::vector<double> out;
   out.reserve(feats.size());
   for (const auto& row : feats) out.push_back(combiner_.decision(row));

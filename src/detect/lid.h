@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/batch_config.h"
 #include "data/dataset.h"
 #include "detect/detector.h"
 #include "nn/logistic.h"
@@ -29,7 +30,7 @@ struct lid_config {
   /// Probe reducer resolution for convolutional layers (as in core).
   int spatial{1};
   std::uint64_t seed{29};
-  int eval_batch{128};
+  batch_config batch{};
 };
 
 class lid_detector : public anomaly_detector {
@@ -42,6 +43,8 @@ class lid_detector : public anomaly_detector {
 
   double score(const tensor& image) override;
   std::vector<double> do_score_batch(const tensor& images) override;
+  std::vector<double> do_score_activations(
+      const activation_batch& acts) override;
   std::string name() const override { return "lid"; }
 
   int layers() const { return static_cast<int>(reference_.size()); }
@@ -50,6 +53,9 @@ class lid_detector : public anomaly_detector {
   std::vector<std::vector<double>> lid_features(const tensor& images);
 
  private:
+  /// LID rows of one already-extracted activation batch.
+  std::vector<std::vector<double>> lid_rows(const activation_batch& acts);
+
   sequential& model_;
   lid_config config_;
   std::vector<tensor> reference_;  // per layer [m, d] reduced clean features

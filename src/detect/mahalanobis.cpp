@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/activation_batch.h"
 #include "tensor/linalg.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -25,7 +26,7 @@ tensor last_probe_features(sequential& model, const tensor& images) {
 mahalanobis_detector::mahalanobis_detector(sequential& model,
                                            const dataset& train,
                                            const mahalanobis_config& config)
-    : model_{model}, eval_batch_{config.eval_batch} {
+    : model_{model}, batch_{config.batch} {
   rng gen{config.seed};
 
   // Correctly classified training rows per class (Lee et al. fit on the
@@ -108,19 +109,29 @@ std::vector<double> mahalanobis_detector::do_score_batch(const tensor& images) {
   const std::int64_t n = images.extent(0);
   std::vector<double> out;
   out.reserve(static_cast<std::size_t>(n));
-  for (std::int64_t begin = 0; begin < n; begin += eval_batch_) {
-    const std::int64_t end = std::min(n, begin + eval_batch_);
-    const tensor feat =
-        last_probe_features(model_, images.slice_rows(begin, end));
-    for (std::int64_t i = 0; i < end - begin; ++i) {
-      double best = std::numeric_limits<double>::infinity();
-      const std::span<const float> x{feat.data() + i * dim_,
-                                     static_cast<std::size_t>(dim_)};
-      for (const auto& mu : means_) {
-        best = std::min(best, mahalanobis_squared(chol_, dim_, x, mu));
-      }
-      out.push_back(best);
+  for (std::int64_t begin = 0; begin < n; begin += batch_.max_batch) {
+    const std::int64_t end = std::min<std::int64_t>(n, begin + batch_.max_batch);
+    const auto part = do_score_activations(
+        extract_activations(model_, images.slice_rows(begin, end)));
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+std::vector<double> mahalanobis_detector::do_score_activations(
+    const activation_batch& acts) {
+  const std::int64_t n = acts.size();
+  const tensor feat = acts.last_probe_features();
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    const std::span<const float> x{feat.data() + i * dim_,
+                                   static_cast<std::size_t>(dim_)};
+    for (const auto& mu : means_) {
+      best = std::min(best, mahalanobis_squared(chol_, dim_, x, mu));
     }
+    out.push_back(best);
   }
   return out;
 }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/batch_config.h"
 #include "data/dataset.h"
 #include "detect/detector.h"
 #include "nn/model.h"
@@ -21,7 +22,7 @@ struct mahalanobis_config {
   std::int64_t max_train_per_class{400};
   double ridge{1e-2};  // covariance shrinkage toward the identity
   std::uint64_t seed{19};
-  int eval_batch{128};
+  batch_config batch{};
 };
 
 class mahalanobis_detector : public anomaly_detector {
@@ -31,13 +32,15 @@ class mahalanobis_detector : public anomaly_detector {
 
   double score(const tensor& image) override;
   std::vector<double> do_score_batch(const tensor& images) override;
+  std::vector<double> do_score_activations(
+      const activation_batch& acts) override;
   std::string name() const override { return "mahalanobis"; }
 
   int num_classes() const { return static_cast<int>(means_.size()); }
 
  private:
   sequential& model_;
-  int eval_batch_;
+  batch_config batch_;
   std::vector<std::vector<double>> means_;  // per class
   std::vector<double> chol_;                // tied covariance factor [d, d]
   std::int64_t dim_{0};

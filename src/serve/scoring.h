@@ -1,0 +1,108 @@
+// Batch-first scoring runtime: request/result types and the pluggable
+// batch scorer behind the serving layer (docs/SERVING.md).
+//
+// The serving layer turns single-frame requests into coalesced batches so
+// one probe forward pass is amortized across the deep validator, the
+// weighted joint validator, and every attached anomaly detector. Because
+// all forward kernels are per-row independent (DESIGN.md §8), a frame's
+// scores are bitwise identical no matter which batch it lands in — batch
+// composition is purely a throughput knob.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/batch_config.h"
+#include "core/deep_validator.h"
+#include "core/weighted_joint.h"
+#include "detect/detector.h"
+#include "tensor/tensor.h"
+
+namespace dv {
+
+/// What a producer does when the bounded request queue is full.
+enum class overflow_policy {
+  /// Block the submitting thread until the worker frees a slot.
+  block,
+  /// Throw serve_rejected_error immediately (load shedding).
+  reject,
+  /// Score the frame inline on the caller's thread as a batch of one
+  /// (serialized with the worker — the model is not thread-safe). Only
+  /// valid for stateless scorers: the frame jumps the queue.
+  caller_runs,
+};
+
+struct serve_config {
+  /// Maximum frames coalesced into one evaluate call.
+  batch_config batch{};
+  /// How long the worker waits for more frames after the first one of a
+  /// batch arrives before flushing a partial batch.
+  std::chrono::microseconds max_delay{1000};
+  /// Bound of the request queue — the backpressure knob.
+  std::size_t queue_capacity{256};
+  overflow_policy on_full{overflow_policy::block};
+};
+
+/// Thrown by submit() under overflow_policy::reject when the queue is full.
+class serve_rejected_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Everything the batch path knows about one scored frame.
+struct scoring_result {
+  /// Joint discrepancy d = sum_i d_i (Equation 3).
+  double joint{0.0};
+  std::int64_t prediction{-1};
+  /// joint > validator threshold epsilon.
+  bool invalid{false};
+  /// Per validated layer discrepancy d_i.
+  std::vector<double> per_layer;
+  /// One score per attached detector, in attachment order.
+  std::vector<double> detector_scores;
+  /// Weighted joint score; meaningful only when has_weighted.
+  double weighted{0.0};
+  bool has_weighted{false};
+};
+
+/// Scores a stacked [N,C,H,W] batch of frames. Implementations are called
+/// from the micro-batcher's worker thread (or, under caller_runs, from a
+/// producer thread — never concurrently; the batcher serializes calls).
+class batch_scorer {
+ public:
+  virtual ~batch_scorer() = default;
+  batch_scorer() = default;
+  batch_scorer(const batch_scorer&) = delete;
+  batch_scorer& operator=(const batch_scorer&) = delete;
+
+  virtual std::vector<scoring_result> score(const tensor& frames) = 0;
+};
+
+/// The production scorer: one activation extraction per batch, fanned out
+/// to the deep validator and every attached consumer.
+class validator_scorer : public batch_scorer {
+ public:
+  /// `model` and `validator` must outlive the scorer; the validator must
+  /// be fitted.
+  validator_scorer(sequential& model, const deep_validator& validator);
+
+  /// Also score each batch with the weighted combiner (must be fitted and
+  /// outlive the scorer).
+  void attach_weighted(const weighted_joint_validator& weighted);
+  /// Also score each batch with `detector` (must outlive the scorer).
+  /// Scores land in scoring_result::detector_scores in attachment order.
+  void attach_detector(anomaly_detector& detector);
+
+  std::vector<scoring_result> score(const tensor& frames) override;
+
+ private:
+  sequential& model_;
+  const deep_validator& validator_;
+  const weighted_joint_validator* weighted_{nullptr};
+  std::vector<anomaly_detector*> detectors_;
+};
+
+}  // namespace dv

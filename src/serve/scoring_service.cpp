@@ -1,0 +1,22 @@
+#include "serve/scoring_service.h"
+
+#include <utility>
+
+namespace dv {
+
+scoring_service::scoring_service(batch_scorer& scorer,
+                                 const serve_config& config)
+    : scorer_{scorer},
+      batcher_{"scoring",
+               [this](const tensor& frames) { return scorer_.score(frames); },
+               config} {}
+
+std::future<scoring_result> scoring_service::submit(tensor frame) {
+  return batcher_.submit(std::move(frame));
+}
+
+void scoring_service::flush() { batcher_.flush(); }
+
+void scoring_service::shutdown() { batcher_.shutdown(); }
+
+}  // namespace dv

@@ -1,0 +1,122 @@
+// Bounded multi-producer single-consumer queue with batch draining, the
+// primitive under the serving layer's micro-batcher (see docs/SERVING.md).
+//
+// Producers push single items and block (or bounce, via try_push) when the
+// queue is full — that bound is the backpressure mechanism. The single
+// consumer drains with pop_batch(): it blocks for the first item, then
+// keeps collecting until either `max_items` are gathered or `max_delay`
+// has elapsed since the first item of the batch was taken. close() wakes
+// everyone; producers fail fast afterwards while the consumer keeps
+// draining until the queue is empty, so no accepted item is ever dropped.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace dv {
+
+enum class queue_push_result { ok, full, closed };
+
+template <typename T>
+class bounded_queue {
+ public:
+  explicit bounded_queue(std::size_t capacity) : capacity_{capacity} {}
+
+  bounded_queue(const bounded_queue&) = delete;
+  bounded_queue& operator=(const bounded_queue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (and leaves `item`
+  /// unconsumed) once the queue is closed.
+  bool push(T& item) {
+    std::unique_lock lock{mutex_};
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; moves from `item` only on `ok`.
+  queue_push_result try_push(T& item) {
+    std::unique_lock lock{mutex_};
+    if (closed_) return queue_push_result::closed;
+    if (items_.size() >= capacity_) return queue_push_result::full;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return queue_push_result::ok;
+  }
+
+  /// Consumer side. Replaces `out` with up to `max_items` items: blocks
+  /// until the first item arrives, then waits at most `max_delay` (from
+  /// the moment the first item was taken) for more. Returns false only
+  /// when the queue is closed AND empty — the drain-complete signal.
+  bool pop_batch(std::vector<T>& out, std::size_t max_items,
+                 std::chrono::nanoseconds max_delay) {
+    out.clear();
+    std::unique_lock lock{mutex_};
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    const auto deadline = clock_type::now() + max_delay;
+    take_available(out, max_items);
+    while (out.size() < max_items) {
+      const bool woke = not_empty_.wait_until(lock, deadline, [this] {
+        return closed_ || !items_.empty();
+      });
+      if (!woke) break;  // deadline passed with nothing new
+      take_available(out, max_items);
+      if (closed_ && items_.empty()) break;
+    }
+    lock.unlock();
+    not_full_.notify_all();
+    return true;
+  }
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain the remainder.
+  void close() {
+    {
+      std::lock_guard lock{mutex_};
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock{mutex_};
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock{mutex_};
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using clock_type = std::chrono::steady_clock;
+
+  void take_available(std::vector<T>& out, std::size_t max_items) {
+    while (!items_.empty() && out.size() < max_items) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_{false};
+};
+
+}  // namespace dv

@@ -198,5 +198,81 @@ TEST(Monitor, UnfittedValidatorThrows) {
                std::logic_error);
 }
 
+// -- batch path -------------------------------------------------------------
+
+TEST(Monitor, ObserveBatchMatchesSequentialObserve) {
+  const auto& world = shared_tiny_world();
+  monitor_config mc;
+  mc.window = 5;
+  mc.trigger_count = 2;
+  mc.release_count = 2;
+  const transform_chain invert{{transform_kind::complement, 0, 0}};
+  // Clean, invalid, clean: exercises latch and release across the stream.
+  tensor frames{{12, 1, 28, 28}};
+  for (std::int64_t i = 0; i < 12; ++i) {
+    const tensor image = world.test.images.sample(i);
+    frames.set_sample(i, (i >= 4 && i < 8) ? apply_chain(image, invert)
+                                           : image);
+  }
+  runtime_monitor sequential{*world.model, fitted_validator(), mc};
+  runtime_monitor batched{*world.model, fitted_validator(), mc};
+  std::vector<monitor_verdict> expected;
+  for (std::int64_t i = 0; i < 12; ++i) {
+    expected.push_back(sequential.observe(frames.sample(i)));
+  }
+  const auto got = batched.observe_batch(frames);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].discrepancy, expected[i].discrepancy);  // bitwise
+    EXPECT_EQ(got[i].prediction, expected[i].prediction);
+    EXPECT_EQ(got[i].frame_invalid, expected[i].frame_invalid);
+    EXPECT_EQ(got[i].alarm, expected[i].alarm);
+  }
+  EXPECT_EQ(batched.frames_seen(), sequential.frames_seen());
+  EXPECT_EQ(batched.alarmed(), sequential.alarmed());
+}
+
+TEST(Monitor, ApplyIsAPureStateMachineStep) {
+  const auto& world = shared_tiny_world();
+  const auto& validator = fitted_validator();
+  monitor_config mc;
+  mc.window = 4;
+  mc.trigger_count = 2;
+  mc.release_count = 2;
+  runtime_monitor monitor{*world.model, validator, mc};
+  const double invalid = validator.threshold() + 1.0;
+  const double valid = validator.threshold() - 1.0;
+  EXPECT_FALSE(monitor.apply({valid, 3}).alarm);
+  const auto first_invalid = monitor.apply({invalid, 4});
+  EXPECT_TRUE(first_invalid.frame_invalid);
+  EXPECT_FALSE(first_invalid.alarm);  // below trigger_count
+  EXPECT_TRUE(monitor.apply({invalid, 4}).alarm);  // second invalid latches
+  EXPECT_TRUE(monitor.apply({valid, 3}).alarm);    // one valid: still latched
+  EXPECT_FALSE(monitor.apply({valid, 3}).alarm);   // release_count reached
+  EXPECT_EQ(monitor.frames_seen(), 5);
+}
+
+TEST(Monitor, BatchSpanningTriggerBoundaryLatchesMidBatch) {
+  const auto& world = shared_tiny_world();
+  monitor_config mc;
+  mc.window = 4;
+  mc.trigger_count = 2;
+  mc.release_count = 4;
+  runtime_monitor monitor{*world.model, fitted_validator(), mc};
+  const transform_chain invert{{transform_kind::complement, 0, 0}};
+  tensor frames{{3, 1, 28, 28}};
+  frames.set_sample(0, apply_chain(world.test.images.sample(0), invert));
+  frames.set_sample(1, apply_chain(world.test.images.sample(1), invert));
+  frames.set_sample(2, world.test.images.sample(2));
+  const auto verdicts = monitor.observe_batch(frames);
+  ASSERT_EQ(verdicts.size(), 3u);
+  ASSERT_TRUE(verdicts[0].frame_invalid);
+  ASSERT_TRUE(verdicts[1].frame_invalid);
+  EXPECT_FALSE(verdicts[0].alarm);  // one invalid frame: below trigger
+  EXPECT_TRUE(verdicts[1].alarm);   // latches exactly at the boundary
+  EXPECT_TRUE(verdicts[2].alarm);   // a single valid frame cannot release
+  EXPECT_TRUE(monitor.alarmed());
+}
+
 }  // namespace
 }  // namespace dv
