@@ -7,6 +7,12 @@
 // the parallel runtime alongside the single-threaded kernel numbers.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
 #include "augment/affine.h"
 #include "detect/squeezers.h"
 #include "nn/layers.h"
@@ -14,6 +20,7 @@
 #include "svm/one_class_svm.h"
 #include "pipeline/config.h"
 #include "tensor/ops.h"
+#include "tensor/simd/simd.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -196,6 +203,41 @@ BENCHMARK(bm_svm_decision_batch_threads)
     ->ArgName("threads")
     ->UseRealTime();
 
+void bm_rbf_kernel_matrix(benchmark::State& state) {
+  const auto n = state.range(0);
+  rng gen{11};
+  tensor samples = tensor::randn({n, 64}, gen);
+  for (auto _ : state) {
+    tensor k = kernel_matrix(kernel_kind::rbf, samples, 0.01);
+    benchmark::DoNotOptimize(k.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n / 2);
+}
+BENCHMARK(bm_rbf_kernel_matrix)->Arg(128)->Arg(256);
+
+/// A KDE-style detector reduction: batched squared distances from one
+/// query to a reference bank, folded with logsumexp.
+void bm_detector_reduction(benchmark::State& state) {
+  const std::int64_t m = 256, d = 256;
+  rng gen{13};
+  tensor reference = tensor::randn({m, d}, gen);
+  tensor query = tensor::randn({d}, gen);
+  std::vector<double> sq(static_cast<std::size_t>(m));
+  for (auto _ : state) {
+    squared_distance_row(query.data(), reference.data(), m, d, sq.data());
+    double mx = -std::numeric_limits<double>::infinity();
+    for (auto& e : sq) {
+      e *= -0.5;
+      mx = std::max(mx, e);
+    }
+    double acc = 0.0;
+    for (const double e : sq) acc += std::exp(e - mx);
+    benchmark::DoNotOptimize(mx + std::log(acc));
+  }
+  state.SetItemsProcessed(state.iterations() * m * d);
+}
+BENCHMARK(bm_detector_reduction);
+
 void bm_rbf_kernel(benchmark::State& state) {
   const auto d = state.range(0);
   rng gen{6};
@@ -261,6 +303,11 @@ BENCHMARK(bm_median_squeezer);
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Recorded into the JSON context block so BENCH_perf_core.json says
+  // which dispatch level produced the numbers.
+  benchmark::AddCustomContext(
+      "dv_simd_dispatch_level",
+      std::string{dv::simd_level_name(dv::active_simd_level())});
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (dv::metrics::enabled()) {

@@ -11,6 +11,11 @@ cd "$(dirname "$0")/.."
 cmake -B build -S . >/dev/null
 cmake --build build -j --target bench_perf_core --target bench_serve >/dev/null
 
+# The SIMD dispatch level in effect (DV_SIMD=scalar|sse2|avx2|auto) is
+# recorded in the JSON context as `dv_simd_dispatch_level`, so baselines
+# at different levels stay distinguishable.
+echo "DV_SIMD=${DV_SIMD:-auto}"
+
 ./build/bench/bench_perf_core \
   --benchmark_out=BENCH_perf_core.json \
   --benchmark_out_format=json \

@@ -42,18 +42,39 @@ tidy_stage() {
   cmake --build build-lint --target tidy
 }
 
+# Sanitizer runs sweep the SIMD dispatch axis: always DV_SIMD=scalar, and
+# additionally DV_SIMD=avx2 when the host supports it, so the vector
+# kernels get sanitizer coverage too (the env matrix in tests/ covers
+# correctness; this covers memory/threading behavior per ISA).
+simd_levels() {
+  echo scalar
+  if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+    echo avx2
+  fi
+}
+
+sanitized_ctest() {
+  local dir="$1"
+  local level
+  for level in $(simd_levels); do
+    echo "-- ctest (${dir}) under DV_SIMD=${level}"
+    DV_SIMD="${level}" ctest --test-dir "${dir}" --output-on-failure ||
+      return 1
+  done
+}
+
 tsan_stage() {
   cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDV_WERROR=ON -DDV_SANITIZE=thread &&
     cmake --build build-tsan &&
-    ctest --test-dir build-tsan --output-on-failure
+    sanitized_ctest build-tsan
 }
 
 asan_stage() {
   cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDV_WERROR=ON -DDV_SANITIZE=address,undefined &&
     cmake --build build-asan &&
-    ctest --test-dir build-asan --output-on-failure
+    sanitized_ctest build-asan
 }
 
 run_stage "dv_lint" lint_stage

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "tensor/ops.h"
+
 namespace dv {
 
 tensor reduce_probe(const tensor& probe, int spatial) {
@@ -26,9 +28,11 @@ tensor reduce_probe(const tensor& probe, int spatial) {
         for (std::int64_t bx = 0; bx < s; ++bx) {
           const std::int64_t x0 = bx * w / s;
           const std::int64_t x1 = (bx + 1) * w / s;
+          // Row sums batch through the SIMD kernel; the y fold stays
+          // sequential, so the block mean is deterministic per level.
           double acc = 0.0;
           for (std::int64_t y = y0; y < y1; ++y) {
-            for (std::int64_t x = x0; x < x1; ++x) acc += plane[y * w + x];
+            acc += array_sum(plane + y * w + x0, x1 - x0);
           }
           const auto count = static_cast<double>((y1 - y0) * (x1 - x0));
           dst[(ch * s + by) * s + bx] =

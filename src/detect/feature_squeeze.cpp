@@ -59,12 +59,8 @@ std::vector<double> feature_squeezing_detector::score_against_base(
     }
     const tensor probs = batched_probabilities(model_, squeezed);
     for (std::int64_t i = 0; i < n; ++i) {
-      double l1 = 0.0;
-      const float* a = base.data() + i * c;
-      const float* b = probs.data() + i * c;
-      for (std::int64_t j = 0; j < c; ++j) {
-        l1 += std::abs(static_cast<double>(a[j]) - b[j]);
-      }
+      const double l1 =
+          l1_distance(base.data() + i * c, probs.data() + i * c, c);
       auto& slot = best[static_cast<std::size_t>(i)];
       slot = std::max(slot, l1);
     }

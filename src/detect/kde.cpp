@@ -135,12 +135,13 @@ std::vector<double> kde_detector::do_score_activations(
         1.0 / (2.0 * bandwidth_[cls] * bandwidth_[cls]);
     const std::int64_t m = ref.extent(0);
     // log-sum-exp of -||x - x_i||^2 / (2 sigma^2), numerically stable.
+    // All m squared distances batch through the SIMD row kernel (bitwise
+    // identical to per-row squared_distance calls).
     std::vector<double> exps(static_cast<std::size_t>(m));
+    squared_distance_row(feat.data() + i * d, ref.data(), m, d, exps.data());
     double max_e = -1e300;
     for (std::int64_t t = 0; t < m; ++t) {
-      const double e = -squared_distance(feat.data() + i * d,
-                                         ref.data() + t * d, d) *
-                       inv_two_sigma2;
+      const double e = -exps[static_cast<std::size_t>(t)] * inv_two_sigma2;
       exps[static_cast<std::size_t>(t)] = e;
       max_e = std::max(max_e, e);
     }

@@ -30,10 +30,7 @@ double lid_estimate(const float* x, const tensor& reference, int k) {
   const std::int64_t m = reference.extent(0);
   const std::int64_t d = reference.extent(1);
   std::vector<double> dist(static_cast<std::size_t>(m));
-  for (std::int64_t i = 0; i < m; ++i) {
-    dist[static_cast<std::size_t>(i)] =
-        squared_distance(x, reference.data() + i * d, d);
-  }
+  squared_distance_row(x, reference.data(), m, d, dist.data());
   const auto kk = static_cast<std::size_t>(
       std::min<std::int64_t>(k, m - 1));
   std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(kk),

@@ -87,9 +87,7 @@ tensor conv2d::forward(const tensor& x, bool /*training*/) {
           if (has_bias_) {
             float* base = out.data() + i * out_stride;
             for (std::int64_t c = 0; c < out_c_; ++c) {
-              const float b = bias_[c];
-              float* plane = base + c * oh * ow;
-              for (std::int64_t p = 0; p < oh * ow; ++p) plane[p] += b;
+              add_scalar(base + c * oh * ow, oh * ow, bias_[c]);
             }
           }
         }
@@ -160,10 +158,8 @@ tensor conv2d::backward(const tensor& grad_out) {
           col2im(dcol.data(), g, grad_in.data() + i * in_stride);
           if (has_bias_) {
             for (std::int64_t c = 0; c < out_c_; ++c) {
-              double acc = 0.0;
-              const float* plane = go + c * oh * ow;
-              for (std::int64_t p = 0; p < oh * ow; ++p) acc += plane[p];
-              db[c] += static_cast<float>(acc);
+              db[c] += static_cast<float>(array_sum(go + c * oh * ow,
+                                                    oh * ow));
             }
           }
         }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "tensor/ops.h"
 #include "util/thread_pool.h"
@@ -32,10 +33,25 @@ tensor kernel_matrix(kernel_kind kind, const tensor& samples, double gamma) {
   // Row i computes the lower-triangular entries j <= i and mirrors them.
   // Every (i, j) cell is written by exactly one row, so rows parallelize
   // with no reduction; the small grain keeps the triangular work balanced.
+  // RBF rows batch the squared distances through the SIMD row kernel
+  // (bitwise identical to per-pair rbf_kernel calls) and keep std::exp in
+  // scalar libm, so single and batched evaluation agree exactly.
   // dv:parallel-safe(each cell written by exactly one row, no reduction)
   parallel_for(0, n, 4, [&](std::int64_t begin, std::int64_t end) {
+    thread_local std::vector<double> sq;
     for (std::int64_t i = begin; i < end; ++i) {
       const float* xi = samples.data() + i * d;
+      if (kind == kernel_kind::rbf) {
+        sq.resize(static_cast<std::size_t>(i + 1));
+        squared_distance_row(xi, samples.data(), i + 1, d, sq.data());
+        for (std::int64_t j = 0; j <= i; ++j) {
+          const auto v = static_cast<float>(
+              std::exp(-gamma * sq[static_cast<std::size_t>(j)]));
+          k.at2(i, j) = v;
+          k.at2(j, i) = v;
+        }
+        continue;
+      }
       for (std::int64_t j = 0; j <= i; ++j) {
         const float* xj = samples.data() + j * d;
         const auto v =

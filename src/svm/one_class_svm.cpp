@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/serialize.h"
 #include "util/thread_pool.h"
@@ -147,6 +148,19 @@ double one_class_svm::decision(std::span<const float> x) const {
   }
   double acc = 0.0;
   const std::int64_t m = support_vectors_.extent(0);
+  if (kernel_ == kernel_kind::rbf) {
+    // Batch the squared distances through the SIMD row kernel, then fold
+    // alpha_i * exp(...) in the same sequential i order as the generic
+    // loop below — bitwise identical to per-pair kernel_value calls.
+    thread_local std::vector<double> sq;
+    sq.resize(static_cast<std::size_t>(m));
+    squared_distance_row(x.data(), support_vectors_.data(), m, d, sq.data());
+    for (std::int64_t i = 0; i < m; ++i) {
+      acc += alpha_[static_cast<std::size_t>(i)] *
+             std::exp(-gamma_ * sq[static_cast<std::size_t>(i)]);
+    }
+    return acc - rho_;
+  }
   for (std::int64_t i = 0; i < m; ++i) {
     acc += alpha_[static_cast<std::size_t>(i)] *
            kernel_value(kernel_, support_vectors_.data() + i * d, x.data(), d,

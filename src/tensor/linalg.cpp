@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/ops.h"
 #include "util/thread_pool.h"
 
 namespace dv {
@@ -140,11 +141,7 @@ double mahalanobis_squared(const std::vector<double>& l, std::int64_t d,
                                         mu[static_cast<std::size_t>(j)];
   }
   const std::vector<double> solved = cholesky_solve(l, d, diff);
-  double acc = 0.0;
-  for (std::int64_t j = 0; j < d; ++j) {
-    acc += diff[static_cast<std::size_t>(j)] * solved[static_cast<std::size_t>(j)];
-  }
-  return acc;
+  return dot_f64(diff.data(), solved.data(), d);
 }
 
 }  // namespace dv

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "tensor/simd/simd.h"
 #include "util/thread_pool.h"
 
 namespace dv {
@@ -24,9 +25,12 @@ namespace {
 //
 // Determinism: the k-accumulation order for every C element is fixed by
 // the (pc, p) loop structure and row blocks write disjoint C rows, so the
-// result is bit-identical for any thread count.
-constexpr std::int64_t MR = 4;    // micro-kernel rows
-constexpr std::int64_t NR = 16;   // micro-kernel columns
+// result is bit-identical for any thread count. The micro-kernel comes
+// from the SIMD dispatch table (tensor/simd/simd.h); every variant keeps
+// each element's accumulation chain sequential in p and never fuses
+// mul+add, so the result is also bit-identical for any DV_SIMD level.
+constexpr std::int64_t MR = simd_gemm_mr;  // micro-kernel rows
+constexpr std::int64_t NR = simd_gemm_nr;  // micro-kernel columns
 constexpr std::int64_t KC = 256;  // k panel
 constexpr std::int64_t NC = 512;  // n panel
 // Row-blocks per parallel chunk (32 rows): big enough to amortize
@@ -91,20 +95,6 @@ void pack_a(const float* a, bool a_trans, std::int64_t lda, std::int64_t ic,
   }
 }
 
-/// acc[MR][NR] += sum_p ap[p][:] (outer) bp[p][:] over one packed K panel.
-void micro_kernel(std::int64_t kc, const float* ap, const float* bp,
-                  float* acc) {
-  for (std::int64_t p = 0; p < kc; ++p) {
-    const float* a = ap + p * MR;
-    const float* b = bp + p * NR;
-    for (std::int64_t i = 0; i < MR; ++i) {
-      const float av = a[i];
-      float* row = acc + i * NR;
-      for (std::int64_t j = 0; j < NR; ++j) row[j] += av * b[j];
-    }
-  }
-}
-
 void gemm_tiled(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
                 const float* a, bool a_trans, const float* b, bool b_trans,
                 float beta, float* c) {
@@ -112,6 +102,9 @@ void gemm_tiled(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   if (alpha == 0.0f || k == 0) return;
   const std::int64_t lda = a_trans ? m : k;
   const std::int64_t ldb = b_trans ? k : n;
+  // One table fetch per GEMM: the micro-kernel variant cannot change
+  // mid-call even if another thread flips the dispatch level.
+  const auto micro_kernel = simd_kernels().gemm_micro_kernel;
   std::vector<float> b_panel;
   for (std::int64_t jc = 0; jc < n; jc += NC) {
     const std::int64_t nc = std::min(NC, n - jc);
@@ -212,54 +205,11 @@ void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
 }
 
 void im2col(const float* image, const conv_geometry& g, float* col) {
-  const std::int64_t oh = g.out_h();
-  const std::int64_t ow = g.out_w();
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < g.in_c; ++c) {
-    const float* plane = image + c * g.in_h * g.in_w;
-    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
-      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
-        float* out = col + row * oh * ow;
-        for (std::int64_t oy = 0; oy < oh; ++oy) {
-          const std::int64_t iy = oy * g.stride + ky - g.pad;
-          if (iy < 0 || iy >= g.in_h) {
-            std::memset(out + oy * ow, 0,
-                        static_cast<std::size_t>(ow) * sizeof(float));
-            continue;
-          }
-          const float* src = plane + iy * g.in_w;
-          for (std::int64_t ox = 0; ox < ow; ++ox) {
-            const std::int64_t ix = ox * g.stride + kx - g.pad;
-            out[oy * ow + ox] =
-                (ix >= 0 && ix < g.in_w) ? src[ix] : 0.0f;
-          }
-        }
-      }
-    }
-  }
+  simd_kernels().im2col(image, g, col);
 }
 
 void col2im(const float* col, const conv_geometry& g, float* image) {
-  const std::int64_t oh = g.out_h();
-  const std::int64_t ow = g.out_w();
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < g.in_c; ++c) {
-    float* plane = image + c * g.in_h * g.in_w;
-    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
-      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
-        const float* src = col + row * oh * ow;
-        for (std::int64_t oy = 0; oy < oh; ++oy) {
-          const std::int64_t iy = oy * g.stride + ky - g.pad;
-          if (iy < 0 || iy >= g.in_h) continue;
-          float* dst = plane + iy * g.in_w;
-          for (std::int64_t ox = 0; ox < ow; ++ox) {
-            const std::int64_t ix = ox * g.stride + kx - g.pad;
-            if (ix >= 0 && ix < g.in_w) dst[ix] += src[oy * ow + ox];
-          }
-        }
-      }
-    }
-  }
+  simd_kernels().col2im(col, g, image);
 }
 
 void softmax_rows(tensor& logits) {
@@ -294,20 +244,32 @@ std::vector<std::int64_t> argmax_rows(const tensor& t) {
 }
 
 double squared_distance(const float* a, const float* b, std::int64_t n) {
-  double acc = 0.0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return simd_kernels().squared_distance(a, b, n);
+}
+
+void squared_distance_row(const float* x, const float* rows, std::int64_t m,
+                          std::int64_t d, double* out) {
+  simd_kernels().squared_distance_row(x, rows, m, d, out);
 }
 
 double dot(const float* a, const float* b, std::int64_t n) {
-  double acc = 0.0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    acc += static_cast<double>(a[i]) * b[i];
-  }
-  return acc;
+  return simd_kernels().dot(a, b, n);
+}
+
+double dot_f64(const double* a, const double* b, std::int64_t n) {
+  return simd_kernels().dot_f64(a, b, n);
+}
+
+double l1_distance(const float* a, const float* b, std::int64_t n) {
+  return simd_kernels().l1_distance(a, b, n);
+}
+
+double array_sum(const float* x, std::int64_t n) {
+  return simd_kernels().array_sum(x, n);
+}
+
+void add_scalar(float* x, std::int64_t n, float c) {
+  simd_kernels().add_scalar(x, n, c);
 }
 
 }  // namespace dv

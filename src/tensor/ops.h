@@ -1,4 +1,5 @@
-// Numerical kernels on raw tensors: GEMM, im2col/col2im, softmax.
+// Numerical kernels on raw tensors: GEMM, im2col/col2im, softmax, and the
+// distance/dot/sum reductions shared by the SVM and detector layers.
 //
 // These are the hot loops behind the neural-network substrate. All matrices
 // are row-major. The GEMM variants are cache-tiled and register-blocked
@@ -6,6 +7,12 @@
 // blocks through the shared thread pool (util/thread_pool.h). Results are
 // bit-identical for any DV_THREADS setting: row blocks write disjoint rows
 // of C and the k-accumulation order is fixed by the panel loop structure.
+//
+// The inner loops (micro-kernel, im2col/col2im, reductions) route through
+// the runtime-dispatched SIMD table in tensor/simd/simd.h; results are
+// additionally bit-identical for any DV_SIMD level because every variant
+// runs the same per-element operations and the same fixed 8-lane
+// reduction order (see `simd_reduce_lanes`).
 #pragma once
 
 #include <cstdint>
@@ -56,10 +63,30 @@ void softmax_rows(tensor& logits);
 /// Row-wise argmax of a 2-D tensor.
 std::vector<std::int64_t> argmax_rows(const tensor& t);
 
-/// Squared Euclidean distance between two equal-length float arrays.
+/// Squared Euclidean distance between two equal-length float arrays
+/// (double accumulators, fixed 8-lane order).
 double squared_distance(const float* a, const float* b, std::int64_t n);
 
-/// Dot product of two equal-length float arrays (double accumulator).
+/// out[j] = squared_distance(x, rows + j*d, d) for j in [0, m): one query
+/// against every row of a row-major [m, d] matrix. Bitwise identical to m
+/// separate squared_distance calls.
+void squared_distance_row(const float* x, const float* rows, std::int64_t m,
+                          std::int64_t d, double* out);
+
+/// Dot product of two equal-length float arrays (double accumulators,
+/// fixed 8-lane order).
 double dot(const float* a, const float* b, std::int64_t n);
+
+/// Dot product of two equal-length double arrays (fixed 8-lane order).
+double dot_f64(const double* a, const double* b, std::int64_t n);
+
+/// L1 distance sum_i |a[i]-b[i]| (double accumulators, fixed 8-lane order).
+double l1_distance(const float* a, const float* b, std::int64_t n);
+
+/// Sum of a float array (double accumulators, fixed 8-lane order).
+double array_sum(const float* x, std::int64_t n);
+
+/// x[i] += c for i in [0, n).
+void add_scalar(float* x, std::int64_t n, float c);
 
 }  // namespace dv

@@ -1,0 +1,157 @@
+// Dispatch-table selection: cpuid probe + DV_SIMD env knob, resolved once
+// on first kernel use and stored behind an atomic pointer. set_simd_level
+// lets tests and benches sweep levels in-process (mirroring
+// set_thread_count on the DV_THREADS axis).
+#include "tensor/simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "util/cpuid.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace dv {
+
+extern const simd_kernel_table k_simd_table_scalar;
+extern const simd_kernel_table k_simd_table_sse2;
+#if defined(DV_SIMD_HAVE_AVX2)
+extern const simd_kernel_table k_simd_table_avx2;
+#endif
+
+namespace {
+
+const simd_kernel_table* table_for(simd_level level) {
+  switch (level) {
+    case simd_level::sse2:
+      return &k_simd_table_sse2;
+    case simd_level::avx2:
+#if defined(DV_SIMD_HAVE_AVX2)
+      return &k_simd_table_avx2;
+#else
+      return &k_simd_table_scalar;  // unreachable: supported() gates avx2
+#endif
+    case simd_level::scalar:
+    default:
+      return &k_simd_table_scalar;
+  }
+}
+
+/// Widest supported level at or below `cap`.
+simd_level widest_supported(simd_level cap) {
+  if (cap >= simd_level::avx2 && simd_level_supported(simd_level::avx2)) {
+    return simd_level::avx2;
+  }
+  if (cap >= simd_level::sse2 && simd_level_supported(simd_level::sse2)) {
+    return simd_level::sse2;
+  }
+  return simd_level::scalar;
+}
+
+/// Info gauge: the active level's label reads 1, the others 0, so a
+/// scrape shows which code path the process is running.
+void publish_dispatch_gauge(simd_level active) {
+  if (!metrics::enabled()) return;
+  for (simd_level l :
+       {simd_level::scalar, simd_level::sse2, simd_level::avx2}) {
+    std::string name{"dv_simd_dispatch_level{level=\""};
+    name += simd_level_name(l);
+    name += "\"}";
+    metrics::set(name, l == active ? 1.0 : 0.0);
+  }
+}
+
+/// Startup selection: widest supported level, optionally capped or pinned
+/// by DV_SIMD (scalar|sse2|avx2|auto). An unsupported request falls back
+/// to the widest supported level below it (with a warning) instead of
+/// failing, so one DV_SIMD value can drive a heterogeneous test fleet.
+const simd_kernel_table* resolve_startup() {
+  simd_level choice = widest_supported(simd_level::avx2);
+  if (const char* env = std::getenv("DV_SIMD")) {
+    const std::string value{env};
+    simd_level requested = choice;
+    bool known = true;
+    if (value == "scalar") {
+      requested = simd_level::scalar;
+    } else if (value == "sse2") {
+      requested = simd_level::sse2;
+    } else if (value == "avx2") {
+      requested = simd_level::avx2;
+    } else if (value != "auto" && !value.empty()) {
+      known = false;
+      log_warn() << "DV_SIMD=" << value
+                 << " not recognized (want scalar|sse2|avx2|auto); using "
+                 << simd_level_name(choice);
+    }
+    if (known && !simd_level_supported(requested)) {
+      const simd_level fallback = widest_supported(requested);
+      log_warn() << "DV_SIMD=" << value
+                 << " not supported on this host; falling back to "
+                 << simd_level_name(fallback);
+      requested = fallback;
+    }
+    if (known) choice = requested;
+  }
+  publish_dispatch_gauge(choice);
+  return table_for(choice);
+}
+
+std::atomic<const simd_kernel_table*>& table_slot() {
+  static std::atomic<const simd_kernel_table*> slot{resolve_startup()};
+  return slot;
+}
+
+}  // namespace
+
+const simd_kernel_table& simd_kernels() {
+  return *table_slot().load(std::memory_order_acquire);
+}
+
+simd_level active_simd_level() { return simd_kernels().level; }
+
+bool simd_level_supported(simd_level level) {
+  switch (level) {
+    case simd_level::scalar:
+      return true;
+    case simd_level::sse2:
+      return cpu_features_probe().sse2;
+    case simd_level::avx2:
+#if defined(DV_SIMD_HAVE_AVX2)
+      return cpu_features_probe().avx2 && cpu_features_probe().fma;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+void set_simd_level(simd_level level) {
+  if (!simd_level_supported(level)) {
+    std::string msg{"set_simd_level: level "};
+    msg += simd_level_name(level);
+    msg += " is not supported on this host";
+    throw std::invalid_argument{msg};
+  }
+  table_slot().store(table_for(level), std::memory_order_release);
+  publish_dispatch_gauge(level);
+}
+
+void reset_simd_level() {
+  table_slot().store(resolve_startup(), std::memory_order_release);
+}
+
+std::string_view simd_level_name(simd_level level) {
+  switch (level) {
+    case simd_level::sse2:
+      return "sse2";
+    case simd_level::avx2:
+      return "avx2";
+    case simd_level::scalar:
+    default:
+      return "scalar";
+  }
+}
+
+}  // namespace dv

@@ -1,0 +1,208 @@
+// AVX2 dispatch table. Compiled with -mavx2 -mfma -ffp-contract=off in its
+// own TU (src/tensor/CMakeLists.txt) so the rest of the binary stays
+// runnable on non-AVX hosts; the cpuid probe gates selection at runtime.
+//
+// Reductions run the canonical 8-lane order as two 4-wide double
+// accumulators; the micro-kernel holds the whole 4x16 tile in eight ymm
+// registers. Although -mfma is on per the build contract, the kernels use
+// separate mul+add on purpose: fusing rounds once where the scalar
+// reference rounds twice, which would break the DV_SIMD bitwise-identity
+// contract (DESIGN.md §12).
+#include "tensor/simd/kernels_generic.h"
+#include "tensor/simd/simd.h"
+
+#if !defined(__AVX2__)
+#error "kernels_avx2.cpp must be compiled with -mavx2 (see src/tensor/CMakeLists.txt)"
+#endif
+
+#include <immintrin.h>
+
+namespace dv {
+namespace {
+
+/// Low / high float quads widened to double: lanes {0..3} and {4..7}.
+__m256d lo_pd(const float* p) { return _mm256_cvtps_pd(_mm_loadu_ps(p)); }
+__m256d hi_pd(const float* p) { return _mm256_cvtps_pd(_mm_loadu_ps(p + 4)); }
+
+/// ((l0+l1)+(l2+l3)) of one 4-wide accumulator.
+double quad_sum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const double l0 = _mm_cvtsd_f64(lo);
+  const double l1 = _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+  const double l2 = _mm_cvtsd_f64(hi);
+  const double l3 = _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+  return (l0 + l1) + (l2 + l3);
+}
+
+/// Canonical fold: (((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))) + tail.
+double fold8(__m256d acc0, __m256d acc1, double tail) {
+  return (quad_sum(acc0) + quad_sum(acc1)) + tail;
+}
+
+void gemm_micro_avx2(std::int64_t kc, const float* ap, const float* bp,
+                     float* acc) {
+  __m256 c00 = _mm256_loadu_ps(acc + 0);
+  __m256 c01 = _mm256_loadu_ps(acc + 8);
+  __m256 c10 = _mm256_loadu_ps(acc + 16);
+  __m256 c11 = _mm256_loadu_ps(acc + 24);
+  __m256 c20 = _mm256_loadu_ps(acc + 32);
+  __m256 c21 = _mm256_loadu_ps(acc + 40);
+  __m256 c30 = _mm256_loadu_ps(acc + 48);
+  __m256 c31 = _mm256_loadu_ps(acc + 56);
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * simd_gemm_mr;
+    const float* b = bp + p * simd_gemm_nr;
+    const __m256 b0 = _mm256_loadu_ps(b);
+    const __m256 b1 = _mm256_loadu_ps(b + 8);
+    __m256 av = _mm256_set1_ps(a[0]);
+    c00 = _mm256_add_ps(c00, _mm256_mul_ps(av, b0));
+    c01 = _mm256_add_ps(c01, _mm256_mul_ps(av, b1));
+    av = _mm256_set1_ps(a[1]);
+    c10 = _mm256_add_ps(c10, _mm256_mul_ps(av, b0));
+    c11 = _mm256_add_ps(c11, _mm256_mul_ps(av, b1));
+    av = _mm256_set1_ps(a[2]);
+    c20 = _mm256_add_ps(c20, _mm256_mul_ps(av, b0));
+    c21 = _mm256_add_ps(c21, _mm256_mul_ps(av, b1));
+    av = _mm256_set1_ps(a[3]);
+    c30 = _mm256_add_ps(c30, _mm256_mul_ps(av, b0));
+    c31 = _mm256_add_ps(c31, _mm256_mul_ps(av, b1));
+  }
+  _mm256_storeu_ps(acc + 0, c00);
+  _mm256_storeu_ps(acc + 8, c01);
+  _mm256_storeu_ps(acc + 16, c10);
+  _mm256_storeu_ps(acc + 24, c11);
+  _mm256_storeu_ps(acc + 32, c20);
+  _mm256_storeu_ps(acc + 40, c21);
+  _mm256_storeu_ps(acc + 48, c30);
+  _mm256_storeu_ps(acc + 56, c31);
+}
+
+double squared_distance_avx2(const float* a, const float* b, std::int64_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  const std::int64_t n8 = n - n % simd_reduce_lanes;
+  for (std::int64_t i = 0; i < n8; i += simd_reduce_lanes) {
+    const __m256d d0 = _mm256_sub_pd(lo_pd(a + i), lo_pd(b + i));
+    const __m256d d1 = _mm256_sub_pd(hi_pd(a + i), hi_pd(b + i));
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+  }
+  double tail = 0.0;
+  for (std::int64_t i = n8; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    tail += d * d;
+  }
+  return fold8(acc0, acc1, tail);
+}
+
+void squared_distance_row_avx2(const float* x, const float* rows,
+                               std::int64_t m, std::int64_t d, double* out) {
+  for (std::int64_t j = 0; j < m; ++j) {
+    out[j] = squared_distance_avx2(x, rows + j * d, d);
+  }
+}
+
+double dot_avx2(const float* a, const float* b, std::int64_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  const std::int64_t n8 = n - n % simd_reduce_lanes;
+  for (std::int64_t i = 0; i < n8; i += simd_reduce_lanes) {
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(lo_pd(a + i), lo_pd(b + i)));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(hi_pd(a + i), hi_pd(b + i)));
+  }
+  double tail = 0.0;
+  for (std::int64_t i = n8; i < n; ++i) {
+    tail += static_cast<double>(a[i]) * b[i];
+  }
+  return fold8(acc0, acc1, tail);
+}
+
+double dot_f64_avx2(const double* a, const double* b, std::int64_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  const std::int64_t n8 = n - n % simd_reduce_lanes;
+  for (std::int64_t i = 0; i < n8; i += simd_reduce_lanes) {
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(_mm256_loadu_pd(a + i),
+                                             _mm256_loadu_pd(b + i)));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(_mm256_loadu_pd(a + i + 4),
+                                             _mm256_loadu_pd(b + i + 4)));
+  }
+  double tail = 0.0;
+  for (std::int64_t i = n8; i < n; ++i) tail += a[i] * b[i];
+  return fold8(acc0, acc1, tail);
+}
+
+double l1_distance_avx2(const float* a, const float* b, std::int64_t n) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  const std::int64_t n8 = n - n % simd_reduce_lanes;
+  for (std::int64_t i = 0; i < n8; i += simd_reduce_lanes) {
+    const __m256d d0 = _mm256_sub_pd(lo_pd(a + i), lo_pd(b + i));
+    const __m256d d1 = _mm256_sub_pd(hi_pd(a + i), hi_pd(b + i));
+    acc0 = _mm256_add_pd(acc0, _mm256_andnot_pd(sign, d0));
+    acc1 = _mm256_add_pd(acc1, _mm256_andnot_pd(sign, d1));
+  }
+  double tail = 0.0;
+  for (std::int64_t i = n8; i < n; ++i) {
+    tail += std::fabs(static_cast<double>(a[i]) - b[i]);
+  }
+  return fold8(acc0, acc1, tail);
+}
+
+double array_sum_avx2(const float* x, std::int64_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  const std::int64_t n8 = n - n % simd_reduce_lanes;
+  for (std::int64_t i = 0; i < n8; i += simd_reduce_lanes) {
+    acc0 = _mm256_add_pd(acc0, lo_pd(x + i));
+    acc1 = _mm256_add_pd(acc1, hi_pd(x + i));
+  }
+  double tail = 0.0;
+  for (std::int64_t i = n8; i < n; ++i) tail += static_cast<double>(x[i]);
+  return fold8(acc0, acc1, tail);
+}
+
+void add_scalar_avx2(float* x, std::int64_t n, float c) {
+  const __m256 cv = _mm256_set1_ps(c);
+  const std::int64_t n8 = n - n % 8;
+  for (std::int64_t i = 0; i < n8; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_add_ps(_mm256_loadu_ps(x + i), cv));
+  }
+  for (std::int64_t i = n8; i < n; ++i) x[i] += c;
+}
+
+void add_rows_avx2(float* dst, const float* src, std::int64_t n) {
+  const std::int64_t n8 = n - n % 8;
+  for (std::int64_t i = 0; i < n8; i += 8) {
+    _mm256_storeu_ps(
+        dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                               _mm256_loadu_ps(src + i)));
+  }
+  for (std::int64_t i = n8; i < n; ++i) dst[i] += src[i];
+}
+
+void col2im_avx2(const float* col, const conv_geometry& g, float* image) {
+  simd_detail::col2im_impl(col, g, image, add_rows_avx2);
+}
+
+}  // namespace
+
+extern const simd_kernel_table k_simd_table_avx2;
+
+const simd_kernel_table k_simd_table_avx2 = {
+    simd_level::avx2,
+    gemm_micro_avx2,
+    simd_detail::im2col_shared,
+    col2im_avx2,
+    add_scalar_avx2,
+    array_sum_avx2,
+    squared_distance_avx2,
+    squared_distance_row_avx2,
+    dot_avx2,
+    dot_f64_avx2,
+    l1_distance_avx2,
+};
+
+}  // namespace dv

@@ -1,0 +1,235 @@
+// Canonical portable implementations of every dispatch-table kernel.
+// These define the reference bit patterns: the scalar table points
+// straight at them, and the SSE2/AVX2 TUs fall back to them on targets
+// where the intrinsics are unavailable (and reuse the shared data-movement
+// kernels, which are ISA-independent).
+//
+// Horizontal reductions follow the fixed 8-lane order documented at
+// `simd_reduce_lanes` (tensor/simd/simd.h): lane l accumulates elements
+// l, l+8, ..., the (n mod 8) trailing elements accumulate sequentially
+// into `tail`, and the total folds as
+// (((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))) + tail. Vector variants must
+// reproduce exactly this chain per lane — and must not fuse the mul+add
+// (no FMA; all kernel TUs build with -ffp-contract=off).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "tensor/ops.h"
+#include "tensor/simd/simd.h"
+
+namespace dv::simd_detail {
+
+/// Folds the 8 lane accumulators and the scalar tail in the canonical
+/// order shared by every ISA.
+inline double reduce_lanes(const double* lane, double tail) {
+  return (((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+          ((lane[4] + lane[5]) + (lane[6] + lane[7]))) +
+         tail;
+}
+
+inline void gemm_micro_generic(std::int64_t kc, const float* ap,
+                               const float* bp, float* acc) {
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * simd_gemm_mr;
+    const float* b = bp + p * simd_gemm_nr;
+    for (std::int64_t i = 0; i < simd_gemm_mr; ++i) {
+      const float av = a[i];
+      float* row = acc + i * simd_gemm_nr;
+      for (std::int64_t j = 0; j < simd_gemm_nr; ++j) row[j] += av * b[j];
+    }
+  }
+}
+
+inline double squared_distance_generic(const float* a, const float* b,
+                                       std::int64_t n) {
+  double lane[simd_reduce_lanes] = {};
+  const std::int64_t n8 = n - n % simd_reduce_lanes;
+  for (std::int64_t i = 0; i < n8; i += simd_reduce_lanes) {
+    for (std::int64_t l = 0; l < simd_reduce_lanes; ++l) {
+      const double d = static_cast<double>(a[i + l]) - b[i + l];
+      lane[l] += d * d;
+    }
+  }
+  double tail = 0.0;
+  for (std::int64_t i = n8; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    tail += d * d;
+  }
+  return reduce_lanes(lane, tail);
+}
+
+inline void squared_distance_row_generic(const float* x, const float* rows,
+                                         std::int64_t m, std::int64_t d,
+                                         double* out) {
+  for (std::int64_t j = 0; j < m; ++j) {
+    out[j] = squared_distance_generic(x, rows + j * d, d);
+  }
+}
+
+inline double dot_generic(const float* a, const float* b, std::int64_t n) {
+  double lane[simd_reduce_lanes] = {};
+  const std::int64_t n8 = n - n % simd_reduce_lanes;
+  for (std::int64_t i = 0; i < n8; i += simd_reduce_lanes) {
+    for (std::int64_t l = 0; l < simd_reduce_lanes; ++l) {
+      lane[l] += static_cast<double>(a[i + l]) * b[i + l];
+    }
+  }
+  double tail = 0.0;
+  for (std::int64_t i = n8; i < n; ++i) {
+    tail += static_cast<double>(a[i]) * b[i];
+  }
+  return reduce_lanes(lane, tail);
+}
+
+inline double dot_f64_generic(const double* a, const double* b,
+                              std::int64_t n) {
+  double lane[simd_reduce_lanes] = {};
+  const std::int64_t n8 = n - n % simd_reduce_lanes;
+  for (std::int64_t i = 0; i < n8; i += simd_reduce_lanes) {
+    for (std::int64_t l = 0; l < simd_reduce_lanes; ++l) {
+      lane[l] += a[i + l] * b[i + l];
+    }
+  }
+  double tail = 0.0;
+  for (std::int64_t i = n8; i < n; ++i) tail += a[i] * b[i];
+  return reduce_lanes(lane, tail);
+}
+
+inline double l1_distance_generic(const float* a, const float* b,
+                                  std::int64_t n) {
+  double lane[simd_reduce_lanes] = {};
+  const std::int64_t n8 = n - n % simd_reduce_lanes;
+  for (std::int64_t i = 0; i < n8; i += simd_reduce_lanes) {
+    for (std::int64_t l = 0; l < simd_reduce_lanes; ++l) {
+      lane[l] += std::fabs(static_cast<double>(a[i + l]) - b[i + l]);
+    }
+  }
+  double tail = 0.0;
+  for (std::int64_t i = n8; i < n; ++i) {
+    tail += std::fabs(static_cast<double>(a[i]) - b[i]);
+  }
+  return reduce_lanes(lane, tail);
+}
+
+inline double array_sum_generic(const float* x, std::int64_t n) {
+  double lane[simd_reduce_lanes] = {};
+  const std::int64_t n8 = n - n % simd_reduce_lanes;
+  for (std::int64_t i = 0; i < n8; i += simd_reduce_lanes) {
+    for (std::int64_t l = 0; l < simd_reduce_lanes; ++l) {
+      lane[l] += static_cast<double>(x[i + l]);
+    }
+  }
+  double tail = 0.0;
+  for (std::int64_t i = n8; i < n; ++i) tail += static_cast<double>(x[i]);
+  return reduce_lanes(lane, tail);
+}
+
+inline void add_scalar_generic(float* x, std::int64_t n, float c) {
+  for (std::int64_t i = 0; i < n; ++i) x[i] += c;
+}
+
+/// im2col is pure data movement (copies and zero fills), so one shared
+/// implementation serves every dispatch level; the win over the original
+/// per-element loop is the contiguous memcpy of the stride-1 interior.
+inline void im2col_shared(const float* image, const conv_geometry& g,
+                          float* col) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    const float* plane = image + c * g.in_h * g.in_w;
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        float* out = col + row * oh * ow;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * g.stride + ky - g.pad;
+          float* dst = out + oy * ow;
+          if (iy < 0 || iy >= g.in_h) {
+            std::memset(dst, 0, static_cast<std::size_t>(ow) * sizeof(float));
+            continue;
+          }
+          const float* src = plane + iy * g.in_w;
+          if (g.stride == 1) {
+            // ix = ox + kx - pad: zeros where ix < 0 or ix >= in_w, one
+            // contiguous copy in between.
+            const std::int64_t ix0 = kx - g.pad;
+            const std::int64_t lo =
+                std::min(ow, ix0 < 0 ? -ix0 : std::int64_t{0});
+            const std::int64_t hi = std::max(lo, std::min(ow, g.in_w - ix0));
+            if (lo > 0) {
+              std::memset(dst, 0,
+                          static_cast<std::size_t>(lo) * sizeof(float));
+            }
+            if (hi > lo) {
+              std::memcpy(dst + lo, src + ix0 + lo,
+                          static_cast<std::size_t>(hi - lo) * sizeof(float));
+            }
+            if (ow > hi) {
+              std::memset(dst + hi, 0,
+                          static_cast<std::size_t>(ow - hi) * sizeof(float));
+            }
+          } else {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              const std::int64_t ix = ox * g.stride + kx - g.pad;
+              dst[ox] = (ix >= 0 && ix < g.in_w) ? src[ix] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// col2im with the contiguous stride-1 interior routed through `add_rows`
+/// (dst[i] += src[i] for i in [0, n)), which each ISA vectorizes. Every
+/// destination element receives its additions in the same fixed
+/// (c, ky, kx, oy) order regardless of ISA, so results stay bitwise
+/// identical.
+template <typename AddRows>
+inline void col2im_impl(const float* col, const conv_geometry& g,
+                        float* image, AddRows add_rows) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    float* plane = image + c * g.in_h * g.in_w;
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const float* src = col + row * oh * ow;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* dst = plane + iy * g.in_w;
+          if (g.stride == 1) {
+            const std::int64_t ix0 = kx - g.pad;
+            const std::int64_t lo =
+                std::min(ow, ix0 < 0 ? -ix0 : std::int64_t{0});
+            const std::int64_t hi = std::max(lo, std::min(ow, g.in_w - ix0));
+            if (hi > lo) {
+              add_rows(dst + ix0 + lo, src + oy * ow + lo, hi - lo);
+            }
+          } else {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              const std::int64_t ix = ox * g.stride + kx - g.pad;
+              if (ix >= 0 && ix < g.in_w) dst[ix] += src[oy * ow + ox];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+inline void add_rows_generic(float* dst, const float* src, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+inline void col2im_generic(const float* col, const conv_geometry& g,
+                           float* image) {
+  col2im_impl(col, g, image, add_rows_generic);
+}
+
+}  // namespace dv::simd_detail

@@ -1,0 +1,239 @@
+// SSE2 dispatch table. SSE2 is part of the x86-64 baseline, so this TU
+// needs no extra compiler flags; on non-x86 targets it degrades to the
+// generic implementations (and the level is never selected, because the
+// cpuid probe reports sse2=false there).
+//
+// Reductions run the canonical 8-lane order as four 2-wide double
+// accumulators; the micro-kernel processes the 4x16 tile in four 4-column
+// passes. No FMA anywhere (see DESIGN.md §12).
+#include "tensor/simd/kernels_generic.h"
+#include "tensor/simd/simd.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace dv {
+namespace {
+
+/// Low / high float pairs widened to double: lanes {0,1} and {2,3}.
+__m128d lo_pd(__m128 v) { return _mm_cvtps_pd(v); }
+__m128d hi_pd(__m128 v) { return _mm_cvtps_pd(_mm_movehl_ps(v, v)); }
+
+/// l0 + l1 of one 2-wide accumulator.
+double pair_sum(__m128d v) {
+  return _mm_cvtsd_f64(v) + _mm_cvtsd_f64(_mm_unpackhi_pd(v, v));
+}
+
+/// Canonical fold: (((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))) + tail.
+double fold8(const __m128d* acc, double tail) {
+  return ((pair_sum(acc[0]) + pair_sum(acc[1])) +
+          (pair_sum(acc[2]) + pair_sum(acc[3]))) +
+         tail;
+}
+
+void gemm_micro_sse2(std::int64_t kc, const float* ap, const float* bp,
+                     float* acc) {
+  // Four passes over the K panel, one per 4-column quarter: keeps the
+  // live register set at 4 accumulators + a + b (the panels are L1
+  // resident, so the re-reads are cheap).
+  for (std::int64_t q = 0; q < 4; ++q) {
+    float* acc0 = acc + 0 * simd_gemm_nr + q * 4;
+    float* acc1 = acc + 1 * simd_gemm_nr + q * 4;
+    float* acc2 = acc + 2 * simd_gemm_nr + q * 4;
+    float* acc3 = acc + 3 * simd_gemm_nr + q * 4;
+    __m128 c0 = _mm_loadu_ps(acc0);
+    __m128 c1 = _mm_loadu_ps(acc1);
+    __m128 c2 = _mm_loadu_ps(acc2);
+    __m128 c3 = _mm_loadu_ps(acc3);
+    const float* b = bp + q * 4;
+    for (std::int64_t p = 0; p < kc; ++p) {
+      const __m128 bv = _mm_loadu_ps(b + p * simd_gemm_nr);
+      const float* a = ap + p * simd_gemm_mr;
+      c0 = _mm_add_ps(c0, _mm_mul_ps(_mm_set1_ps(a[0]), bv));
+      c1 = _mm_add_ps(c1, _mm_mul_ps(_mm_set1_ps(a[1]), bv));
+      c2 = _mm_add_ps(c2, _mm_mul_ps(_mm_set1_ps(a[2]), bv));
+      c3 = _mm_add_ps(c3, _mm_mul_ps(_mm_set1_ps(a[3]), bv));
+    }
+    _mm_storeu_ps(acc0, c0);
+    _mm_storeu_ps(acc1, c1);
+    _mm_storeu_ps(acc2, c2);
+    _mm_storeu_ps(acc3, c3);
+  }
+}
+
+double squared_distance_sse2(const float* a, const float* b, std::int64_t n) {
+  __m128d acc[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                    _mm_setzero_pd()};
+  const std::int64_t n8 = n - n % simd_reduce_lanes;
+  for (std::int64_t i = 0; i < n8; i += simd_reduce_lanes) {
+    const __m128 af0 = _mm_loadu_ps(a + i);
+    const __m128 af1 = _mm_loadu_ps(a + i + 4);
+    const __m128 bf0 = _mm_loadu_ps(b + i);
+    const __m128 bf1 = _mm_loadu_ps(b + i + 4);
+    const __m128d d0 = _mm_sub_pd(lo_pd(af0), lo_pd(bf0));
+    const __m128d d1 = _mm_sub_pd(hi_pd(af0), hi_pd(bf0));
+    const __m128d d2 = _mm_sub_pd(lo_pd(af1), lo_pd(bf1));
+    const __m128d d3 = _mm_sub_pd(hi_pd(af1), hi_pd(bf1));
+    acc[0] = _mm_add_pd(acc[0], _mm_mul_pd(d0, d0));
+    acc[1] = _mm_add_pd(acc[1], _mm_mul_pd(d1, d1));
+    acc[2] = _mm_add_pd(acc[2], _mm_mul_pd(d2, d2));
+    acc[3] = _mm_add_pd(acc[3], _mm_mul_pd(d3, d3));
+  }
+  double tail = 0.0;
+  for (std::int64_t i = n8; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    tail += d * d;
+  }
+  return fold8(acc, tail);
+}
+
+void squared_distance_row_sse2(const float* x, const float* rows,
+                               std::int64_t m, std::int64_t d, double* out) {
+  for (std::int64_t j = 0; j < m; ++j) {
+    out[j] = squared_distance_sse2(x, rows + j * d, d);
+  }
+}
+
+double dot_sse2(const float* a, const float* b, std::int64_t n) {
+  __m128d acc[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                    _mm_setzero_pd()};
+  const std::int64_t n8 = n - n % simd_reduce_lanes;
+  for (std::int64_t i = 0; i < n8; i += simd_reduce_lanes) {
+    const __m128 af0 = _mm_loadu_ps(a + i);
+    const __m128 af1 = _mm_loadu_ps(a + i + 4);
+    const __m128 bf0 = _mm_loadu_ps(b + i);
+    const __m128 bf1 = _mm_loadu_ps(b + i + 4);
+    acc[0] = _mm_add_pd(acc[0], _mm_mul_pd(lo_pd(af0), lo_pd(bf0)));
+    acc[1] = _mm_add_pd(acc[1], _mm_mul_pd(hi_pd(af0), hi_pd(bf0)));
+    acc[2] = _mm_add_pd(acc[2], _mm_mul_pd(lo_pd(af1), lo_pd(bf1)));
+    acc[3] = _mm_add_pd(acc[3], _mm_mul_pd(hi_pd(af1), hi_pd(bf1)));
+  }
+  double tail = 0.0;
+  for (std::int64_t i = n8; i < n; ++i) {
+    tail += static_cast<double>(a[i]) * b[i];
+  }
+  return fold8(acc, tail);
+}
+
+double dot_f64_sse2(const double* a, const double* b, std::int64_t n) {
+  __m128d acc[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                    _mm_setzero_pd()};
+  const std::int64_t n8 = n - n % simd_reduce_lanes;
+  for (std::int64_t i = 0; i < n8; i += simd_reduce_lanes) {
+    acc[0] = _mm_add_pd(acc[0], _mm_mul_pd(_mm_loadu_pd(a + i),
+                                           _mm_loadu_pd(b + i)));
+    acc[1] = _mm_add_pd(acc[1], _mm_mul_pd(_mm_loadu_pd(a + i + 2),
+                                           _mm_loadu_pd(b + i + 2)));
+    acc[2] = _mm_add_pd(acc[2], _mm_mul_pd(_mm_loadu_pd(a + i + 4),
+                                           _mm_loadu_pd(b + i + 4)));
+    acc[3] = _mm_add_pd(acc[3], _mm_mul_pd(_mm_loadu_pd(a + i + 6),
+                                           _mm_loadu_pd(b + i + 6)));
+  }
+  double tail = 0.0;
+  for (std::int64_t i = n8; i < n; ++i) tail += a[i] * b[i];
+  return fold8(acc, tail);
+}
+
+double l1_distance_sse2(const float* a, const float* b, std::int64_t n) {
+  const __m128d sign = _mm_set1_pd(-0.0);
+  __m128d acc[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                    _mm_setzero_pd()};
+  const std::int64_t n8 = n - n % simd_reduce_lanes;
+  for (std::int64_t i = 0; i < n8; i += simd_reduce_lanes) {
+    const __m128 af0 = _mm_loadu_ps(a + i);
+    const __m128 af1 = _mm_loadu_ps(a + i + 4);
+    const __m128 bf0 = _mm_loadu_ps(b + i);
+    const __m128 bf1 = _mm_loadu_ps(b + i + 4);
+    const __m128d d0 = _mm_sub_pd(lo_pd(af0), lo_pd(bf0));
+    const __m128d d1 = _mm_sub_pd(hi_pd(af0), hi_pd(bf0));
+    const __m128d d2 = _mm_sub_pd(lo_pd(af1), lo_pd(bf1));
+    const __m128d d3 = _mm_sub_pd(hi_pd(af1), hi_pd(bf1));
+    acc[0] = _mm_add_pd(acc[0], _mm_andnot_pd(sign, d0));
+    acc[1] = _mm_add_pd(acc[1], _mm_andnot_pd(sign, d1));
+    acc[2] = _mm_add_pd(acc[2], _mm_andnot_pd(sign, d2));
+    acc[3] = _mm_add_pd(acc[3], _mm_andnot_pd(sign, d3));
+  }
+  double tail = 0.0;
+  for (std::int64_t i = n8; i < n; ++i) {
+    tail += std::fabs(static_cast<double>(a[i]) - b[i]);
+  }
+  return fold8(acc, tail);
+}
+
+double array_sum_sse2(const float* x, std::int64_t n) {
+  __m128d acc[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                    _mm_setzero_pd()};
+  const std::int64_t n8 = n - n % simd_reduce_lanes;
+  for (std::int64_t i = 0; i < n8; i += simd_reduce_lanes) {
+    const __m128 xf0 = _mm_loadu_ps(x + i);
+    const __m128 xf1 = _mm_loadu_ps(x + i + 4);
+    acc[0] = _mm_add_pd(acc[0], lo_pd(xf0));
+    acc[1] = _mm_add_pd(acc[1], hi_pd(xf0));
+    acc[2] = _mm_add_pd(acc[2], lo_pd(xf1));
+    acc[3] = _mm_add_pd(acc[3], hi_pd(xf1));
+  }
+  double tail = 0.0;
+  for (std::int64_t i = n8; i < n; ++i) tail += static_cast<double>(x[i]);
+  return fold8(acc, tail);
+}
+
+void add_scalar_sse2(float* x, std::int64_t n, float c) {
+  const __m128 cv = _mm_set1_ps(c);
+  const std::int64_t n4 = n - n % 4;
+  for (std::int64_t i = 0; i < n4; i += 4) {
+    _mm_storeu_ps(x + i, _mm_add_ps(_mm_loadu_ps(x + i), cv));
+  }
+  for (std::int64_t i = n4; i < n; ++i) x[i] += c;
+}
+
+void add_rows_sse2(float* dst, const float* src, std::int64_t n) {
+  const std::int64_t n4 = n - n % 4;
+  for (std::int64_t i = 0; i < n4; i += 4) {
+    _mm_storeu_ps(dst + i,
+                  _mm_add_ps(_mm_loadu_ps(dst + i), _mm_loadu_ps(src + i)));
+  }
+  for (std::int64_t i = n4; i < n; ++i) dst[i] += src[i];
+}
+
+void col2im_sse2(const float* col, const conv_geometry& g, float* image) {
+  simd_detail::col2im_impl(col, g, image, add_rows_sse2);
+}
+
+}  // namespace
+}  // namespace dv
+
+#endif  // __SSE2__
+
+namespace dv {
+
+extern const simd_kernel_table k_simd_table_sse2;
+
+const simd_kernel_table k_simd_table_sse2 = {
+    simd_level::sse2,
+#if defined(__SSE2__)
+    gemm_micro_sse2,
+    simd_detail::im2col_shared,
+    col2im_sse2,
+    add_scalar_sse2,
+    array_sum_sse2,
+    squared_distance_sse2,
+    squared_distance_row_sse2,
+    dot_sse2,
+    dot_f64_sse2,
+    l1_distance_sse2,
+#else
+    simd_detail::gemm_micro_generic,
+    simd_detail::im2col_shared,
+    simd_detail::col2im_generic,
+    simd_detail::add_scalar_generic,
+    simd_detail::array_sum_generic,
+    simd_detail::squared_distance_generic,
+    simd_detail::squared_distance_row_generic,
+    simd_detail::dot_generic,
+    simd_detail::dot_f64_generic,
+    simd_detail::l1_distance_generic,
+#endif
+};
+
+}  // namespace dv

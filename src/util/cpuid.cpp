@@ -1,0 +1,20 @@
+#include "util/cpuid.h"
+
+namespace dv {
+
+const cpu_features& cpu_features_probe() {
+  static const cpu_features features = [] {
+    cpu_features out{};
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    __builtin_cpu_init();
+    out.sse2 = __builtin_cpu_supports("sse2") != 0;
+    out.avx2 = __builtin_cpu_supports("avx2") != 0;
+    out.fma = __builtin_cpu_supports("fma") != 0;
+#endif
+    return out;
+  }();
+  return features;
+}
+
+}  // namespace dv

@@ -1,0 +1,20 @@
+// One-time CPU feature probe backing the SIMD dispatch table
+// (tensor/simd/simd.h). The probe runs once, on first use, and caches the
+// result for the lifetime of the process; dispatch decisions therefore
+// never change after startup.
+#pragma once
+
+namespace dv {
+
+/// Instruction-set features relevant to the kernel layer. On non-x86
+/// targets every field is false and the scalar kernels are used.
+struct cpu_features {
+  bool sse2{false};
+  bool avx2{false};
+  bool fma{false};
+};
+
+/// Probes the host CPU once and returns the cached result thereafter.
+const cpu_features& cpu_features_probe();
+
+}  // namespace dv

@@ -1,0 +1,10 @@
+// Fixture: vendor intrinsics outside src/tensor/simd/ must go through
+// the dispatch table.
+#include <immintrin.h>
+
+namespace dv {
+float first_lane(const float* x) {
+  __m128 v = _mm_loadu_ps(x);
+  return _mm_cvtss_f32(v);
+}
+}  // namespace dv

@@ -1,0 +1,11 @@
+// Fixture: the simd check is a path rule — the same intrinsics are fine
+// under src/tensor/simd/ (this file lints under that pseudo-path) — and
+// an explicit waiver silences it elsewhere.
+#include "tensor/simd/simd.h"
+
+namespace dv {
+void waived(float* x) {
+  // dv-lint: allow(simd) pinning one lane for a regression repro
+  __m128_like_helper(x);
+}
+}  // namespace dv

@@ -175,6 +175,40 @@ TEST(dv_lint, capture_local_state_passes) {
   EXPECT_EQ(dv_lint::format(dv_lint::lint_source("src/x.cpp", src)), "");
 }
 
+TEST(dv_lint, simd_golden) {
+  EXPECT_EQ(
+      lint_fixture("src/bad_simd.cpp"),
+      "src/bad_simd.cpp:3: [simd] intrinsics header 'immintrin.h' included "
+      "outside src/tensor/simd/; add an ISA variant to the dispatch table "
+      "(tensor/simd/simd.h) so the DV_SIMD bitwise-identity contract "
+      "holds\n"
+      "src/bad_simd.cpp:7: [simd] intrinsic '__m128' used outside "
+      "src/tensor/simd/; route it through the dispatch table "
+      "(tensor/simd/simd.h)\n"
+      "src/bad_simd.cpp:7: [simd] intrinsic '_mm_loadu_ps' used outside "
+      "src/tensor/simd/; route it through the dispatch table "
+      "(tensor/simd/simd.h)\n"
+      "src/bad_simd.cpp:8: [simd] intrinsic '_mm_cvtss_f32' used outside "
+      "src/tensor/simd/; route it through the dispatch table "
+      "(tensor/simd/simd.h)\n");
+}
+
+TEST(dv_lint, simd_waiver_and_home_path_pass) {
+  // The waiver fixture lints clean outside the simd home...
+  EXPECT_EQ(lint_fixture("src/simd_ok.cpp"), "");
+  // ...and the same intrinsics are fine under src/tensor/simd/.
+  const std::string src =
+      "#include <immintrin.h>\n"
+      "namespace dv {\n"
+      "float f(const float* x) { return _mm_cvtss_f32(_mm_loadu_ps(x)); }\n"
+      "}\n";
+  EXPECT_EQ(dv_lint::format(dv_lint::lint_source(
+                "src/tensor/simd/kernels_avx2.cpp", src)),
+            "");
+  EXPECT_NE(
+      dv_lint::format(dv_lint::lint_source("src/detect/fast.cpp", src)), "");
+}
+
 // ---------------------------------------------------------------------------
 // Lexer robustness: banned tokens in comments/strings never fire, and
 // context decides between calls and members.

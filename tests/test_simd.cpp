@@ -1,0 +1,323 @@
+// Tests of the SIMD dispatch layer (tensor/simd/simd.h): level selection
+// and DV_SIMD startup semantics, plus the bitwise-identity contract — every
+// supported dispatch level must produce byte-identical results for GEMM,
+// conv2d forward/backward, RBF kernel rows, decision_batch, the reduction
+// primitives, and full deep_validator scores, across DV_THREADS {1, 8}.
+// Levels the host cannot run are skipped, never failed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/deep_validator.h"
+#include "nn/layers.h"
+#include "svm/kernel.h"
+#include "svm/one_class_svm.h"
+#include "tensor/ops.h"
+#include "tensor/simd/simd.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace dv {
+namespace {
+
+/// Restores the startup dispatch level and thread count when a test exits.
+struct simd_state_guard {
+  ~simd_state_guard() {
+    reset_simd_level();
+    set_thread_count(0);
+  }
+};
+
+/// Every level this host can actually run, widest last. Always contains
+/// at least scalar.
+std::vector<simd_level> supported_levels() {
+  std::vector<simd_level> out;
+  for (const auto level :
+       {simd_level::scalar, simd_level::sse2, simd_level::avx2}) {
+    if (simd_level_supported(level)) out.push_back(level);
+  }
+  return out;
+}
+
+/// Runs `fn` under a forced (level, threads) pair and returns its result.
+template <typename Fn>
+auto at_level(simd_level level, int threads, Fn&& fn) {
+  set_simd_level(level);
+  set_thread_count(threads);
+  return fn();
+}
+
+bool bitwise_equal(const tensor& a, const tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+// -- Dispatch mechanics ------------------------------------------------------------
+
+TEST(SimdDispatch, ScalarAlwaysSupportedAndSetTracksActiveLevel) {
+  simd_state_guard guard;
+  EXPECT_TRUE(simd_level_supported(simd_level::scalar));
+  for (const auto level : supported_levels()) {
+    set_simd_level(level);
+    EXPECT_EQ(active_simd_level(), level);
+    EXPECT_EQ(simd_kernels().level, level);
+  }
+  EXPECT_EQ(simd_level_name(simd_level::scalar), "scalar");
+  EXPECT_EQ(simd_level_name(simd_level::sse2), "sse2");
+  EXPECT_EQ(simd_level_name(simd_level::avx2), "avx2");
+}
+
+TEST(SimdDispatch, ForcingAnUnsupportedLevelThrows) {
+  simd_state_guard guard;
+  for (const auto level : {simd_level::sse2, simd_level::avx2}) {
+    if (simd_level_supported(level)) continue;
+    EXPECT_THROW(set_simd_level(level), std::invalid_argument)
+        << simd_level_name(level);
+  }
+}
+
+TEST(SimdDispatch, StartupSelectionHonorsDvSimd) {
+  simd_state_guard guard;
+  reset_simd_level();
+  const char* env = std::getenv("DV_SIMD");
+  const std::string_view request = env == nullptr ? "auto" : env;
+  simd_level want = simd_level::scalar;
+  if (request == "scalar") {
+    want = simd_level::scalar;
+  } else if (request == "sse2") {
+    want = simd_level::sse2;
+  } else if (request == "avx2") {
+    want = simd_level::avx2;
+  } else {
+    // auto (and unknown values, which warn and fall back to auto) select
+    // the widest supported level.
+    EXPECT_EQ(active_simd_level(), supported_levels().back());
+    return;
+  }
+  if (!simd_level_supported(want)) {
+    GTEST_SKIP() << "DV_SIMD=" << request << " is not supported on this host";
+  }
+  EXPECT_EQ(active_simd_level(), want);
+}
+
+// -- Reduction primitives ----------------------------------------------------------
+
+TEST(SimdIdentity, ReductionsBitIdenticalAcrossLevels) {
+  simd_state_guard guard;
+  const auto levels = supported_levels();
+  rng gen{41};
+  // Odd lengths on both sides of the 8-lane block size, including pure-tail
+  // sizes (n < 8) and multi-block sizes with and without remainders.
+  const std::int64_t sizes[] = {1, 3, 7, 8, 9, 15, 16, 17, 64, 100, 1003};
+  for (const auto n : sizes) {
+    const tensor a = tensor::randn({n}, gen);
+    const tensor b = tensor::randn({n}, gen);
+    std::vector<double> da(static_cast<std::size_t>(n));
+    std::vector<double> db(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      da[static_cast<std::size_t>(i)] = a[i];
+      db[static_cast<std::size_t>(i)] = b[i];
+    }
+    struct result {
+      double sum, sq, dot, dot64, l1;
+      tensor shifted;
+    };
+    auto run = [&] {
+      tensor shifted = a;
+      add_scalar(shifted.data(), n, 1.25f);
+      return result{array_sum(a.data(), n),
+                    squared_distance(a.data(), b.data(), n),
+                    dot(a.data(), b.data(), n),
+                    dot_f64(da.data(), db.data(), n),
+                    l1_distance(a.data(), b.data(), n), std::move(shifted)};
+    };
+    const auto base = at_level(simd_level::scalar, 1, run);
+    for (const auto level : levels) {
+      const auto got = at_level(level, 1, run);
+      EXPECT_EQ(got.sum, base.sum) << simd_level_name(level) << " n=" << n;
+      EXPECT_EQ(got.sq, base.sq) << simd_level_name(level) << " n=" << n;
+      EXPECT_EQ(got.dot, base.dot) << simd_level_name(level) << " n=" << n;
+      EXPECT_EQ(got.dot64, base.dot64) << simd_level_name(level) << " n=" << n;
+      EXPECT_EQ(got.l1, base.l1) << simd_level_name(level) << " n=" << n;
+      EXPECT_TRUE(bitwise_equal(got.shifted, base.shifted))
+          << simd_level_name(level) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdIdentity, SquaredDistanceRowMatchesPerRowCalls) {
+  simd_state_guard guard;
+  rng gen{43};
+  const std::int64_t m = 37, d = 19;
+  const tensor x = tensor::randn({d}, gen);
+  const tensor rows = tensor::randn({m, d}, gen);
+  for (const auto level : supported_levels()) {
+    set_simd_level(level);
+    std::vector<double> batched(static_cast<std::size_t>(m));
+    squared_distance_row(x.data(), rows.data(), m, d, batched.data());
+    for (std::int64_t j = 0; j < m; ++j) {
+      const double single =
+          squared_distance(x.data(), rows.data() + j * d, d);
+      EXPECT_EQ(batched[static_cast<std::size_t>(j)], single)
+          << simd_level_name(level) << " row " << j;
+    }
+  }
+}
+
+// -- GEMM and conv2d ---------------------------------------------------------------
+
+TEST(SimdIdentity, GemmBitIdenticalAcrossLevelsAndThreads) {
+  simd_state_guard guard;
+  rng gen{47};
+  const std::int64_t m = 130, n = 97, k = 301;
+  const tensor a = tensor::randn({m, k}, gen);
+  const tensor a_t = tensor::randn({k, m}, gen);
+  const tensor b = tensor::randn({k, n}, gen);
+  const tensor b_t = tensor::randn({n, k}, gen);
+  auto run_all = [&] {
+    std::vector<tensor> out;
+    tensor c{{m, n}};
+    gemm_nn(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    out.push_back(c);
+    gemm_nt(m, n, k, 0.5f, a.data(), b_t.data(), 0.0f, c.data());
+    out.push_back(c);
+    gemm_tn(m, n, k, 1.0f, a_t.data(), b.data(), 1.0f, c.data());
+    out.push_back(c);
+    return out;
+  };
+  const auto base = at_level(simd_level::scalar, 1, run_all);
+  for (const auto level : supported_levels()) {
+    for (const int threads : {1, 8}) {
+      const auto got = at_level(level, threads, run_all);
+      ASSERT_EQ(got.size(), base.size());
+      for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_TRUE(bitwise_equal(got[i], base[i]))
+            << "gemm variant " << i << " at " << simd_level_name(level)
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(SimdIdentity, Conv2dForwardBackwardBitIdenticalAcrossLevelsAndThreads) {
+  simd_state_guard guard;
+  auto run = [&] {
+    rng gen{53};
+    conv2d conv{3, 8, 3, 1, 1, gen};
+    // Stride-1 odd spatial size exercises the memcpy im2col fast path and
+    // the col2im interior; the strided layer exercises the generic path.
+    tensor x = tensor::randn({5, 3, 13, 13}, gen);
+    tensor y = conv.forward(x, true);
+    tensor g = tensor::randn(y.shape(), gen);
+    tensor dx = conv.backward(g);
+    conv2d strided{3, 4, 3, 2, 0, gen};
+    tensor ys = strided.forward(x, true);
+    tensor gs = tensor::randn(ys.shape(), gen);
+    tensor dxs = strided.backward(gs);
+    std::vector<tensor> out{y, dx, ys, dxs};
+    for (auto& p : conv.params()) out.push_back(*p.grad);
+    for (auto& p : strided.params()) out.push_back(*p.grad);
+    return out;
+  };
+  const auto base = at_level(simd_level::scalar, 1, run);
+  for (const auto level : supported_levels()) {
+    for (const int threads : {1, 8}) {
+      const auto got = at_level(level, threads, run);
+      ASSERT_EQ(got.size(), base.size());
+      for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_TRUE(bitwise_equal(got[i], base[i]))
+            << "conv tensor " << i << " at " << simd_level_name(level)
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// -- RBF rows, kernel matrix, and the one-class SVM --------------------------------
+
+TEST(SimdIdentity, KernelMatrixAndDecisionBatchBitIdenticalAcrossLevels) {
+  simd_state_guard guard;
+  rng gen{59};
+  const tensor samples = tensor::randn({120, 9}, gen);
+  const tensor queries = tensor::randn({33, 9}, gen);
+  const double gamma = 0.05;
+  auto run = [&] {
+    const tensor k = kernel_matrix(kernel_kind::rbf, samples, gamma);
+    one_class_svm svm;
+    svm.fit(samples, {});
+    return std::make_pair(k, svm.decision_batch(queries));
+  };
+  const auto base = at_level(simd_level::scalar, 1, run);
+  // The batched row evaluation must also match the per-pair kernel exactly.
+  const std::int64_t d = samples.extent(1);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    for (std::int64_t j = 0; j <= i; ++j) {
+      EXPECT_EQ(base.first[i * samples.extent(0) + j],
+                static_cast<float>(rbf_kernel(samples.data() + i * d,
+                                              samples.data() + j * d, d,
+                                              gamma)));
+    }
+  }
+  for (const auto level : supported_levels()) {
+    for (const int threads : {1, 8}) {
+      const auto got = at_level(level, threads, run);
+      EXPECT_TRUE(bitwise_equal(got.first, base.first))
+          << "kernel matrix at " << simd_level_name(level)
+          << " threads=" << threads;
+      ASSERT_EQ(got.second.size(), base.second.size());
+      for (std::size_t i = 0; i < base.second.size(); ++i) {
+        EXPECT_EQ(got.second[i], base.second[i])
+            << "decision of query " << i << " at " << simd_level_name(level)
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// -- End-to-end: deep_validator scores ---------------------------------------------
+
+TEST(SimdIdentity, DeepValidatorScoresBitIdenticalAcrossLevelsAndThreads) {
+  simd_state_guard guard;
+  const auto& world = dv::testing::shared_tiny_world();
+  const tensor batch = world.test.images.slice_rows(0, 12);
+  auto run = [&] {
+    deep_validator validator;
+    deep_validator_config cfg;
+    cfg.max_train_per_class = 30;
+    validator.fit(*world.model, world.train, cfg);
+    return validator.evaluate(*world.model, batch);
+  };
+  const auto base = at_level(simd_level::scalar, 1, run);
+  for (const auto level : supported_levels()) {
+    // The DV_THREADS axis of this end-to-end matrix: serial for every
+    // level, threaded only for the widest (test_parallel.cpp already
+    // sweeps the thread axis exhaustively at the startup level).
+    std::vector<int> thread_counts{1};
+    if (level == supported_levels().back()) thread_counts.push_back(8);
+    for (const int threads : thread_counts) {
+      const auto got = at_level(level, threads, run);
+      ASSERT_EQ(got.joint.size(), base.joint.size());
+      for (std::size_t i = 0; i < base.joint.size(); ++i) {
+        EXPECT_EQ(got.joint[i], base.joint[i])
+            << "joint discrepancy of image " << i << " at "
+            << simd_level_name(level) << " threads=" << threads;
+        EXPECT_EQ(got.predictions[i], base.predictions[i]);
+      }
+      ASSERT_EQ(got.per_layer.size(), base.per_layer.size());
+      for (std::size_t v = 0; v < base.per_layer.size(); ++v) {
+        for (std::size_t i = 0; i < base.per_layer[v].size(); ++i) {
+          EXPECT_EQ(got.per_layer[v][i], base.per_layer[v][i]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dv

@@ -491,6 +491,57 @@ void check_hygiene(const file_ctx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// simd: vendor intrinsics live only under src/tensor/simd/; everything
+// else reaches them through the dispatch table (tensor/simd/simd.h), so
+// every kernel keeps scalar/sse2/avx2 variants with the bitwise-identity
+// contract.
+
+/// Parses a pp directive's text as `#include <path>` or `#include "path"`;
+/// returns the spelled path or "" for any other directive.
+std::string include_any_path(const std::string& text) {
+  std::size_t p = text.find_first_not_of(" \t");
+  if (p == std::string::npos || text[p] != '#') return {};
+  p = text.find_first_not_of(" \t", p + 1);
+  if (p == std::string::npos || text.compare(p, 7, "include") != 0) return {};
+  p = text.find_first_not_of(" \t", p + 7);
+  if (p == std::string::npos) return {};
+  const char open = text[p];
+  const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+  if (close == '\0') return {};
+  const std::size_t end = text.find(close, p + 1);
+  if (end == std::string::npos) return {};
+  return text.substr(p + 1, end - p - 1);
+}
+
+void check_simd(const file_ctx& ctx) {
+  if (starts_with(ctx.rel_path, "src/tensor/simd/")) return;
+  static const std::unordered_set<std::string> intrinsic_headers = {
+      "immintrin.h", "x86intrin.h", "x86gprintrin.h", "emmintrin.h",
+      "xmmintrin.h", "pmmintrin.h", "tmmintrin.h",    "smmintrin.h",
+      "nmmintrin.h", "wmmintrin.h", "ammintrin.h",    "arm_neon.h"};
+  for (const token& t : ctx.lx->tokens) {
+    if (t.kind == token_kind::pp_directive) {
+      const std::string spelled = include_any_path(t.text);
+      if (intrinsic_headers.count(spelled) != 0) {
+        ctx.report(t.line, "simd",
+                   "intrinsics header '" + spelled +
+                       "' included outside src/tensor/simd/; add an ISA "
+                       "variant to the dispatch table (tensor/simd/simd.h) "
+                       "so the DV_SIMD bitwise-identity contract holds");
+      }
+      continue;
+    }
+    if (t.kind != token_kind::identifier) continue;
+    if (starts_with(t.text, "_mm") || starts_with(t.text, "__m")) {
+      ctx.report(t.line, "simd",
+                 "intrinsic '" + t.text +
+                     "' used outside src/tensor/simd/; route it through "
+                     "the dispatch table (tensor/simd/simd.h)");
+    }
+  }
+}
+
 std::vector<violation> lint_lexed(const std::string& rel_path,
                                   const lex_result& lx) {
   std::vector<violation> out;
@@ -499,6 +550,7 @@ std::vector<violation> lint_lexed(const std::string& rel_path,
   check_thread_safety(ctx);
   check_metrics_gating(ctx);
   check_hygiene(ctx);
+  check_simd(ctx);
   const auto captures = check_captures(rel_path, lx);
   out.insert(out.end(), captures.begin(), captures.end());
   std::stable_sort(out.begin(), out.end(),

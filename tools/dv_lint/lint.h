@@ -8,6 +8,8 @@
 //   metrics-gating — dv::metrics handles null-guarded outside src/util
 //   hygiene        — #pragma once, no `using namespace` in headers,
 //                    no sprintf/strcpy/atoi-style libc calls
+//   simd           — vendor intrinsics (<immintrin.h>, _mm*/__m*) only
+//                    under src/tensor/simd/; use the dispatch table
 //   capture        — by-ref captures written in parallel_for lambdas
 //                    without loop-local indexing (capture_check.h)
 //
