@@ -19,6 +19,7 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <future>
 #include <mutex>
 #include <string>
@@ -33,9 +34,11 @@
 #include "nn/model.h"
 #include "nn/trainer.h"
 #include "serve/monitor_service.h"
+#include "tensor/simd/simd.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/rng.h"
+#include "util/strong_lru.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -112,6 +115,41 @@ struct scenario_result {
   double fps{0.0};
   double speedup{0.0};
   latency_stats latency;
+  serve_metrics worker;
+};
+
+/// dv_cache_* counter totals for one run (docs/CACHING.md).
+struct cache_counters {
+  std::uint64_t activation_hits{0};
+  std::uint64_t activation_misses{0};
+  std::uint64_t decision_hits{0};
+  std::uint64_t decision_misses{0};
+};
+
+cache_counters read_cache_counters() {
+  cache_counters out;
+  for (const auto& s : metrics::collect().samples) {
+    const auto v = static_cast<std::uint64_t>(s.value);
+    if (s.name == "dv_cache_hits_total{cache=\"activation\"}") {
+      out.activation_hits = v;
+    } else if (s.name == "dv_cache_misses_total{cache=\"activation\"}") {
+      out.activation_misses = v;
+    } else if (s.name == "dv_cache_hits_total{cache=\"decision\"}") {
+      out.decision_hits = v;
+    } else if (s.name == "dv_cache_misses_total{cache=\"decision\"}") {
+      out.decision_misses = v;
+    }
+  }
+  return out;
+}
+
+/// One run of the duplicate-heavy stream: throughput + cache counters.
+struct dup_result {
+  std::string mode;  // "burst" | "paced"
+  bool cached{false};
+  double offered_fps{0.0};
+  double fps{0.0};
+  cache_counters counters;
   serve_metrics worker;
 };
 
@@ -252,9 +290,42 @@ scenario_result run_scenario(bench_world& w, const deep_validator& validator,
   return out;
 }
 
+/// Duplicate-heavy stream run (docs/CACHING.md): throughput pass only —
+/// the interesting numbers are fps under a fixed offered load and the
+/// activation/decision cache hit/miss totals.
+dup_result run_duplicate(bench_world& w, const deep_validator& validator,
+                         const std::vector<tensor>& frames, int max_batch,
+                         double offered_fps, bool cached) {
+  set_cache_enabled(cached);
+  metrics::reset();
+  dup_result out;
+  out.mode = offered_fps > 0.0 ? "paced" : "burst";
+  out.cached = cached;
+  out.offered_fps = offered_fps;
+
+  runtime_monitor monitor{*w.model, validator};
+  serve_config cfg;
+  cfg.batch.max_batch = max_batch;
+  cfg.max_delay = std::chrono::microseconds{500};
+  cfg.queue_capacity = frames.size() + 1;  // pacing never blocks on submit
+  monitor_service service{*w.model, monitor, cfg};
+
+  const auto start = clock_type::now();
+  auto futures = submit_all(service, frames, offered_fps, start);
+  service.flush();
+  out.fps = static_cast<double>(frames.size()) /
+            seconds_between(start, clock_type::now());
+  out.counters = read_cache_counters();
+  out.worker = read_serve_metrics();
+  return out;
+}
+
 void write_json(const char* path, int n_frames, int dv_threads,
                 double baseline_fps, const latency_stats& baseline_latency,
-                const std::vector<scenario_result>& scenarios) {
+                const std::vector<scenario_result>& scenarios,
+                std::int64_t dup_repeat,
+                const std::vector<dup_result>& dup_runs,
+                double dup_paced_fps_ratio) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_serve: cannot write %s\n", path);
@@ -263,8 +334,11 @@ void write_json(const char* path, int n_frames, int dv_threads,
   std::fprintf(f, "{\n  \"bench\": \"bench_serve\",\n");
   std::fprintf(f,
                "  \"config\": {\"frames\": %d, \"max_delay_us\": 500, "
-               "\"dv_threads\": %d},\n",
-               n_frames, dv_threads);
+               "\"dv_threads\": %d, \"dv_simd_dispatch_level\": \"%s\", "
+               "\"dv_cache_capacity\": %llu},\n",
+               n_frames, dv_threads,
+               std::string{simd_level_name(active_simd_level())}.c_str(),
+               static_cast<unsigned long long>(cache_capacity()));
   std::fprintf(f,
                "  \"baseline\": {\"mode\": \"observe_per_frame\", "
                "\"fps\": %.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
@@ -285,7 +359,27 @@ void write_json(const char* path, int n_frames, int dv_threads,
         s.worker.mean_batch, s.worker.wait_mean_ms, s.worker.wait_p99_bucket_ms,
         i + 1 < scenarios.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"duplicate_stream\": {\"repeat\": %lld, \"max_batch\": 8, "
+               "\"paced_fps_ratio_on_vs_off\": %.3f, \"runs\": [\n",
+               static_cast<long long>(dup_repeat), dup_paced_fps_ratio);
+  for (std::size_t i = 0; i < dup_runs.size(); ++i) {
+    const auto& r = dup_runs[i];
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"cache\": \"%s\", \"offered_fps\": %.2f, "
+        "\"fps\": %.2f, \"activation_hits\": %llu, "
+        "\"activation_misses\": %llu, \"decision_hits\": %llu, "
+        "\"decision_misses\": %llu, \"mean_batch\": %.2f}%s\n",
+        r.mode.c_str(), r.cached ? "on" : "off", r.offered_fps, r.fps,
+        static_cast<unsigned long long>(r.counters.activation_hits),
+        static_cast<unsigned long long>(r.counters.activation_misses),
+        static_cast<unsigned long long>(r.counters.decision_hits),
+        static_cast<unsigned long long>(r.counters.decision_misses),
+        r.worker.mean_batch, i + 1 < dup_runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]}\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -297,6 +391,10 @@ int main() {
   set_log_level(log_level::warn);
   // The worker-side batch/wait histograms are part of the report.
   metrics::set_enabled(true);
+  // The classic scenarios run with caching off so their numbers stay
+  // comparable to earlier recordings; the duplicate-stream section below
+  // toggles the caches explicitly.
+  set_cache_enabled(false);
 
   std::printf("training tiny model...\n");
   bench_world w = make_world();
@@ -357,7 +455,60 @@ int main() {
       "queueing;\n paced offers 70%% of the baseline frame rate, so wait is "
       "bounded by max_delay)\n");
 
+  // Duplicate-heavy stream (docs/CACHING.md): every distinct frame
+  // repeats DV_BENCH_DUP_REPEAT times in a row, like a near-static
+  // camera, and the stream cycles over kDupDistinct distinct frames so
+  // scenes also recur across batches. Run-length duplicates exercise
+  // in-batch dedup; the cross-batch recurrences exercise cache hits.
+  // Uncached burst capacity is measured first; the paced pair is then
+  // offered 3x that capacity, so the uncached run is capacity-limited
+  // while the cached run can follow the offered rate — the fps ratio is
+  // the cache's end-to-end win.
+  std::int64_t dup_repeat = 8;
+  if (const char* raw = std::getenv("DV_BENCH_DUP_REPEAT")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(raw, &end, 10);
+    if (end != raw && *end == '\0' && parsed > 0) dup_repeat = parsed;
+  }
+  constexpr std::int64_t kDupDistinct = 8;
+  std::vector<tensor> dup_frames;
+  dup_frames.reserve(kFrames);
+  for (int i = 0; i < kFrames; ++i) {
+    dup_frames.push_back(w.test.images.sample(
+        (i / dup_repeat) % std::min<std::int64_t>(kDupDistinct,
+                                                  w.test.size())));
+  }
+  std::vector<dup_result> dup_runs;
+  dup_runs.push_back(
+      run_duplicate(w, validator, dup_frames, 8, 0.0, /*cached=*/false));
+  dup_runs.push_back(
+      run_duplicate(w, validator, dup_frames, 8, 0.0, /*cached=*/true));
+  const double dup_offered = 3.0 * dup_runs[0].fps;
+  dup_runs.push_back(run_duplicate(w, validator, dup_frames, 8, dup_offered,
+                                   /*cached=*/false));
+  dup_runs.push_back(run_duplicate(w, validator, dup_frames, 8, dup_offered,
+                                   /*cached=*/true));
+  const double dup_ratio = dup_runs[3].fps / dup_runs[2].fps;
+  set_cache_enabled(true);
+
+  text_table dup_table{{"Mode", "Cache", "Offered fps", "fps", "Act hits",
+                        "Act misses", "Dec hits", "Dec misses"}};
+  for (const auto& r : dup_runs) {
+    dup_table.add_row(
+        {r.mode, r.cached ? "on" : "off",
+         r.offered_fps > 0.0 ? text_table::fmt(r.offered_fps, 1) : "max",
+         text_table::fmt(r.fps, 1),
+         std::to_string(r.counters.activation_hits),
+         std::to_string(r.counters.activation_misses),
+         std::to_string(r.counters.decision_hits),
+         std::to_string(r.counters.decision_misses)});
+  }
+  std::printf("\nduplicate-heavy stream (repeat=%lld, max_batch=8):\n%s",
+              static_cast<long long>(dup_repeat),
+              dup_table.render().c_str());
+  std::printf("paced fps ratio cache on/off: %.2fx\n", dup_ratio);
+
   write_json("BENCH_serve.json", kFrames, thread_count(), baseline_fps,
-             baseline_latency, scenarios);
+             baseline_latency, scenarios, dup_repeat, dup_runs, dup_ratio);
   return 0;
 }

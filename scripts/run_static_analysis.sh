@@ -45,7 +45,10 @@ tidy_stage() {
 # Sanitizer runs sweep the SIMD dispatch axis: always DV_SIMD=scalar, and
 # additionally DV_SIMD=avx2 when the host supports it, so the vector
 # kernels get sanitizer coverage too (the env matrix in tests/ covers
-# correctness; this covers memory/threading behavior per ISA).
+# correctness; this covers memory/threading behavior per ISA). Each level
+# also sweeps the caching axis (DV_CACHE off/on, docs/CACHING.md) so the
+# cached scoring paths — hash, probe, dedup, eviction — run under the
+# sanitizers alongside the uncached paths they must match.
 simd_levels() {
   echo scalar
   if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
@@ -55,11 +58,14 @@ simd_levels() {
 
 sanitized_ctest() {
   local dir="$1"
-  local level
+  local level cache
   for level in $(simd_levels); do
-    echo "-- ctest (${dir}) under DV_SIMD=${level}"
-    DV_SIMD="${level}" ctest --test-dir "${dir}" --output-on-failure ||
-      return 1
+    for cache in off on; do
+      echo "-- ctest (${dir}) under DV_SIMD=${level} DV_CACHE=${cache}"
+      DV_SIMD="${level}" DV_CACHE="${cache}" \
+        ctest --test-dir "${dir}" --output-on-failure ||
+        return 1
+    done
   done
 }
 

@@ -7,7 +7,6 @@
 #include "util/metrics.h"
 #include "util/serialize.h"
 #include "util/stopwatch.h"
-#include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace dv {
@@ -181,33 +180,39 @@ void deep_validator::score_into(const activation_batch& acts, scores& out,
   for (std::size_t v = 0; v < validators_.size(); ++v) {
     reduced[v] = acts.probe_features(probe_indices_[v], spatial_);
   }
-  // Scoring an image touches every (layer, predicted-class) SVM but
-  // writes only that image's output slots, so images within the batch
-  // parallelize with no reduction (per-image math is unchanged —
-  // bit-identical for any thread count).
-  // dv:parallel-safe(per-image disjoint output slots, SVMs read-only)
-  parallel_for(0, count, 1, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      const std::int64_t image_start_ns =
-          score_seconds != nullptr ? metrics::now_ns() : 0;
-      const auto pred = preds[static_cast<std::size_t>(i)];
-      const auto slot = static_cast<std::size_t>(base + i);
-      double joint = 0.0;
-      for (std::size_t v = 0; v < validators_.size(); ++v) {
-        const std::int64_t d = reduced[v].extent(1);
-        const double disc = validators_[v].discrepancy(
-            pred, {reduced[v].data() + i * d, static_cast<std::size_t>(d)});
-        out.per_layer[v][slot] = disc;
-        joint += disc;
-      }
-      out.joint[slot] = joint;
-      out.predictions[slot] = pred;
-      if (score_seconds != nullptr) {
-        score_seconds->observe(
-            static_cast<double>(metrics::now_ns() - image_start_ns) * 1e-9);
-      }
+  // Score one layer at a time through discrepancy_batch: the rows group
+  // by predicted class into one decision_batch per (layer, class) SVM,
+  // which parallelizes over rows internally and serves repeated probe
+  // activations from the decision cache when caching is on
+  // (docs/CACHING.md). Per-image math is unchanged — each row's value is
+  // the same discrepancy() computation, and the joint sum below folds
+  // the layers in the same ascending order as before — so scores are
+  // bit-identical to the per-image path for any DV_THREADS and cache
+  // setting. dv_validator_score_seconds observes one batched layer
+  // evaluation per sample (docs/OBSERVABILITY.md).
+  for (std::size_t v = 0; v < validators_.size(); ++v) {
+    const std::int64_t layer_start_ns =
+        score_seconds != nullptr ? metrics::now_ns() : 0;
+    const std::vector<double> disc =
+        validators_[v].discrepancy_batch(preds, reduced[v]);
+    for (std::int64_t i = 0; i < count; ++i) {
+      out.per_layer[v][static_cast<std::size_t>(base + i)] =
+          disc[static_cast<std::size_t>(i)];
     }
-  });
+    if (score_seconds != nullptr) {
+      score_seconds->observe(
+          static_cast<double>(metrics::now_ns() - layer_start_ns) * 1e-9);
+    }
+  }
+  for (std::int64_t i = 0; i < count; ++i) {
+    const auto slot = static_cast<std::size_t>(base + i);
+    double joint = 0.0;
+    for (std::size_t v = 0; v < validators_.size(); ++v) {
+      joint += out.per_layer[v][slot];
+    }
+    out.joint[slot] = joint;
+    out.predictions[slot] = preds[static_cast<std::size_t>(i)];
+  }
   if (images_scored != nullptr) {
     images_scored->add(static_cast<std::uint64_t>(count));
   }

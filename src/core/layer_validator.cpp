@@ -66,6 +66,48 @@ double layer_validator::discrepancy(std::int64_t predicted_class,
   return -svms_[static_cast<std::size_t>(predicted_class)].decision(scaled);
 }
 
+std::vector<double> layer_validator::discrepancy_batch(
+    const std::vector<std::int64_t>& predicted_classes,
+    const tensor& features) const {
+  if (!fitted()) throw std::logic_error{"layer_validator: not fitted"};
+  if (features.dim() != 2 ||
+      static_cast<std::size_t>(features.extent(0)) !=
+          predicted_classes.size()) {
+    throw std::invalid_argument{"layer_validator::discrepancy_batch: bad inputs"};
+  }
+  const std::int64_t n = features.extent(0);
+  const std::int64_t d = features.extent(1);
+  // Batch scale, then group rows by predicted class so each class's SVM
+  // sees one decision_batch call. feature_scaler::transform applies
+  // transform_row per row and decision_batch applies decision() per row,
+  // so every output matches the per-row discrepancy() path bitwise.
+  tensor scaled = features;
+  scaler_.transform(scaled);
+  std::vector<std::vector<std::int64_t>> per_class(svms_.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t pred = predicted_classes[static_cast<std::size_t>(i)];
+    if (pred < 0 || pred >= static_cast<std::int64_t>(svms_.size())) {
+      throw std::out_of_range{"layer_validator::discrepancy_batch: class"};
+    }
+    per_class[static_cast<std::size_t>(pred)].push_back(i);
+  }
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (std::size_t k = 0; k < svms_.size(); ++k) {
+    const auto& rows = per_class[k];
+    if (rows.empty()) continue;
+    tensor subset{{static_cast<std::int64_t>(rows.size()), d}};
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      std::copy_n(scaled.data() + rows[j] * d, d,
+                  subset.data() + static_cast<std::int64_t>(j) * d);
+    }
+    const std::vector<double> dec = svms_[k].decision_batch(subset);
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      out[static_cast<std::size_t>(rows[j])] = -dec[j];
+    }
+  }
+  return out;
+}
+
 void layer_validator::save(binary_writer& w) const {
   scaler_.save(w);
   w.write_u64(svms_.size());

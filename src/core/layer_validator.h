@@ -25,6 +25,17 @@ class layer_validator {
   double discrepancy(std::int64_t predicted_class,
                      std::span<const float> feature) const;
 
+  /// Discrepancies for all rows of `features` [n, d] with per-row
+  /// predicted classes — bit-identical to calling discrepancy() per row.
+  /// Rows are grouped by predicted class and scored through
+  /// one_class_svm::decision_batch, which parallelizes internally and
+  /// serves repeated rows from the decision cache when caching is on
+  /// (docs/CACHING.md). Like decision_batch, concurrent calls on the
+  /// SAME instance are forbidden while caching is enabled.
+  std::vector<double> discrepancy_batch(
+      const std::vector<std::int64_t>& predicted_classes,
+      const tensor& features) const;
+
   bool fitted() const { return !svms_.empty(); }
   int num_classes() const { return static_cast<int>(svms_.size()); }
   std::int64_t dimension() const { return scaler_.dimension(); }

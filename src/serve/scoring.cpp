@@ -12,6 +12,9 @@ validator_scorer::validator_scorer(sequential& model,
   if (!validator_.fitted()) {
     throw std::logic_error{"validator_scorer: validator not fitted"};
   }
+  if (cache_enabled()) {
+    frame_cache_ = std::make_unique<activation_cache>();
+  }
 }
 
 void validator_scorer::attach_weighted(
@@ -27,8 +30,10 @@ void validator_scorer::attach_detector(anomaly_detector& detector) {
 }
 
 std::vector<scoring_result> validator_scorer::score(const tensor& frames) {
-  // The one shared forward pass for the whole fan-out.
-  const activation_batch acts = extract_activations(model_, frames);
+  // The one shared forward pass for the whole fan-out; repeated frames
+  // come out of the activation cache instead (docs/CACHING.md).
+  const activation_batch acts =
+      extract_activations_cached(model_, frames, frame_cache_.get());
   const auto s = validator_.evaluate(acts);
 
   std::vector<double> weighted;

@@ -12,9 +12,11 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "core/activation_cache.h"
 #include "core/batch_config.h"
 #include "core/deep_validator.h"
 #include "core/weighted_joint.h"
@@ -98,11 +100,20 @@ class validator_scorer : public batch_scorer {
 
   std::vector<scoring_result> score(const tensor& frames) override;
 
+  /// The frame-level activation cache, or nullptr when caching was off at
+  /// construction (DV_CACHE, docs/CACHING.md). Exposed for benches/tests
+  /// that read hit/miss stats.
+  const activation_cache* frame_cache() const { return frame_cache_.get(); }
+
  private:
   sequential& model_;
   const deep_validator& validator_;
   const weighted_joint_validator* weighted_{nullptr};
   std::vector<anomaly_detector*> detectors_;
+  /// Strong-hash LRU over per-frame forward-pass products; score() runs
+  /// serialized (batcher worker or caller_runs under the batch mutex),
+  /// which is the single-mutator stream the cache requires.
+  std::unique_ptr<activation_cache> frame_cache_;
 };
 
 }  // namespace dv

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -182,14 +184,67 @@ std::vector<double> one_class_svm::decision_batch(const tensor& x) const {
   const std::int64_t n = x.extent(0);
   const std::int64_t d = support_vectors_.extent(1);
   std::vector<double> out(static_cast<std::size_t>(n));
-  // One output per row; per-row math is the sequential decision() loop.
-  // dv:parallel-safe(one disjoint output slot per row, no reduction)
-  parallel_for(0, n, 8, [&](std::int64_t begin, std::int64_t end) {
-    for (std::int64_t i = begin; i < end; ++i) {
-      out[static_cast<std::size_t>(i)] =
-          decision({x.data() + i * d, static_cast<std::size_t>(d)});
+  if (!cache_enabled()) {
+    // One output per row; per-row math is the sequential decision() loop.
+    // dv:parallel-safe(one disjoint output slot per row, no reduction)
+    parallel_for(0, n, 8, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t i = begin; i < end; ++i) {
+        out[static_cast<std::size_t>(i)] =
+            decision({x.data() + i * d, static_cast<std::size_t>(d)});
+      }
+    });
+    return out;
+  }
+
+  // Cached path (docs/CACHING.md): probe sequentially in row order,
+  // compute only the distinct missed rows in parallel (identical rows in
+  // one batch cost one evaluation — identical bytes give the identical
+  // decision value), then insert sequentially in first-occurrence order.
+  // All cache mutation happens at single-threaded program points, so
+  // hit/miss totals and eviction order are identical at any DV_THREADS,
+  // and each row's value is the same decision() math either way —
+  // bitwise transparent. Rebuilding when the capacity knob moved keeps
+  // set_cache_capacity() effective for tests/benches.
+  if (decision_cache_.capacity() != cache_capacity()) {
+    decision_cache_ = strong_lru_cache<double>{cache_capacity(), "decision"};
+  }
+  std::vector<strong_hash> hashes(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> miss_rows;  // first row per distinct missed hash
+  std::vector<std::int64_t> miss_index(static_cast<std::size_t>(n), -1);
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::int64_t> seen;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto& h = hashes[static_cast<std::size_t>(i)] =
+        strong_hash::of_bytes(x.data() + i * d,
+                              static_cast<std::size_t>(d) * sizeof(float));
+    if (const double* hit = decision_cache_.find(h)) {
+      out[static_cast<std::size_t>(i)] = *hit;
+      continue;
     }
-  });
+    const auto [it, inserted] = seen.emplace(
+        std::make_pair(h.hi, h.lo),
+        static_cast<std::int64_t>(miss_rows.size()));
+    if (inserted) miss_rows.push_back(i);
+    miss_index[static_cast<std::size_t>(i)] = it->second;
+  }
+  std::vector<double> fresh(miss_rows.size());
+  // dv:parallel-safe(one disjoint output slot per missed row, no reduction)
+  parallel_for(0, static_cast<std::int64_t>(miss_rows.size()), 8,
+               [&](std::int64_t begin, std::int64_t end) {
+                 for (std::int64_t m = begin; m < end; ++m) {
+                   const std::int64_t i =
+                       miss_rows[static_cast<std::size_t>(m)];
+                   fresh[static_cast<std::size_t>(m)] =
+                       decision({x.data() + i * d, static_cast<std::size_t>(d)});
+                 }
+               });
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t m = miss_index[static_cast<std::size_t>(i)];
+    if (m >= 0) out[static_cast<std::size_t>(i)] = fresh[static_cast<std::size_t>(m)];
+  }
+  for (std::size_t m = 0; m < miss_rows.size(); ++m) {
+    decision_cache_.insert(hashes[static_cast<std::size_t>(miss_rows[m])],
+                           fresh[m]);
+  }
   return out;
 }
 

@@ -15,6 +15,7 @@
 
 #include "svm/kernel.h"
 #include "tensor/tensor.h"
+#include "util/strong_lru.h"
 
 namespace dv {
 
@@ -46,8 +47,18 @@ class one_class_svm {
 
   /// Batch decision values for the rows of `x` [n, d], computed in
   /// parallel (one row per output; bit-identical to calling decision()
-  /// per row for any thread count).
+  /// per row for any thread count). When caching is on (DV_CACHE,
+  /// docs/CACHING.md) repeated rows are served from a per-instance
+  /// strong-hash LRU keyed on the row bytes — bitwise transparent, but
+  /// concurrent decision_batch calls on the SAME instance are then
+  /// forbidden (each caller owns its validator bank, so in practice the
+  /// scoring path is already serialized per instance).
   std::vector<double> decision_batch(const tensor& x) const;
+
+  /// The decision cache (empty until the first cached decision_batch).
+  const strong_lru_cache<double>& decision_cache() const {
+    return decision_cache_;
+  }
 
   bool fitted() const { return fitted_; }
   std::int64_t support_count() const { return support_vectors_.empty() ? 0 : support_vectors_.extent(0); }
@@ -69,6 +80,11 @@ class one_class_svm {
   kernel_kind kernel_{kernel_kind::rbf};
   std::int64_t iterations_{0};
   bool fitted_{false};
+  /// Strong-hash LRU over decision values, lazily sized from
+  /// cache_capacity() inside decision_batch. Mutable: caching is an
+  /// implementation detail of a logically-const query (see the
+  /// decision_batch contract above for the serialization requirement).
+  mutable strong_lru_cache<double> decision_cache_;
 };
 
 }  // namespace dv
