@@ -2,9 +2,11 @@
 # Static-analysis and sanitizer gate. Runs, in order:
 #   1. dv_lint over src/, bench/, tests/, tools/ with the API-surface
 #      check (fails on any violation or snapshot drift),
-#   2. the clang-tidy target (no-op with a notice when clang-tidy is absent),
-#   3. the test suite under ThreadSanitizer      (build-tsan/),
-#   4. the test suite under Address+UBSanitizer  (build-asan/).
+#   2. the effect-inference checks alone (transitive hot-path purity,
+#      lock order, init-only config, capture safety) for attribution,
+#   3. the clang-tidy target (no-op with a notice when clang-tidy is absent),
+#   4. the test suite under ThreadSanitizer      (build-tsan/),
+#   5. the test suite under Address+UBSanitizer  (build-asan/).
 # All builds use DV_WERROR=ON, so new warnings fail the gate too. Each
 # configuration keeps its own build directory; later runs are incremental.
 #
@@ -36,6 +38,16 @@ lint_stage() {
     cmake --build build-lint --target dv_lint &&
     ./build-lint/tools/dv_lint/dv_lint --root . --check-api-surface \
       src bench tests tools
+}
+
+# The effect-inference checks run inside the dv_lint stage already; this
+# stage re-runs only them so the pass/FAIL table attributes a transitive
+# regression (hot-path purity, lock order, config reads, captures) to
+# the effects engine rather than to the whole linter.
+effects_stage() {
+  ./build-lint/tools/dv_lint/dv_lint --root . \
+    --only hot-path-purity,lock-order,init-only-config,capture \
+    src bench tests tools
 }
 
 tidy_stage() {
@@ -84,6 +96,7 @@ asan_stage() {
 }
 
 run_stage "dv_lint" lint_stage
+run_stage "effects" effects_stage
 run_stage "clang-tidy" tidy_stage
 run_stage "ThreadSanitizer" tsan_stage
 run_stage "Address+UndefinedBehaviorSanitizer" asan_stage

@@ -7,11 +7,13 @@
 
 namespace dv {
 
+// dv:init(experiment-setup knob, read while building the config)
 bool fast_mode() {
   const char* v = std::getenv("DV_FAST");
   return v != nullptr && v[0] == '1';
 }
 
+// dv:init(experiment-setup knob, read while building the config)
 double scale_factor() {
   const char* v = std::getenv("DV_SCALE");
   if (v == nullptr) return 1.0;
@@ -47,6 +49,7 @@ experiment_config standard_config(dataset_kind kind) {
   return out;
 }
 
+// dv:init(artifact root resolved once when the experiment starts writing)
 std::string artifact_directory() {
   const char* v = std::getenv("DV_ARTIFACT_DIR");
   std::string dir = v != nullptr ? v : "artifacts";

@@ -22,6 +22,7 @@
 // of batches yields bitwise-identical per-frame results.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -136,7 +137,9 @@ class micro_batcher {
   /// Blocks until every accepted frame's future has been completed.
   void flush() {
     std::unique_lock lock{pending_mutex_};
-    pending_cv_.wait(lock, [this] { return pending_ == 0; });
+    pending_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
   }
 
   /// Closes the queue (further submits throw), drains every accepted
@@ -151,8 +154,7 @@ class micro_batcher {
   std::size_t queue_depth() const { return queue_.size(); }
   /// Accepted frames whose futures are not yet completed.
   std::int64_t pending() const {
-    std::lock_guard lock{pending_mutex_};
-    return pending_;
+    return pending_.load(std::memory_order_acquire);
   }
 
  private:
@@ -177,15 +179,22 @@ class micro_batcher {
     }
   }
 
+  /// Lock-free on the common path: the counter is atomic, and the mutex
+  /// is taken only on the transition to zero so a flush() racing between
+  /// its predicate check and its wait cannot miss the notify.
   void note_pending(std::int64_t delta) {
-    std::lock_guard lock{pending_mutex_};
-    pending_ += delta;
-    if (pending_ == 0) pending_cv_.notify_all();
+    if (pending_.fetch_add(delta, std::memory_order_acq_rel) + delta == 0) {
+      std::lock_guard lock{pending_mutex_};
+      pending_cv_.notify_all();
+    }
   }
 
   /// caller_runs overflow: score a batch of one on the submitting thread,
   /// serialized with the worker (the model is not thread-safe). Scores
   /// are batch-invariant, so the result is identical to the queued path.
+  // Same deliberate locks as score_batch (model serialization + the rare
+  // pending==0 notify).
+  // dv:hot-path(caller_runs overflow) dv-lint: allow(effect:acquires_lock)
   void run_inline(item& it) {
     if (metrics::enabled()) {
       metrics::count(labeled("dv_serve_caller_runs_total"));
@@ -221,6 +230,10 @@ class micro_batcher {
     }
   }
 
+  // The remaining locks are deliberate: score_mutex_ serializes the
+  // non-thread-safe model, and note_pending's mutex is taken only on the
+  // rare pending==0 transition.
+  // dv:hot-path(per-batch worker path) dv-lint: allow(effect:acquires_lock)
   void score_batch(std::vector<item>& batch) {
     const auto n = static_cast<std::int64_t>(batch.size());
     if (metrics::enabled()) {
@@ -272,9 +285,9 @@ class micro_batcher {
   /// the model underneath is not safe for concurrent forwards.
   std::mutex score_mutex_;
   std::mutex shutdown_mutex_;
-  mutable std::mutex pending_mutex_;
+  std::mutex pending_mutex_;
   std::condition_variable pending_cv_;
-  std::int64_t pending_{0};
+  std::atomic<std::int64_t> pending_{0};
   std::mutex shape_mutex_;
   std::vector<std::int64_t> expected_shape_;
 };

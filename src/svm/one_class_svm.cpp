@@ -186,7 +186,9 @@ std::vector<double> one_class_svm::decision_batch(const tensor& x) const {
   std::vector<double> out(static_cast<std::size_t>(n));
   if (!cache_enabled()) {
     // One output per row; per-row math is the sequential decision() loop.
-    // dv:parallel-safe(one disjoint output slot per row, no reduction)
+    // decision()'s thread_local scratch resizes to the fixed
+    // support-vector count once per thread, then stays warm.
+    // dv:parallel-safe(disjoint slots) dv-lint: allow(effect:may_allocate)
     parallel_for(0, n, 8, [&](std::int64_t begin, std::int64_t end) {
       for (std::int64_t i = begin; i < end; ++i) {
         out[static_cast<std::size_t>(i)] =
@@ -227,7 +229,9 @@ std::vector<double> one_class_svm::decision_batch(const tensor& x) const {
     miss_index[static_cast<std::size_t>(i)] = it->second;
   }
   std::vector<double> fresh(miss_rows.size());
-  // dv:parallel-safe(one disjoint output slot per missed row, no reduction)
+  // decision()'s thread_local scratch resizes to the fixed support-vector
+  // count once per thread, then stays warm.
+  // dv:parallel-safe(disjoint slots) dv-lint: allow(effect:may_allocate)
   parallel_for(0, static_cast<std::int64_t>(miss_rows.size()), 8,
                [&](std::int64_t begin, std::int64_t end) {
                  for (std::int64_t m = begin; m < end; ++m) {

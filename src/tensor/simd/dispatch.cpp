@@ -67,6 +67,7 @@ void publish_dispatch_gauge(simd_level active) {
 /// by DV_SIMD (scalar|sse2|avx2|auto). An unsupported request falls back
 /// to the widest supported level below it (with a warning) instead of
 /// failing, so one DV_SIMD value can drive a heterogeneous test fleet.
+// dv:init(DV_SIMD is latched once by table_slot's static initializer)
 const simd_kernel_table* resolve_startup() {
   simd_level choice = widest_supported(simd_level::avx2);
   if (const char* env = std::getenv("DV_SIMD")) {

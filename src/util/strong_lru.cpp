@@ -17,6 +17,7 @@ struct cache_config {
   std::atomic<bool> enabled{true};
   std::atomic<std::size_t> capacity{1024};
 
+  // dv:init(constructed once for the process-wide config singleton)
   cache_config() {
     if (const char* raw = std::getenv("DV_CACHE")) {
       if (std::strcmp(raw, "off") == 0 || std::strcmp(raw, "0") == 0 ||

@@ -1,0 +1,14 @@
+// Effects fixture: pure call chain and disjoint-slot writes — nothing
+// may fire.
+namespace fx {
+
+double square(double x) { return x * x; }
+
+void fill(double* out) {
+  // dv:parallel-safe(disjoint slots per index)
+  parallel_for(0, 8, 1, [out](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) out[i] = square(double(i));
+  });
+}
+
+}  // namespace fx

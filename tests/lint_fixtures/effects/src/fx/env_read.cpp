@@ -1,0 +1,9 @@
+// Effects fixture: getenv outside vs. inside a dv:init function.
+namespace fx {
+
+int knob() { return getenv("DV_X") != nullptr ? 1 : 0; }
+
+// dv:init(latched once at startup by the fixture harness)
+int knob_init() { return getenv("DV_Y") != nullptr ? 1 : 0; }
+
+}  // namespace fx

@@ -1,0 +1,23 @@
+// Effects fixture: the lambda's lock is three calls deep — only the
+// transitive closure can see it from the parallel_for site.
+namespace fx {
+
+// dv-lint: allow(thread-safety) fixture mutex
+std::mutex m;
+
+void c() {
+  std::lock_guard<std::mutex> g{m};
+}
+
+void b() { c(); }
+
+void a() { b(); }
+
+void run() {
+  // dv:parallel-safe(fixture)
+  parallel_for(0, 8, 1, [](long lo, long hi) {
+    a();
+  });
+}
+
+}  // namespace fx

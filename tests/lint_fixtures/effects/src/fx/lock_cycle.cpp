@@ -1,0 +1,20 @@
+// Effects fixture: two mutexes acquired in opposite orders — a
+// lock-order cycle that deadlocks under interleaving.
+namespace fx {
+
+// dv-lint: allow(thread-safety) fixture mutex
+std::mutex ma;
+// dv-lint: allow(thread-safety) fixture mutex
+std::mutex mb;
+
+void ab() {
+  std::lock_guard<std::mutex> g1{ma};
+  std::lock_guard<std::mutex> g2{mb};
+}
+
+void ba() {
+  std::lock_guard<std::mutex> g1{mb};
+  std::lock_guard<std::mutex> g2{ma};
+}
+
+}  // namespace fx

@@ -1,0 +1,14 @@
+// Effects fixture: the by-ref capture is written one call down — the
+// per-file capture pass cannot see it, the transitive one can.
+namespace fx {
+
+void bump(double& acc, double v) { acc += v; }
+
+void run(double& total) {
+  // dv:parallel-safe(fixture)
+  parallel_for(0, 8, 1, [&total](long lo, long hi) {
+    bump(total, double(hi - lo));
+  });
+}
+
+}  // namespace fx

@@ -500,4 +500,168 @@ TEST(dv_lint_cache, warm_run_relints_only_changed_files) {
   fs::remove_all(scratch);
 }
 
+// ---------------------------------------------------------------------------
+// Effect inference: transitive hot-path purity, lock order, config reads,
+// and captures written below the lambda. Exact diagnostics over the
+// `effects` fixture mini-root.
+
+TEST(dv_lint_effects, fixture_tree_golden) {
+  const std::string tree = fixture_tree("effects");
+  std::string out;
+  EXPECT_EQ(cli({"--root", tree, "src"}, &out), 1);
+  EXPECT_EQ(
+      out,
+      "src/fx/env_read.cpp:4: [init-only-config] 'getenv' outside a dv:init "
+      "function re-reads configuration per call; latch the knob once at "
+      "startup in a function annotated // dv:init(<reason>), or waive with "
+      "// dv-lint: allow(init-only-config) <reason>\n"
+      "src/fx/hot_chain.cpp:18: [hot-path-purity] 'parallel_for' body "
+      "transitively acquires lock 'fx::m': call chain fx::a -> fx::b -> "
+      "fx::c ending in acquisition at src/fx/hot_chain.cpp:9; a lock inside "
+      "a hot path serializes the pool — restructure, or waive with "
+      "// dv-lint: allow(effect:acquires_lock) <reason>\n"
+      "src/fx/lock_cycle.cpp:12: [lock-order] lock-order cycle between "
+      "'fx::ma' -> 'fx::mb' ('fx::mb' taken while holding 'fx::ma' at "
+      "src/fx/lock_cycle.cpp:12; 'fx::ma' taken while holding 'fx::mb' at "
+      "src/fx/lock_cycle.cpp:17); threads interleaving these orders "
+      "deadlock — pick one global acquisition order, or waive an "
+      "acquisition with // dv-lint: allow(lock-order) <reason>\n"
+      "src/fx/trans_capture.cpp:9: [capture] 'total' is captured by "
+      "reference and written through 'fx::bump' (argument 1 of the call at "
+      "src/fx/trans_capture.cpp:10); every chunk races on it — write "
+      "disjoint slots, reduce into per-chunk partials, or waive with "
+      "// dv-lint: allow(capture) <reason>\n"
+      "dv_lint: 5 file(s) scanned, 0 cached, 4 violation(s)\n");
+}
+
+TEST(dv_lint_effects, explain_prints_full_witness_chain) {
+  const std::string tree = fixture_tree("effects");
+  std::string out;
+  EXPECT_EQ(cli({"--root", tree, "--explain", "fx::a", "src"}, &out), 0);
+  EXPECT_EQ(out,
+            "fx::a (src/fx/hot_chain.cpp:14)\n"
+            "  acquires_lock 'fx::m': call chain fx::b -> fx::c ending in "
+            "acquisition at src/fx/hot_chain.cpp:9\n");
+}
+
+TEST(dv_lint_effects, explain_direct_acquisition_has_no_chain) {
+  const std::string tree = fixture_tree("effects");
+  std::string out;
+  EXPECT_EQ(cli({"--root", tree, "--explain", "fx::c", "src"}, &out), 0);
+  EXPECT_EQ(out,
+            "fx::c (src/fx/hot_chain.cpp:8)\n"
+            "  acquires_lock 'fx::m': acquisition at "
+            "src/fx/hot_chain.cpp:9\n");
+}
+
+TEST(dv_lint_effects, explain_unknown_function_is_usage_error) {
+  const std::string tree = fixture_tree("effects");
+  std::ostringstream out, err;
+  EXPECT_EQ(dv_lint::run_cli({"--root", tree, "--explain", "fx::nosuch",
+                              "src"},
+                             out, err),
+            2);
+  EXPECT_TRUE(out.str().empty()) << out.str();
+  EXPECT_NE(err.str().find("no function named 'fx::nosuch'"),
+            std::string::npos)
+      << err.str();
+}
+
+TEST(dv_lint_effects, json_and_only_filter_golden) {
+  const std::string tree = fixture_tree("effects");
+  std::string out;
+  EXPECT_EQ(cli({"--root", tree, "--json", "--only",
+                 "init-only-config,lock-order", "src"},
+                &out),
+            1);
+  EXPECT_EQ(
+      out,
+      "{\n"
+      "  \"files_scanned\": 5,\n"
+      "  \"cached\": 0,\n"
+      "  \"violations\": [\n"
+      "    {\"file\": \"src/fx/env_read.cpp\", \"line\": 4, \"check\": "
+      "\"init-only-config\", \"message\": \"'getenv' outside a dv:init "
+      "function re-reads configuration per call; latch the knob once at "
+      "startup in a function annotated // dv:init(<reason>), or waive with "
+      "// dv-lint: allow(init-only-config) <reason>\"},\n"
+      "    {\"file\": \"src/fx/lock_cycle.cpp\", \"line\": 12, \"check\": "
+      "\"lock-order\", \"message\": \"lock-order cycle between 'fx::ma' -> "
+      "'fx::mb' ('fx::mb' taken while holding 'fx::ma' at "
+      "src/fx/lock_cycle.cpp:12; 'fx::ma' taken while holding 'fx::mb' at "
+      "src/fx/lock_cycle.cpp:17); threads interleaving these orders "
+      "deadlock — pick one global acquisition order, or waive an "
+      "acquisition with // dv-lint: allow(lock-order) <reason>\"}\n"
+      "  ]\n"
+      "}\n");
+}
+
+// A callee edit must surface in its callers' diagnostics even when the
+// callers replay from cache: summaries are cached per file, but the
+// cross-file fixed point is recomputed each run.
+TEST(dv_lint_effects, warm_rerun_propagates_callee_effects_to_callers) {
+  namespace fs = std::filesystem;
+  const fs::path scratch =
+      fs::path{testing::TempDir()} / "dv_lint_effects_cache";
+  fs::remove_all(scratch);
+  fs::create_directories(scratch / "tree" / "src");
+  const std::string tree = (scratch / "tree").string();
+  const std::string cache = (scratch / "cache").string();
+  auto put = [&](const char* rel, const std::string& text) {
+    std::ofstream f{tree + "/" + rel, std::ios::binary | std::ios::trunc};
+    f << text;
+  };
+  put("src/a.cpp",
+      "namespace fx {\n"
+      "void mid();\n"
+      "void driver() {\n"
+      "  // dv:parallel-safe(fixture)\n"
+      "  parallel_for(0, 4, 1, [](long lo, long hi) {\n"
+      "    mid();\n"
+      "  });\n"
+      "}\n"
+      "}\n");
+  put("src/b.cpp",
+      "namespace fx {\n"
+      "void leaf();\n"
+      "void mid() { leaf(); }\n"
+      "}\n");
+  put("src/c.cpp",
+      "namespace fx {\n"
+      "void leaf() {}\n"
+      "}\n");
+  const std::vector<std::string> args = {"--root", tree, "--cache-dir",
+                                         cache, "src"};
+
+  std::string cold, warm, after_edit;
+  EXPECT_EQ(cli(args, &cold), 0);
+  EXPECT_EQ(cold, "dv_lint: 3 file(s) scanned, 0 cached, 0 violation(s)\n");
+  EXPECT_EQ(cli(args, &warm), 0);
+  EXPECT_EQ(warm, "dv_lint: 3 file(s) scanned, 3 cached, 0 violation(s)\n");
+
+  // Give the leaf a lock. Only c.cpp re-lints, yet the diagnostic lands
+  // at the parallel_for site in a.cpp two hops up the call graph.
+  put("src/c.cpp",
+      "namespace fx {\n"
+      "// dv-lint: allow(thread-safety) fixture mutex\n"
+      "std::mutex cm;\n"
+      "void leaf() {\n"
+      "  std::lock_guard<std::mutex> g{cm};\n"
+      "}\n"
+      "}\n");
+  EXPECT_EQ(cli(args, &after_edit), 1);
+  EXPECT_NE(
+      after_edit.find("3 file(s) scanned, 2 cached, 1 violation(s)"),
+      std::string::npos)
+      << after_edit;
+  EXPECT_NE(
+      after_edit.find(
+          "src/a.cpp:5: [hot-path-purity] 'parallel_for' body transitively "
+          "acquires lock 'fx::cm': call chain fx::mid -> fx::leaf ending "
+          "in acquisition at src/c.cpp:5"),
+      std::string::npos)
+      << after_edit;
+  fs::remove_all(scratch);
+}
+
 }  // namespace

@@ -54,6 +54,56 @@ std::vector<std::string> split_tabs(const std::string& line,
   return out;
 }
 
+// Effect-record list encodings. "-" means an empty list; otherwise the
+// separator-joined entries (empty entries preserved, so a call with one
+// unresolvable argument round-trips as "" -> {""}).
+
+std::string join_list(const std::vector<std::string>& v, char sep) {
+  if (v.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += sep;
+    out += v[i];
+  }
+  return out;
+}
+
+std::string join_ints(const std::vector<int>& v) {
+  if (v.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> parse_list(const std::string& field, char sep) {
+  std::vector<std::string> out;
+  if (field == "-") return out;
+  std::string cur;
+  for (const char c : field) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+bool parse_ints(const std::string& field, std::vector<int>& out) {
+  if (field == "-") return true;
+  for (const std::string& piece : parse_list(field, ',')) {
+    int v = 0;
+    if (!parse_int(piece, v)) return false;
+    out.push_back(v);
+  }
+  return true;
+}
+
 }  // namespace
 
 std::uint64_t fnv1a_hash(std::string_view data) {
@@ -115,6 +165,82 @@ bool cache_load(const std::string& cache_dir, const std::string& rel_path,
       s.used.push_back(line.substr(tab + 1));
     } else if (tag == "api") {
       s.api.push_back(line.substr(tab + 1));
+    } else if (tag == "fn") {
+      const auto f = split_tabs(line, 4);  // fn, line, flags, name
+      if (f.size() != 4) return false;
+      func_record fr;
+      if (!parse_int(f[1], fr.line)) return false;
+      fr.is_lambda = f[2].find('L') != std::string::npos;
+      fr.is_init = f[2].find('I') != std::string::npos;
+      fr.is_hot = f[2].find('H') != std::string::npos;
+      fr.name = f[3];
+      s.funcs.push_back(std::move(fr));
+    } else if (tag == "fd") {
+      const auto f = split_tabs(line, 4);  // fd, effect, line, witness
+      if (f.size() != 4 || s.funcs.empty()) return false;
+      int e = 0, l = 0;
+      if (!parse_int(f[1], e) || e >= k_effect_count || !parse_int(f[2], l)) {
+        return false;
+      }
+      s.funcs.back().direct[e] = l;
+      s.funcs.back().witness[e] = f[3];
+    } else if (tag == "fp") {
+      const auto f = split_tabs(line, 4);  // fp, params, refs, written
+      if (f.size() != 4 || s.funcs.empty()) return false;
+      func_record& fr = s.funcs.back();
+      fr.params = parse_list(f[1], ',');
+      if (f[1] == "-") fr.params.clear();
+      if (!parse_ints(f[2], fr.ref_params) ||
+          !parse_ints(f[3], fr.out_params_written)) {
+        return false;
+      }
+    } else if (tag == "fa") {
+      if (s.funcs.empty()) return false;
+      s.funcs.back().allowed = parse_list(line.substr(tab + 1), ',');
+    } else if (tag == "fl") {
+      const auto f = split_tabs(line, 5);  // fl, line, allowed, held, name
+      if (f.size() != 5 || s.funcs.empty()) return false;
+      lock_record lr;
+      if (!parse_int(f[1], lr.line)) return false;
+      lr.allowed = parse_list(f[2], ',');
+      lr.held = parse_list(f[3], '|');
+      lr.name = f[4];
+      s.funcs.back().locks.push_back(std::move(lr));
+    } else if (tag == "fc") {
+      // fc, line, flags, held, args, callee
+      const auto f = split_tabs(line, 6);
+      if (f.size() != 6 || s.funcs.empty()) return false;
+      call_record cr;
+      if (!parse_int(f[1], cr.line)) return false;
+      cr.method = f[2].find('m') != std::string::npos;
+      cr.held = parse_list(f[3], '|');
+      cr.args = parse_list(f[4], ',');
+      cr.callee = f[5];
+      s.funcs.back().calls.push_back(std::move(cr));
+    } else if (tag == "fw") {
+      const auto f = split_tabs(line, 3);  // fw, line, name
+      if (f.size() != 3 || s.funcs.empty()) return false;
+      nonlocal_write w;
+      if (!parse_int(f[1], w.line)) return false;
+      w.name = f[2];
+      s.funcs.back().writes.push_back(std::move(w));
+    } else if (tag == "site") {
+      // site, line, lambda-idx, flags, fn, allowed, refcaps, valcaps
+      const auto f = split_tabs(line, 8);
+      if (f.size() != 8) return false;
+      par_site_record ps;
+      int li = 0;
+      if (!parse_int(f[1], ps.line) || !parse_int(f[2], li)) return false;
+      ps.lambda_index = static_cast<std::size_t>(li);
+      ps.default_ref = f[3].find('R') != std::string::npos;
+      ps.captures_this = f[3].find('T') != std::string::npos;
+      ps.fn = f[4];
+      ps.allowed = parse_list(f[5], ',');
+      ps.ref_captures = parse_list(f[6], ',');
+      ps.val_captures = parse_list(f[7], ',');
+      s.par_sites.push_back(std::move(ps));
+    } else if (tag == "gv") {
+      s.globals.push_back(line.substr(tab + 1));
     } else {
       return false;
     }
@@ -150,6 +276,52 @@ bool cache_store(const std::string& cache_dir, const file_summary& summary) {
     for (const auto& name : summary.declared) os << "sym\t" << name << '\n';
     for (const auto& name : summary.used) os << "use\t" << name << '\n';
     for (const auto& entry : summary.api) os << "api\t" << entry << '\n';
+    // Effect records. Functions are written in extraction order so each
+    // site's lambda_index stays valid on reload.
+    for (const auto& f : summary.funcs) {
+      std::string flags;
+      if (f.is_lambda) flags += 'L';
+      if (f.is_init) flags += 'I';
+      if (f.is_hot) flags += 'H';
+      os << "fn\t" << f.line << '\t' << (flags.empty() ? "-" : flags) << '\t'
+         << f.name << '\n';
+      for (int e = 0; e < k_effect_count; ++e) {
+        if (f.direct[e] < 0) continue;
+        os << "fd\t" << e << '\t' << f.direct[e] << '\t' << f.witness[e]
+           << '\n';
+      }
+      if (!f.params.empty()) {
+        os << "fp\t" << join_list(f.params, ',') << '\t'
+           << join_ints(f.ref_params) << '\t'
+           << join_ints(f.out_params_written) << '\n';
+      }
+      if (!f.allowed.empty()) {
+        os << "fa\t" << join_list(f.allowed, ',') << '\n';
+      }
+      for (const auto& l : f.locks) {
+        os << "fl\t" << l.line << '\t' << join_list(l.allowed, ',') << '\t'
+           << join_list(l.held, '|') << '\t' << l.name << '\n';
+      }
+      for (const auto& c : f.calls) {
+        os << "fc\t" << c.line << '\t' << (c.method ? "m" : "-") << '\t'
+           << join_list(c.held, '|') << '\t' << join_list(c.args, ',')
+           << '\t' << c.callee << '\n';
+      }
+      for (const auto& w : f.writes) {
+        os << "fw\t" << w.line << '\t' << w.name << '\n';
+      }
+    }
+    for (const auto& ps : summary.par_sites) {
+      std::string flags;
+      if (ps.default_ref) flags += 'R';
+      if (ps.captures_this) flags += 'T';
+      os << "site\t" << ps.line << '\t' << ps.lambda_index << '\t'
+         << (flags.empty() ? "-" : flags) << '\t' << ps.fn << '\t'
+         << join_list(ps.allowed, ',') << '\t'
+         << join_list(ps.ref_captures, ',') << '\t'
+         << join_list(ps.val_captures, ',') << '\n';
+    }
+    for (const auto& g : summary.globals) os << "gv\t" << g << '\n';
     if (!os) return false;
   }
   // Rename-into-place keeps concurrent readers from seeing a torn record.

@@ -16,8 +16,9 @@
 namespace dv_lint {
 
 /// Bump when check logic or the record format changes; every stale
-/// record then misses and is rewritten.
-inline constexpr int k_cache_version = 1;
+/// record then misses and is rewritten. v2 added the effect-inference
+/// records (functions, parallel sites, globals).
+inline constexpr int k_cache_version = 2;
 
 std::uint64_t fnv1a_hash(std::string_view data);
 

@@ -1,0 +1,1616 @@
+#include "effects.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "scc.h"
+#include "token_utils.h"
+
+namespace dv_lint {
+
+const char* effect_name(effect e) {
+  switch (e) {
+    case effect::may_block:
+      return "may_block";
+    case effect::may_allocate:
+      return "may_allocate";
+    case effect::reads_env:
+      return "reads_env";
+    case effect::reads_clock:
+      return "reads_clock";
+    case effect::uses_ambient_rng:
+      return "uses_ambient_rng";
+    case effect::writes_global:
+      return "writes_global";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool contains(const std::vector<std::string>& v, std::string_view s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+/// Files whose effects never propagate to callers: the DV_METRICS-gated
+/// observability layer (its blocking/clock reads vanish when metrics are
+/// off) and the parallel runtime itself (fork-join blocking is the
+/// sanctioned kind).
+bool path_effect_exempt(std::string_view rel) {
+  return starts_with(rel, "src/util/metrics") ||
+         starts_with(rel, "src/util/trace") ||
+         starts_with(rel, "src/util/thread_pool");
+}
+
+bool keyword_like(const std::string& s) {
+  static const std::unordered_set<std::string> kw = {
+      "if",       "for",     "while",   "switch",     "return",
+      "sizeof",   "alignof", "alignas", "decltype",   "static_assert",
+      "noexcept", "throw",   "catch",   "new",        "delete",
+      "operator", "requires", "case",   "goto",       "do",
+      "else",     "typename", "typedef", "using",     "template",
+      "class",    "struct",  "union",   "enum",       "namespace",
+      "public",   "private", "protected", "co_return", "co_await",
+      "co_yield", "assert",  "defined", "this"};
+  return kw.count(s) != 0;
+}
+
+/// Index of the opener matching the closer at `close` (scanning
+/// backwards), or npos when unbalanced.
+std::size_t match_backward(const std::vector<token>& toks, std::size_t close,
+                           std::string_view open_ch,
+                           std::string_view close_ch) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (token_is_punct(&toks[i], close_ch)) ++depth;
+    if (token_is_punct(&toks[i], open_ch) && --depth == 0) return i;
+  }
+  return npos;
+}
+
+/// Skips a template argument list starting at `<` (same contract as the
+/// api-surface pass: bail at `;`/`{` so comparisons don't run away).
+std::size_t skip_angles(const std::vector<token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const token& t = toks[i];
+    if (token_is_punct(&t, "<")) ++depth;
+    if (token_is_punct(&t, "<<")) depth += 2;
+    if (token_is_punct(&t, ">") && --depth <= 0) return i + 1;
+    if (token_is_punct(&t, ">>")) {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    }
+    if (token_is_punct(&t, ";") || token_is_punct(&t, "{")) return i;
+  }
+  return toks.size();
+}
+
+bool write_op(const token& t) {
+  if (t.kind != token_kind::punct) return false;
+  static const std::unordered_set<std::string> ops = {
+      "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+  return ops.count(t.text) != 0;
+}
+
+bool type_ish(const token* t) {
+  if (t == nullptr) return false;
+  if (t->kind == token_kind::identifier) return !keyword_like(t->text);
+  return token_is_punct(t, "*") || token_is_punct(t, "&") ||
+         token_is_punct(t, "&&") || token_is_punct(t, ">") ||
+         token_is_punct(t, ">>");
+}
+
+std::vector<std::string> allows_at(const lex_result& lx, int line) {
+  std::vector<std::string> out;
+  for (const int l : {line, line - 1}) {
+    const auto it = lx.notes.find(l);
+    if (it == lx.notes.end()) continue;
+    for (const auto& name : it->second.allowed) {
+      if (!contains(out, name)) out.push_back(name);
+    }
+  }
+  return out;
+}
+
+bool note_flag(const lex_result& lx, int line, bool line_notes::* field) {
+  for (const int l : {line, line - 1}) {
+    const auto it = lx.notes.find(l);
+    if (it != lx.notes.end() && it->second.*field) return true;
+  }
+  return false;
+}
+
+/// The resolved base of one write target (compact version of the
+/// capture pass's lvalue walk: chase `]`/`)` groups and `.`/`->` links
+/// back to the leftmost identifier).
+struct lvalue {
+  std::string base;
+  bool resolvable{false};
+};
+
+lvalue resolve_lvalue(const std::vector<token>& toks, std::size_t last) {
+  lvalue lv;
+  std::size_t p = last;
+  for (int hops = 0; hops < 32; ++hops) {
+    const token& t = toks[p];
+    if (token_is_punct(&t, "]") || token_is_punct(&t, ")")) {
+      const bool bracket = t.text == "]";
+      const std::size_t open =
+          match_backward(toks, p, bracket ? "[" : "(", bracket ? "]" : ")");
+      if (open == npos || open == 0) return lv;
+      p = open - 1;
+      continue;
+    }
+    if (t.kind == token_kind::identifier) {
+      const token* prev = neighbor_token(toks, p, -1);
+      if (token_is_punct(prev, ".") || token_is_punct(prev, "->")) {
+        const std::size_t dot = static_cast<std::size_t>(prev - toks.data());
+        if (dot == 0) return lv;
+        p = dot - 1;
+        continue;
+      }
+      if (token_is_punct(prev, "::")) return lv;  // qualified: not ours
+      lv.base = t.text;
+      lv.resolvable = true;
+      return lv;
+    }
+    return lv;
+  }
+  return lv;
+}
+
+// ---------------------------------------------------------------------------
+// Direct-effect vocabularies. Method spellings (after . or ->) count for
+// the blocking set only; env/clock/RNG must be free or std-qualified.
+
+bool blocking_call(const std::string& s) {
+  static const std::unordered_set<std::string> names = {
+      "wait",      "wait_for", "wait_until", "join",  "sleep_for",
+      "sleep_until", "fopen",  "fread",      "fwrite", "fgets",
+      "fclose",    "popen",    "system",     "getline"};
+  return names.count(s) != 0;
+}
+
+bool io_ident(const std::string& s) {
+  static const std::unordered_set<std::string> names = {
+      "ifstream", "ofstream", "fstream", "cout", "cerr", "clog"};
+  return names.count(s) != 0;
+}
+
+bool io_call(const std::string& s) {
+  static const std::unordered_set<std::string> names = {
+      "printf", "fprintf", "puts", "fputs"};
+  return names.count(s) != 0;
+}
+
+bool alloc_call(const std::string& s) {
+  static const std::unordered_set<std::string> names = {
+      "make_unique", "make_shared", "push_back",
+      "emplace_back", "resize",     "reserve"};
+  return names.count(s) != 0;
+}
+
+bool clock_ident(const std::string& s) {
+  return s == "system_clock" || s == "steady_clock" ||
+         s == "high_resolution_clock";
+}
+
+bool clock_call(const std::string& s) {
+  static const std::unordered_set<std::string> names = {
+      "time", "clock", "gettimeofday", "localtime", "gmtime", "ctime"};
+  return names.count(s) != 0;
+}
+
+bool rng_call(const std::string& s) {
+  static const std::unordered_set<std::string> names = {
+      "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48"};
+  return names.count(s) != 0;
+}
+
+/// Mutating member calls that count as writes through their receiver
+/// (so `out.push_back(x)` on a ref parameter marks it written).
+bool mutator_method(const std::string& s) {
+  static const std::unordered_set<std::string> names = {
+      "push_back", "emplace_back", "insert", "erase",
+      "clear",     "resize",       "reserve", "store", "assign"};
+  return names.count(s) != 0;
+}
+
+bool guard_class(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" ||
+         s == "shared_lock";
+}
+
+// ---------------------------------------------------------------------------
+// Per-file extraction
+
+struct scope {
+  brace_kind kind;
+  std::string name;
+};
+
+struct held_lock {
+  std::string name;
+  int depth{0};
+  std::string guard_var;
+};
+
+class extractor {
+ public:
+  extractor(const std::string& rel_path, const lex_result& lx)
+      : rel_{rel_path},
+        lx_{lx},
+        toks_{lx.tokens},
+        thread_pool_home_{rel_path == "src/util/thread_pool.h" ||
+                          rel_path == "src/util/thread_pool.cpp"} {}
+
+  file_effects run() {
+    for (i_ = 0; i_ < toks_.size(); ++i_) {
+      const token& t = toks_[i_];
+      if (t.kind == token_kind::pp_directive) continue;
+      if (token_is_punct(&t, "{")) {
+        scope s{classify_brace(toks_, i_), ""};
+        if ((s.kind == brace_kind::ns || s.kind == brace_kind::type) &&
+            !pending_name_.empty()) {
+          s.name = pending_name_;
+        }
+        pending_name_.clear();
+        stack_.push_back(std::move(s));
+        continue;
+      }
+      if (token_is_punct(&t, "}")) {
+        if (!stack_.empty()) stack_.pop_back();
+        continue;
+      }
+      if (t.kind != token_kind::identifier) continue;
+      if (t.text == "template" &&
+          token_is_punct(neighbor_token(toks_, i_, 1), "<")) {
+        i_ = skip_angles(toks_, i_ + 1) - 1;
+        continue;
+      }
+      if (t.text == "namespace") {
+        handle_namespace();
+        continue;
+      }
+      if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+          t.text == "enum") {
+        handle_type_keyword();
+        continue;
+      }
+      if (t.text == "using" || t.text == "typedef") {
+        while (i_ < toks_.size() && !token_is_punct(&toks_[i_], ";")) ++i_;
+        continue;
+      }
+      if (t.text == "operator") continue;  // operator defs: not tracked
+      if (keyword_like(t.text)) continue;
+      if (i_ + 1 < toks_.size() && token_is_punct(&toks_[i_ + 1], "(")) {
+        if (try_function(i_)) continue;
+        // Not a definition: skip the parameter list / argument list so
+        // its contents never masquerade as declarations.
+        i_ = skip_balanced(toks_, i_ + 1, "(", ")") - 1;
+        continue;
+      }
+      maybe_global(i_);
+    }
+    std::sort(out_.sites.begin(), out_.sites.end(),
+              [](const par_site_record& a, const par_site_record& b) {
+                return a.line < b.line;
+              });
+    std::sort(out_.globals.begin(), out_.globals.end());
+    out_.globals.erase(std::unique(out_.globals.begin(), out_.globals.end()),
+                       out_.globals.end());
+    return std::move(out_);
+  }
+
+ private:
+  bool collectible() const {
+    for (const scope& s : stack_) {
+      if (s.kind == brace_kind::code || s.kind == brace_kind::expr) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool at_ns_scope() const {
+    for (const scope& s : stack_) {
+      if (s.kind != brace_kind::ns) return false;
+    }
+    return true;
+  }
+
+  std::string scope_qualifier() const {
+    std::string q;
+    for (const scope& s : stack_) {
+      if (s.name.empty()) continue;
+      if (!q.empty()) q += "::";
+      q += s.name;
+    }
+    return q;
+  }
+
+  void handle_namespace() {
+    const token* prev = neighbor_token(toks_, i_, -1);
+    if (token_is_ident(prev, "using")) return;
+    std::string name;
+    std::size_t j = i_ + 1;
+    while (j < toks_.size()) {
+      if (toks_[j].kind == token_kind::identifier) {
+        name += toks_[j].text;
+      } else if (token_is_punct(&toks_[j], "::")) {
+        name += "::";
+      } else {
+        break;
+      }
+      ++j;
+    }
+    if (j < toks_.size() && token_is_punct(&toks_[j], "=")) {
+      while (j < toks_.size() && !token_is_punct(&toks_[j], ";")) ++j;
+      i_ = j;
+      return;
+    }
+    pending_name_ = name;
+    i_ = j - 1;
+  }
+
+  void handle_type_keyword() {
+    std::size_t j = i_ + 1;
+    if (j < toks_.size() && (token_is_ident(&toks_[j], "class") ||
+                             token_is_ident(&toks_[j], "struct"))) {
+      ++j;  // enum class
+    }
+    while (j < toks_.size() && token_is_punct(&toks_[j], "[")) {
+      j = skip_balanced(toks_, j, "[", "]");
+    }
+    if (j >= toks_.size() || toks_[j].kind != token_kind::identifier) return;
+    pending_name_ = toks_[j].text;
+    i_ = j;
+  }
+
+  void maybe_global(std::size_t i) {
+    if (!at_ns_scope() || toks_[i].kind != token_kind::identifier) return;
+    const token* prev = neighbor_token(toks_, i, -1);
+    const token* next = neighbor_token(toks_, i, 1);
+    if (!type_ish(prev) || next == nullptr ||
+        next->kind != token_kind::punct) {
+      return;
+    }
+    if (next->text != "=" && next->text != ";" && next->text != "{" &&
+        next->text != "[") {
+      return;
+    }
+    // Walk back to the statement boundary: a const/atomic/alias opener
+    // anywhere in the prefix makes this not a mutable global.
+    const token* t = prev;
+    for (int hops = 0; t != nullptr && hops < 16; ++hops) {
+      if (t->kind == token_kind::punct &&
+          (t->text == ";" || t->text == "{" || t->text == "}")) {
+        break;
+      }
+      if (t->kind == token_kind::identifier &&
+          (t->text == "const" || t->text == "constexpr" ||
+           t->text == "constinit" || t->text == "atomic" ||
+           t->text == "thread_local" || t->text == "using" ||
+           t->text == "typedef" || t->text == "static_assert")) {
+        return;
+      }
+      t = neighbor_token(toks_, static_cast<std::size_t>(t - toks_.data()),
+                         -1);
+    }
+    out_.globals.push_back(toks_[i].text);
+  }
+
+  /// Gathers `A::B::` qualifiers spelled directly before the name token
+  /// (out-of-line member definitions), dropping template arguments.
+  std::string backward_qualified(std::size_t name_idx) const {
+    std::string full = toks_[name_idx].text;
+    std::size_t p = name_idx;
+    for (;;) {
+      const token* colons = neighbor_token(toks_, p, -1);
+      if (!token_is_punct(colons, "::")) break;
+      const std::size_t ci = static_cast<std::size_t>(colons - toks_.data());
+      const token* q = neighbor_token(toks_, ci, -1);
+      if (q == nullptr) break;
+      std::size_t qi = static_cast<std::size_t>(q - toks_.data());
+      if (token_is_punct(q, ">")) {
+        const std::size_t lt = match_backward(toks_, qi, "<", ">");
+        if (lt == npos || lt == 0) break;
+        const token* qq = neighbor_token(toks_, lt, -1);
+        if (qq == nullptr || qq->kind != token_kind::identifier) break;
+        qi = static_cast<std::size_t>(qq - toks_.data());
+        q = qq;
+      }
+      if (q->kind != token_kind::identifier || keyword_like(q->text)) break;
+      full = q->text + "::" + full;
+      p = qi;
+    }
+    return full;
+  }
+
+  /// Parses one parameter list into names + ref/pointer indices.
+  void parse_params(std::size_t open, std::size_t close, func_record& rec) {
+    std::size_t piece_begin = open + 1;
+    int depth = 0;
+    auto flush = [&](std::size_t piece_end) {
+      std::string name;
+      bool by_ref = false;
+      bool stop = false;
+      for (std::size_t k = piece_begin; k < piece_end && !stop; ++k) {
+        const token& t = toks_[k];
+        if (t.kind == token_kind::punct) {
+          if (t.text == "&" || t.text == "&&" || t.text == "*") by_ref = true;
+          if (t.text == "=") stop = true;  // default argument
+          continue;
+        }
+        if (t.kind == token_kind::identifier && !keyword_like(t.text)) {
+          name = t.text;
+        }
+      }
+      if (name.empty() || name == "void") return;
+      if (by_ref) rec.ref_params.push_back(static_cast<int>(rec.params.size()));
+      rec.params.push_back(name);
+    };
+    for (std::size_t k = open + 1; k < close; ++k) {
+      const token& t = toks_[k];
+      if (t.kind != token_kind::punct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{" || t.text == "<") {
+        ++depth;
+      } else if (t.text == ")" || t.text == "]" || t.text == "}" ||
+                 t.text == ">") {
+        --depth;
+      } else if (t.text == "," && depth == 0) {
+        flush(k);
+        piece_begin = k + 1;
+      }
+    }
+    if (close > piece_begin) flush(close);
+  }
+
+  /// Tries to parse a function definition whose name token is at `ni`
+  /// (next token is `(`). On success the body has been scanned, the
+  /// record pushed, and i_ advanced past the closing brace.
+  bool try_function(std::size_t ni) {
+    if (!collectible()) return false;
+    const std::size_t params_open = ni + 1;
+    const std::size_t params_end = skip_balanced(toks_, params_open, "(", ")");
+    if (params_end >= toks_.size()) return false;
+    const std::size_t params_close = params_end - 1;
+
+    // Trailing specifiers, then `{` (definition) or anything else (not).
+    std::size_t j = params_end;
+    std::size_t body_open = npos;
+    while (j < toks_.size() && body_open == npos) {
+      const token& t = toks_[j];
+      if (t.kind == token_kind::pp_directive) {
+        ++j;
+        continue;
+      }
+      if (t.kind == token_kind::identifier &&
+          (t.text == "const" || t.text == "override" || t.text == "final" ||
+           t.text == "mutable" || t.text == "volatile")) {
+        ++j;
+        continue;
+      }
+      if (t.kind == token_kind::identifier &&
+          (t.text == "noexcept" || t.text == "throw")) {
+        ++j;
+        if (j < toks_.size() && token_is_punct(&toks_[j], "(")) {
+          j = skip_balanced(toks_, j, "(", ")");
+        }
+        continue;
+      }
+      if (token_is_punct(&t, "[")) {  // [[attribute]]
+        j = skip_balanced(toks_, j, "[", "]");
+        continue;
+      }
+      if (token_is_punct(&t, "->")) {  // trailing return type
+        ++j;
+        while (j < toks_.size()) {
+          const token& r = toks_[j];
+          if (r.kind == token_kind::identifier ||
+              token_is_punct(&r, "::") || token_is_punct(&r, "*") ||
+              token_is_punct(&r, "&") || token_is_punct(&r, "&&")) {
+            ++j;
+            continue;
+          }
+          if (token_is_punct(&r, "<")) {
+            j = skip_angles(toks_, j);
+            continue;
+          }
+          break;
+        }
+        continue;
+      }
+      if (token_is_punct(&t, ":")) {  // constructor initializer list
+        ++j;
+        for (;;) {
+          while (j < toks_.size() &&
+                 (toks_[j].kind == token_kind::identifier ||
+                  token_is_punct(&toks_[j], "::") ||
+                  toks_[j].kind == token_kind::pp_directive)) {
+            ++j;
+          }
+          if (j >= toks_.size()) return false;
+          if (token_is_punct(&toks_[j], "<")) {
+            j = skip_angles(toks_, j);
+            continue;
+          }
+          if (token_is_punct(&toks_[j], "(")) {
+            j = skip_balanced(toks_, j, "(", ")");
+          } else if (token_is_punct(&toks_[j], "{")) {
+            // Either a member's braced initializer or — when it directly
+            // follows `,`/`:` consumption with no initializer — the body.
+            const token* prev = neighbor_token(toks_, j, -1);
+            if (prev != nullptr && (prev->kind == token_kind::identifier ||
+                                    token_is_punct(prev, ">"))) {
+              j = skip_balanced(toks_, j, "{", "}");
+            } else {
+              body_open = j;
+              break;
+            }
+          } else {
+            return false;
+          }
+          if (j < toks_.size() && token_is_punct(&toks_[j], ",")) {
+            ++j;
+            continue;
+          }
+          if (j < toks_.size() && token_is_punct(&toks_[j], "{")) {
+            body_open = j;
+          }
+          break;
+        }
+        if (body_open == npos) return false;
+        continue;
+      }
+      if (token_is_punct(&t, "{")) {
+        body_open = j;
+        continue;
+      }
+      return false;  // `;` (declaration), `=` (pure/default/delete), ...
+    }
+    if (body_open == npos) return false;
+    const std::size_t body_close = skip_balanced(toks_, body_open, "{", "}");
+
+    func_record rec;
+    const std::string fname = backward_qualified(ni);
+    const std::string qual = scope_qualifier();
+    rec.name = qual.empty() ? fname : qual + "::" + fname;
+    rec.line = toks_[ni].line;
+    rec.allowed = allows_at(lx_, rec.line);
+    rec.is_init = note_flag(lx_, rec.line, &line_notes::init_fn);
+    rec.is_hot = note_flag(lx_, rec.line, &line_notes::hot_path);
+    parse_params(params_open, params_close, rec);
+
+    std::unordered_set<std::string> locals{rec.params.begin(),
+                                           rec.params.end()};
+    const std::size_t dot = rec.name.rfind("::");
+    const std::string lock_prefix =
+        dot == std::string::npos ? std::string{} : rec.name.substr(0, dot);
+    scan_range(rec, params_end, body_close - 1, locals, lock_prefix);
+    out_.funcs.push_back(std::move(rec));
+    i_ = body_close - 1;
+    return true;
+  }
+
+  std::vector<std::string> held_names(
+      const std::vector<held_lock>& held) const {
+    std::vector<std::string> out;
+    out.reserve(held.size());
+    for (const held_lock& h : held) out.push_back(h.name);
+    return out;
+  }
+
+  /// Normalizes one guard-constructor argument [b, e) into a lock name.
+  /// A bare identifier (optionally through `this->`) gets the enclosing
+  /// scope prefix so the same member mutex names identically across TUs.
+  std::string lock_name(std::size_t b, std::size_t e,
+                        const std::string& lock_prefix) const {
+    std::size_t begin = b;
+    if (begin + 1 < e && token_is_ident(&toks_[begin], "this") &&
+        token_is_punct(&toks_[begin + 1], "->")) {
+      begin += 2;
+    }
+    if (e == begin + 1 && toks_[begin].kind == token_kind::identifier) {
+      const std::string& bare = toks_[begin].text;
+      return lock_prefix.empty() ? bare : lock_prefix + "::" + bare;
+    }
+    std::string flat;
+    for (std::size_t k = b; k < e; ++k) {
+      if (toks_[k].kind == token_kind::pp_directive) continue;
+      flat += toks_[k].text;
+    }
+    return flat;
+  }
+
+  /// Parses `std::lock_guard[<...>] var(expr)` / `{expr}` at the guard
+  /// class ident `i`. Returns the index to resume scanning from (the
+  /// closing token) or `i` when this isn't an acquisition.
+  std::size_t handle_lock(func_record& rec, std::size_t i, int depth,
+                          std::vector<held_lock>& held,
+                          const std::string& lock_prefix) {
+    std::size_t j = i + 1;
+    if (j < toks_.size() && token_is_punct(&toks_[j], "<")) {
+      j = skip_angles(toks_, j);
+    }
+    if (j >= toks_.size() || toks_[j].kind != token_kind::identifier) {
+      return i;
+    }
+    const std::string var = toks_[j].text;
+    const std::size_t open = j + 1;
+    if (open >= toks_.size()) return i;
+    const bool paren = token_is_punct(&toks_[open], "(");
+    const bool brace = token_is_punct(&toks_[open], "{");
+    if (!paren && !brace) return i;
+    const std::size_t close =
+        skip_balanced(toks_, open, paren ? "(" : "{", paren ? ")" : "}") - 1;
+    // Split top-level arguments; drop tag arguments, bail on defer/try.
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    std::size_t b = open + 1;
+    int d = 0;
+    for (std::size_t k = open + 1; k <= close; ++k) {
+      const token& t = toks_[k];
+      if (t.kind == token_kind::punct) {
+        if (t.text == "(" || t.text == "[" || t.text == "{") ++d;
+        if (t.text == ")" || t.text == "]" || t.text == "}") --d;
+        if (t.text == "," && d == 0) {
+          if (k > b) args.emplace_back(b, k);
+          b = k + 1;
+        }
+      }
+    }
+    if (close > b) args.emplace_back(b, close);
+    const int line = toks_[i].line;
+    for (const auto& [ab, ae] : args) {
+      const std::string flat = lock_name(ab, ae, "");
+      if (ends_with(flat, "defer_lock") || ends_with(flat, "try_to_lock")) {
+        return close;  // never (or not yet) acquired
+      }
+      if (ends_with(flat, "adopt_lock")) continue;
+    }
+    for (const auto& [ab, ae] : args) {
+      const std::string flat = lock_name(ab, ae, "");
+      if (ends_with(flat, "adopt_lock")) continue;
+      const std::string name = lock_name(ab, ae, lock_prefix);
+      if (name.empty()) continue;
+      rec.locks.push_back(
+          {name, line, held_names(held), allows_at(lx_, line)});
+      held.push_back({name, depth, var});
+    }
+    return close;
+  }
+
+  void set_effect(func_record& rec, effect e, int line,
+                  const std::string& witness) {
+    const int idx = static_cast<int>(e);
+    if (rec.direct[idx] >= 0) return;
+    rec.direct[idx] = line;
+    rec.witness[idx] = witness;
+  }
+
+  /// Direct-effect classification for the identifier at `i`.
+  void handle_direct(func_record& rec, std::size_t i) {
+    const token& t = toks_[i];
+    const token* prev = neighbor_token(toks_, i, -1);
+    const token* next = neighbor_token(toks_, i, 1);
+    const bool member = token_is_punct(prev, ".") || token_is_punct(prev, "->");
+    const bool called = token_is_punct(next, "(");
+    if (called && blocking_call(t.text)) {
+      set_effect(rec, effect::may_block, t.line, t.text);
+      return;
+    }
+    if (io_ident(t.text) || (called && io_call(t.text))) {
+      set_effect(rec, effect::may_block, t.line, t.text);
+      return;
+    }
+    if (t.text == "new" && !token_is_ident(prev, "operator")) {
+      set_effect(rec, effect::may_allocate, t.line, "new");
+      return;
+    }
+    if (called && alloc_call(t.text)) {
+      set_effect(rec, effect::may_allocate, t.line, t.text);
+      return;
+    }
+    if (member) return;  // env/clock/RNG spellings must not be members
+    if (called && (t.text == "getenv" || t.text == "secure_getenv")) {
+      set_effect(rec, effect::reads_env, t.line, t.text);
+      return;
+    }
+    if (clock_ident(t.text) || (called && clock_call(t.text))) {
+      set_effect(rec, effect::reads_clock, t.line, t.text);
+      return;
+    }
+    if (t.text == "random_device" || (called && rng_call(t.text))) {
+      set_effect(rec, effect::uses_ambient_rng, t.line, t.text);
+    }
+  }
+
+  /// Records a call expression (name at `i`, next token `(`).
+  void handle_call(func_record& rec, std::size_t i,
+                   const std::vector<held_lock>& held,
+                   const std::unordered_set<std::string>& locals) {
+    const token& t = toks_[i];
+    if (keyword_like(t.text) || guard_class(t.text)) return;
+    const token* prev = neighbor_token(toks_, i, -1);
+    const bool method =
+        token_is_punct(prev, ".") || token_is_punct(prev, "->");
+    std::string callee = t.text;
+    if (token_is_punct(prev, "::")) {
+      callee = backward_qualified(i);
+      if (starts_with(callee, "std::")) return;  // external
+    }
+    const std::size_t open = i + 1;
+    const std::size_t close = skip_balanced(toks_, open, "(", ")") - 1;
+    call_record c;
+    c.callee = std::move(callee);
+    c.line = t.line;
+    c.method = method;
+    c.held = held_names(held);
+    // Per top-level argument: a single non-local identifier or "".
+    std::size_t b = open + 1;
+    int d = 0;
+    auto flush = [&](std::size_t e) {
+      std::string name;
+      if (e == b + 1 && toks_[b].kind == token_kind::identifier &&
+          locals.count(toks_[b].text) == 0 && !keyword_like(toks_[b].text)) {
+        name = toks_[b].text;
+      }
+      c.args.push_back(std::move(name));
+    };
+    for (std::size_t k = open + 1; k <= close; ++k) {
+      const token& a = toks_[k];
+      if (a.kind != token_kind::punct) continue;
+      if (a.text == "(" || a.text == "[" || a.text == "{" || a.text == "<") {
+        ++d;
+      } else if (a.text == ")" || a.text == "]" || a.text == "}" ||
+                 a.text == ">") {
+        --d;
+      } else if (a.text == "," && d == 0) {
+        flush(k);
+        b = k + 1;
+      }
+    }
+    if (close > b || (close == b + 0 && false)) {
+      if (close >= b + 1 || close > open) {
+        if (close >= b) flush(close);
+      }
+    }
+    if (close == open) c.args.clear();  // `foo()`: no arguments at all
+    rec.calls.push_back(std::move(c));
+
+    // `recv.push_back(x)`-style mutation through the receiver.
+    if (method && mutator_method(t.text)) {
+      const std::size_t pi = static_cast<std::size_t>(prev - toks_.data());
+      if (pi > 0) {
+        const lvalue lv = resolve_lvalue(toks_, pi - 1);
+        if (lv.resolvable) note_write(rec, lv.base, t.line, locals);
+      }
+    }
+  }
+
+  void note_write(func_record& rec, const std::string& base, int line,
+                  const std::unordered_set<std::string>& locals) {
+    if (base.empty() || base == "this") return;
+    for (std::size_t p = 0; p < rec.params.size(); ++p) {
+      if (rec.params[p] != base) continue;
+      const int pi = static_cast<int>(p);
+      if (std::find(rec.ref_params.begin(), rec.ref_params.end(), pi) !=
+              rec.ref_params.end() &&
+          std::find(rec.out_params_written.begin(),
+                    rec.out_params_written.end(),
+                    pi) == rec.out_params_written.end()) {
+        rec.out_params_written.push_back(pi);
+      }
+      return;
+    }
+    if (locals.count(base) != 0) return;
+    for (const nonlocal_write& w : rec.writes) {
+      if (w.name == base) return;
+    }
+    rec.writes.push_back({base, line});
+  }
+
+  /// Write detection at an assignment/inc/dec operator token `i`.
+  void handle_write(func_record& rec, std::size_t i, std::size_t begin,
+                    std::size_t end,
+                    const std::unordered_set<std::string>& locals) {
+    std::size_t target_end = npos;
+    const token& t = toks_[i];
+    if (write_op(t)) {
+      if (i <= begin) return;
+      target_end = i - 1;
+    } else {  // ++ / --
+      const token* prevt = neighbor_token(toks_, i, -1);
+      const token* nextt = neighbor_token(toks_, i, 1);
+      const bool postfix =
+          prevt != nullptr && (prevt->kind == token_kind::identifier ||
+                               token_is_punct(prevt, "]") ||
+                               token_is_punct(prevt, ")"));
+      if (postfix) {
+        target_end = i - 1;
+      } else if (nextt != nullptr && nextt->kind == token_kind::identifier) {
+        std::size_t e = static_cast<std::size_t>(nextt - toks_.data());
+        while (e + 1 < end) {
+          const token& n = toks_[e + 1];
+          if (token_is_punct(&n, ".") || token_is_punct(&n, "->")) {
+            e += 2;
+            continue;
+          }
+          if (token_is_punct(&n, "[")) {
+            e = skip_balanced(toks_, e + 1, "[", "]") - 1;
+            continue;
+          }
+          break;
+        }
+        target_end = e;
+      } else {
+        return;
+      }
+    }
+    const lvalue lv = resolve_lvalue(toks_, target_end);
+    if (!lv.resolvable) return;
+    note_write(rec, lv.base, t.line, locals);
+  }
+
+  /// The shared body walk: direct effects, lock tracking, calls, writes,
+  /// local declarations, and nested parallel_for sites.
+  void scan_range(func_record& rec, std::size_t begin, std::size_t end,
+                  std::unordered_set<std::string>& locals,
+                  const std::string& lock_prefix) {
+    int depth = 0;
+    std::vector<held_lock> held;
+    for (std::size_t i = begin; i < end; ++i) {
+      const token& t = toks_[i];
+      if (t.kind == token_kind::pp_directive) continue;
+      if (token_is_punct(&t, "{")) {
+        ++depth;
+        continue;
+      }
+      if (token_is_punct(&t, "}")) {
+        --depth;
+        held.erase(std::remove_if(held.begin(), held.end(),
+                                  [&](const held_lock& h) {
+                                    return h.depth > depth;
+                                  }),
+                   held.end());
+        continue;
+      }
+      if (write_op(t) || token_is_punct(&t, "++") ||
+          token_is_punct(&t, "--")) {
+        handle_write(rec, i, begin, end, locals);
+        continue;
+      }
+      if (t.kind != token_kind::identifier) continue;
+
+      // Local declarations (incl. structured bindings) shadow captures
+      // and parameters for write/arg resolution.
+      if (t.text == "auto") {
+        std::size_t j = i + 1;
+        while (j < end && (token_is_punct(&toks_[j], "&") ||
+                           token_is_punct(&toks_[j], "&&"))) {
+          ++j;
+        }
+        if (j < end && token_is_punct(&toks_[j], "[")) {
+          const std::size_t e = skip_balanced(toks_, j, "[", "]");
+          for (std::size_t k = j + 1; k + 1 < e; ++k) {
+            if (toks_[k].kind == token_kind::identifier) {
+              locals.insert(toks_[k].text);
+            }
+          }
+        }
+        continue;
+      }
+      if (guard_class(t.text)) {
+        const std::size_t resumed = handle_lock(rec, i, depth, held,
+                                                lock_prefix);
+        if (resumed != i) {
+          i = resumed;
+          continue;
+        }
+      }
+      if (t.text == "unlock") {
+        const token* prev = neighbor_token(toks_, i, -1);
+        if (token_is_punct(prev, ".") || token_is_punct(prev, "->")) {
+          const token* var = neighbor_token(
+              toks_, static_cast<std::size_t>(prev - toks_.data()), -1);
+          if (var != nullptr) {
+            held.erase(std::remove_if(held.begin(), held.end(),
+                                      [&](const held_lock& h) {
+                                        return h.guard_var == var->text;
+                                      }),
+                       held.end());
+          }
+        }
+        continue;
+      }
+      if ((t.text == "parallel_for" || t.text == "parallel_for_chunks") &&
+          i + 1 < toks_.size() && token_is_punct(&toks_[i + 1], "(")) {
+        if (!thread_pool_home_ && site_done_.insert(i).second) {
+          handle_site(i, rec, lock_prefix);
+        }
+        // The enclosing function keeps absorbing the body's effects (the
+        // loop walks on through it); the call itself is the sanctioned
+        // fork-join and is never an edge.
+        continue;
+      }
+      handle_direct(rec, i);
+      if (i + 1 < toks_.size() && token_is_punct(&toks_[i + 1], "(") &&
+          !keyword_like(t.text)) {
+        handle_call(rec, i, held, locals);
+      }
+      // Plain local declaration: type-ish token, the name, then a
+      // declarator-shaped follower.
+      if (!keyword_like(t.text)) {
+        const token* prev = neighbor_token(toks_, i, -1);
+        const token* next = neighbor_token(toks_, i, 1);
+        static const std::unordered_set<std::string> follower = {
+            "=", ";", "{", "(", "[", ":", ",", ")"};
+        if (type_ish(prev) && next != nullptr &&
+            next->kind == token_kind::punct &&
+            follower.count(next->text) != 0) {
+          locals.insert(t.text);
+        }
+      }
+    }
+  }
+
+  /// Extracts one parallel_for site: capture list, synthetic lambda
+  /// record (scanned like a function body), and the site entry itself.
+  void handle_site(std::size_t name_idx, const func_record& enclosing,
+                   const std::string& lock_prefix) {
+    const std::size_t call_open = name_idx + 1;
+    const std::size_t call_end = skip_balanced(toks_, call_open, "(", ")");
+    // Lambda introducer in argument position.
+    std::size_t lb = npos;
+    int depth = 0;
+    for (std::size_t i = call_open; i < call_end; ++i) {
+      const token& t = toks_[i];
+      if (token_is_punct(&t, "(")) {
+        ++depth;
+        continue;
+      }
+      if (token_is_punct(&t, ")")) {
+        --depth;
+        continue;
+      }
+      if (depth == 1 && token_is_punct(&t, "[")) {
+        const token* prev = neighbor_token(toks_, i, -1);
+        if (token_is_punct(prev, "(") || token_is_punct(prev, ",")) {
+          lb = i;
+          break;
+        }
+      }
+    }
+    if (lb == npos) return;
+    const std::size_t rb = skip_balanced(toks_, lb, "[", "]") - 1;
+    if (rb >= call_end) return;
+
+    par_site_record site;
+    site.line = toks_[name_idx].line;
+    site.fn = toks_[name_idx].text;
+    site.allowed = allows_at(lx_, site.line);
+    // Capture list (compact form of the capture pass's parser).
+    int cdepth = 0;
+    bool entry_start = true;
+    for (std::size_t i = lb + 1; i < rb; ++i) {
+      const token& t = toks_[i];
+      if (t.kind == token_kind::punct &&
+          (t.text == "(" || t.text == "[" || t.text == "{")) {
+        ++cdepth;
+      }
+      if (t.kind == token_kind::punct &&
+          (t.text == ")" || t.text == "]" || t.text == "}")) {
+        --cdepth;
+      }
+      if (cdepth == 0 && token_is_punct(&t, ",")) {
+        entry_start = true;
+        continue;
+      }
+      if (!entry_start) continue;
+      if (token_is_punct(&t, "&")) {
+        const token* next = neighbor_token(toks_, i, 1);
+        if (next != nullptr && next->kind == token_kind::identifier) {
+          site.ref_captures.push_back(next->text);
+          ++i;
+        } else {
+          site.default_ref = true;
+        }
+        entry_start = false;
+        continue;
+      }
+      if (token_is_punct(&t, "=")) {
+        entry_start = false;
+        continue;
+      }
+      if (token_is_punct(&t, "*")) continue;  // *this
+      if (t.kind == token_kind::identifier) {
+        if (t.text == "this") {
+          site.captures_this = true;
+        } else {
+          site.val_captures.push_back(t.text);
+        }
+        entry_start = false;
+      }
+    }
+
+    // Parameter list and body.
+    std::size_t params_open = rb + 1;
+    while (params_open < call_end &&
+           toks_[params_open].kind == token_kind::pp_directive) {
+      ++params_open;
+    }
+    if (params_open >= call_end ||
+        !token_is_punct(&toks_[params_open], "(")) {
+      return;
+    }
+    const std::size_t params_end =
+        skip_balanced(toks_, params_open, "(", ")");
+    std::size_t body_open = params_end;
+    while (body_open < call_end && !token_is_punct(&toks_[body_open], "{")) {
+      ++body_open;
+    }
+    if (body_open >= call_end) return;
+    const std::size_t body_close = skip_balanced(toks_, body_open, "{", "}");
+
+    func_record lrec;
+    lrec.line = site.line;
+    lrec.is_lambda = true;
+    lrec.is_init = enclosing.is_init;  // a lambda inside an init function
+    lrec.allowed = site.allowed;
+    parse_params(params_open, params_end - 1, lrec);
+    std::unordered_set<std::string> locals{lrec.params.begin(),
+                                           lrec.params.end()};
+    scan_range(lrec, params_end, body_close - 1, locals, lock_prefix);
+    site.lambda_index = out_.funcs.size();
+    out_.funcs.push_back(std::move(lrec));
+    out_.sites.push_back(std::move(site));
+  }
+
+  std::string rel_;
+  const lex_result& lx_;
+  const std::vector<token>& toks_;
+  const bool thread_pool_home_;
+  std::size_t i_{0};
+  std::vector<scope> stack_;
+  std::string pending_name_;
+  std::unordered_set<std::size_t> site_done_;
+  file_effects out_;
+};
+
+// ---------------------------------------------------------------------------
+// Cross-file engine: name resolution, SCC fixed point, witness chains.
+
+/// How a node came to carry an effect (or hold a lock): through the call
+/// at `line` to node `via` (>= 0), or directly at `line` (via < 0, with
+/// `note` holding the witness token / acquisition file).
+struct origin {
+  int via{-1};
+  int line{-1};
+  std::string note;
+  bool waived{false};  // lock origins: acquisition has allow(lock-order)
+};
+
+struct engine {
+  struct node_ref {
+    const file_summary* file{nullptr};
+    const func_record* rec{nullptr};
+    bool exempt{false};
+  };
+
+  std::vector<node_ref> nodes;
+  /// (file, site, lambda node index) per parallel site.
+  struct site_ref {
+    const file_summary* file{nullptr};
+    const par_site_record* site{nullptr};
+    std::size_t lambda_node{0};
+  };
+  std::vector<site_ref> sites;
+
+  std::unordered_map<std::string, std::vector<std::size_t>> by_last;
+  std::unordered_set<std::string> globals;
+
+  std::vector<std::array<origin, k_effect_count>> closure;
+  std::vector<std::map<std::string, origin>> locksets;
+  std::vector<std::set<int>> wparams;
+  std::vector<std::vector<std::vector<std::size_t>>> call_targets;
+
+  static std::string last_component(const std::string& name) {
+    const std::size_t p = name.rfind("::");
+    return p == std::string::npos ? name : name.substr(p + 2);
+  }
+
+  void build(const std::vector<file_summary>& files) {
+    for (const file_summary& f : files) {
+      const bool exempt = path_effect_exempt(f.rel_path);
+      const std::size_t base = nodes.size();
+      for (const func_record& fr : f.funcs) {
+        nodes.push_back({&f, &fr, exempt});
+        if (!fr.is_lambda && !fr.name.empty()) {
+          by_last[last_component(fr.name)].push_back(nodes.size() - 1);
+        }
+      }
+      for (const par_site_record& ps : f.par_sites) {
+        if (ps.lambda_index < f.funcs.size()) {
+          sites.push_back({&f, &ps, base + ps.lambda_index});
+        }
+      }
+      globals.insert(f.globals.begin(), f.globals.end());
+    }
+    resolve_calls();
+    close_over_sccs();
+  }
+
+  /// Method spellings shared with the standard containers/streams never
+  /// resolve to repo functions: `cur.clear()` on a std::string must not
+  /// inherit strong_lru_cache::clear's lock just because that happens to
+  /// be the only `clear` defined in the repo.
+  static bool std_method_name(const std::string& s) {
+    static const std::unordered_set<std::string> names = {
+        "clear", "size",  "empty",   "begin", "end",   "find",   "count",
+        "at",    "front", "back",    "data",  "str",   "c_str",  "substr",
+        "append", "insert", "erase", "reserve", "resize", "push_back",
+        "emplace_back", "pop_back", "emplace", "swap", "get",    "reset",
+        "load",  "store", "length",  "assign", "fill", "min",    "max",
+        "first", "second", "value",  "reason", "what", "compare"};
+    return names.count(s) != 0;
+  }
+
+  std::vector<std::size_t> resolve(std::size_t from, const call_record& c) {
+    std::vector<std::size_t> out;
+    const std::string last = last_component(c.callee);
+    if (c.method && std_method_name(last)) return out;
+    const auto it = by_last.find(last);
+    if (it == by_last.end()) return out;
+    const bool qualified = c.callee.find("::") != std::string::npos;
+    for (const std::size_t cand : it->second) {
+      const std::string& full = nodes[cand].rec->name;
+      if (qualified && full != c.callee &&
+          !ends_with(full, "::" + c.callee)) {
+        continue;
+      }
+      out.push_back(cand);
+    }
+    // A method call only resolves on a unique name match — otherwise
+    // every `v.size()` would inherit whatever some class's size() does.
+    if (c.method && out.size() != 1) out.clear();
+    (void)from;
+    return out;
+  }
+
+  void resolve_calls() {
+    call_targets.resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const auto& calls = nodes[i].rec->calls;
+      call_targets[i].resize(calls.size());
+      for (std::size_t k = 0; k < calls.size(); ++k) {
+        call_targets[i][k] = resolve(i, calls[k]);
+      }
+    }
+  }
+
+  /// True when effects of callee `t` propagate into callers: dv:init
+  /// functions run once at startup and exempt paths are the sanctioned
+  /// observability/runtime layers.
+  bool propagates(std::size_t t) const {
+    return !nodes[t].exempt && !nodes[t].rec->is_init;
+  }
+
+  void close_over_sccs() {
+    closure.resize(nodes.size());
+    locksets.resize(nodes.size());
+    wparams.resize(nodes.size());
+    // Seed with each node's own facts.
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const func_record& fr = *nodes[i].rec;
+      for (int e = 0; e < k_effect_count; ++e) {
+        if (fr.direct[e] >= 0) {
+          closure[i][e] = {-1, fr.direct[e], fr.witness[e], false};
+        }
+      }
+      for (const nonlocal_write& w : fr.writes) {
+        if (globals.count(w.name) != 0) {
+          const int e = static_cast<int>(effect::writes_global);
+          if (closure[i][e].line < 0) closure[i][e] = {-1, w.line, w.name};
+          break;
+        }
+      }
+      for (const lock_record& l : fr.locks) {
+        if (locksets[i].count(l.name) == 0) {
+          locksets[i][l.name] = {-1, l.line, nodes[i].file->rel_path,
+                                 contains(l.allowed, "lock-order")};
+        }
+      }
+      wparams[i].insert(fr.out_params_written.begin(),
+                        fr.out_params_written.end());
+    }
+    // Dense edges for the SCC decomposition.
+    std::vector<std::vector<std::size_t>> edges(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      std::set<std::size_t> uniq;
+      for (const auto& targets : call_targets[i]) {
+        uniq.insert(targets.begin(), targets.end());
+      }
+      edges[i].assign(uniq.begin(), uniq.end());
+    }
+    const scc_result sccs = tarjan_sccs(edges);
+    // Components come callees-first, so one inner loop per component
+    // converges (iterate until stable for intra-SCC recursion).
+    for (const auto& comp : sccs.components) {
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (const std::size_t m : comp) {
+          const auto& calls = nodes[m].rec->calls;
+          for (std::size_t k = 0; k < calls.size(); ++k) {
+            for (const std::size_t t : call_targets[m][k]) {
+              if (!propagates(t)) continue;
+              for (int e = 0; e < k_effect_count; ++e) {
+                if (closure[t][e].line >= 0 && closure[m][e].line < 0) {
+                  closure[m][e] = {static_cast<int>(t), calls[k].line, "",
+                                   false};
+                  changed = true;
+                }
+              }
+              for (const auto& [lname, lo] : locksets[t]) {
+                if (locksets[m].count(lname) == 0) {
+                  locksets[m][lname] = {static_cast<int>(t), calls[k].line,
+                                        "", lo.waived};
+                  changed = true;
+                }
+              }
+              for (const int wp : wparams[t]) {
+                if (wp < 0 ||
+                    static_cast<std::size_t>(wp) >= calls[k].args.size()) {
+                  continue;
+                }
+                const std::string& arg = calls[k].args[wp];
+                if (arg.empty()) continue;
+                const func_record& mr = *nodes[m].rec;
+                for (const int rp : mr.ref_params) {
+                  if (static_cast<std::size_t>(rp) < mr.params.size() &&
+                      mr.params[rp] == arg &&
+                      wparams[m].insert(rp).second) {
+                    changed = true;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::string display(std::size_t n) const {
+    const func_record& fr = *nodes[n].rec;
+    return fr.is_lambda ? "(lambda at " + nodes[n].file->rel_path + ":" +
+                              std::to_string(fr.line) + ")"
+                        : fr.name;
+  }
+
+  /// Renders the witness chain for (node, effect): the callee path, then
+  /// the triggering token and its location.
+  std::string chain(std::size_t n, int e) const {
+    std::string path;
+    std::size_t cur = n;
+    for (int hops = 0; hops < 64; ++hops) {
+      const origin& o = closure[cur][e];
+      if (o.via < 0) {
+        std::string tail = "'" + o.note + "' (" + nodes[cur].file->rel_path +
+                           ":" + std::to_string(o.line) + ")";
+        return path.empty() ? tail : "call chain " + path + " ending in " +
+                                         tail;
+      }
+      const std::size_t next = static_cast<std::size_t>(o.via);
+      path += (path.empty() ? "" : " -> ") + display(next);
+      cur = next;
+    }
+    return path;
+  }
+
+  std::string lock_chain(std::size_t n, const std::string& lname) const {
+    std::string path;
+    std::size_t cur = n;
+    for (int hops = 0; hops < 64; ++hops) {
+      const auto it = locksets[cur].find(lname);
+      if (it == locksets[cur].end()) break;
+      const origin& o = it->second;
+      if (o.via < 0) {
+        std::string tail = "acquisition at " + o.note + ":" +
+                           std::to_string(o.line);
+        return path.empty() ? tail : "call chain " + path + " ending in " +
+                                         tail;
+      }
+      const std::size_t next = static_cast<std::size_t>(o.via);
+      path += (path.empty() ? "" : " -> ") + display(next);
+      cur = next;
+    }
+    return path;
+  }
+};
+
+bool in_tests(const std::string& rel) { return starts_with(rel, "tests/"); }
+
+// ---------------------------------------------------------------------------
+// hot-path-purity
+
+const std::array<const char*, k_effect_count> k_effect_verbs = {
+    "blocks", "allocates", "reads the environment", "reads the clock",
+    "draws ambient randomness", "writes namespace-scope state"};
+
+void report_hot_root(const engine& eng, std::size_t node,
+                     const std::string& what,
+                     const std::vector<std::string>& allowed,
+                     const std::string& file, int line,
+                     std::vector<violation>& out) {
+  if (contains(allowed, "hot-path-purity")) return;
+  static const std::array<effect, 5> banned = {
+      effect::may_block, effect::reads_env, effect::reads_clock,
+      effect::uses_ambient_rng, effect::may_allocate};
+  for (const effect e : banned) {
+    const int ei = static_cast<int>(e);
+    if (eng.closure[node][ei].line < 0) continue;
+    if (contains(allowed, std::string{"effect:"} + effect_name(e))) continue;
+    out.push_back(
+        {file, line, "hot-path-purity",
+         what + " transitively " + k_effect_verbs[ei] + ": " +
+             eng.chain(node, ei) +
+             "; hot paths must stay pure (docs/STATIC_ANALYSIS.md) — hoist "
+             "the effect out of the parallel region, or waive with "
+             "// dv-lint: allow(effect:" +
+             effect_name(e) + ") <reason>"});
+  }
+  if (contains(allowed, "effect:acquires_lock")) return;
+  for (const auto& [lname, lo] : eng.locksets[node]) {
+    out.push_back(
+        {file, line, "hot-path-purity",
+         what + " transitively acquires lock '" + lname + "': " +
+             eng.lock_chain(node, lname) +
+             "; a lock inside a hot path serializes the pool — restructure, "
+             "or waive with // dv-lint: allow(effect:acquires_lock) "
+             "<reason>"});
+  }
+}
+
+void check_hot_paths(const engine& eng, std::vector<violation>& out) {
+  for (const auto& sr : eng.sites) {
+    if (in_tests(sr.file->rel_path)) continue;
+    report_hot_root(eng, sr.lambda_node, "'" + sr.site->fn + "' body",
+                    sr.site->allowed, sr.file->rel_path, sr.site->line, out);
+  }
+  for (std::size_t i = 0; i < eng.nodes.size(); ++i) {
+    const func_record& fr = *eng.nodes[i].rec;
+    if (!fr.is_hot || fr.is_lambda) continue;
+    if (in_tests(eng.nodes[i].file->rel_path)) continue;
+    report_hot_root(eng, i, "dv:hot-path function '" + fr.name + "'",
+                    fr.allowed, eng.nodes[i].file->rel_path, fr.line, out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+
+struct lock_edge {
+  std::string from, to;
+  std::string file;
+  int line{0};
+};
+
+void check_lock_order(const engine& eng, std::vector<violation>& out) {
+  std::vector<lock_edge> edges;
+  std::set<std::pair<std::string, std::string>> seen;
+  auto add_edge = [&](const std::string& from, const std::string& to,
+                      const std::string& file, int line, bool waived) {
+    if (waived) return;
+    if (from == to) {
+      out.push_back(
+          {file, line, "lock-order",
+           "lock '" + from +
+               "' acquired while already held; a non-recursive mutex "
+               "self-deadlocks here — drop the inner acquisition or waive "
+               "with // dv-lint: allow(lock-order) <reason>"});
+      return;
+    }
+    if (seen.insert({from, to}).second) {
+      edges.push_back({from, to, file, line});
+    }
+  };
+
+  for (std::size_t i = 0; i < eng.nodes.size(); ++i) {
+    const engine::node_ref& nr = eng.nodes[i];
+    if (!starts_with(nr.file->rel_path, "src/") || nr.exempt) continue;
+    for (const lock_record& l : nr.rec->locks) {
+      const bool waived = contains(l.allowed, "lock-order");
+      for (const std::string& h : l.held) {
+        add_edge(h, l.name, nr.file->rel_path, l.line, waived);
+      }
+    }
+    const auto& calls = nr.rec->calls;
+    for (std::size_t k = 0; k < calls.size(); ++k) {
+      if (calls[k].held.empty()) continue;
+      for (const std::size_t t : eng.call_targets[i][k]) {
+        if (!eng.propagates(t)) continue;
+        for (const auto& [lname, lo] : eng.locksets[t]) {
+          for (const std::string& h : calls[k].held) {
+            add_edge(h, lname, nr.file->rel_path, calls[k].line, lo.waived);
+          }
+        }
+      }
+    }
+  }
+
+  // Cycle detection over the acquired-while-held graph.
+  std::map<std::string, std::size_t> id;
+  for (const lock_edge& e : edges) {
+    id.emplace(e.from, id.size());
+    id.emplace(e.to, id.size());
+  }
+  std::vector<std::string> names(id.size());
+  for (const auto& [n, i] : id) names[i] = n;
+  std::vector<std::vector<std::size_t>> g(id.size());
+  for (const lock_edge& e : edges) {
+    g[id[e.from]].push_back(id[e.to]);
+  }
+  const scc_result sccs = tarjan_sccs(g);
+  for (const auto& comp : sccs.components) {
+    if (comp.size() < 2) continue;
+    std::vector<std::string> members;
+    for (const std::size_t n : comp) members.push_back(names[n]);
+    std::sort(members.begin(), members.end());
+    std::string list;
+    for (const auto& m : members) {
+      if (!list.empty()) list += " -> ";
+      list += "'" + m + "'";
+    }
+    // Anchor at the first recorded edge that stays inside the cycle and
+    // describe up to three of its edges.
+    const std::unordered_set<std::string> in_comp{members.begin(),
+                                                  members.end()};
+    const lock_edge* anchor = nullptr;
+    std::string detail;
+    int shown = 0;
+    for (const lock_edge& e : edges) {
+      if (in_comp.count(e.from) == 0 || in_comp.count(e.to) == 0) continue;
+      if (anchor == nullptr) anchor = &e;
+      if (shown < 3) {
+        detail += (detail.empty() ? "" : "; ") + ("'" + e.to +
+                  "' taken while holding '" + e.from + "' at " + e.file +
+                  ":" + std::to_string(e.line));
+        ++shown;
+      }
+    }
+    if (anchor == nullptr) continue;
+    out.push_back(
+        {anchor->file, anchor->line, "lock-order",
+         "lock-order cycle between " + list + " (" + detail +
+             "); threads interleaving these orders deadlock — pick one "
+             "global acquisition order, or waive an acquisition with "
+             "// dv-lint: allow(lock-order) <reason>"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// transitive capture
+
+void check_transitive_captures(const engine& eng,
+                               std::vector<violation>& out) {
+  std::set<std::pair<int, std::string>> dedup;
+  for (const auto& sr : eng.sites) {
+    if (in_tests(sr.file->rel_path)) continue;
+    const par_site_record& site = *sr.site;
+    if (contains(site.allowed, "capture")) continue;
+    const func_record& lam = *eng.nodes[sr.lambda_node].rec;
+    for (std::size_t k = 0; k < lam.calls.size(); ++k) {
+      const call_record& c = lam.calls[k];
+      for (std::size_t a = 0; a < c.args.size(); ++a) {
+        const std::string& arg = c.args[a];
+        if (arg.empty()) continue;
+        const bool by_ref =
+            contains(site.ref_captures, arg) ||
+            (site.default_ref && !contains(site.val_captures, arg));
+        if (!by_ref) continue;
+        for (const std::size_t t : eng.call_targets[sr.lambda_node][k]) {
+          if (eng.wparams[t].count(static_cast<int>(a)) == 0) continue;
+          const std::string msg =
+              "'" + arg + "' is captured by reference and written through "
+              "'" + eng.display(t) + "' (argument " + std::to_string(a + 1) +
+              " of the call at " + sr.file->rel_path + ":" +
+              std::to_string(c.line) +
+              "); every chunk races on it — write disjoint slots, reduce "
+              "into per-chunk partials, or waive with // dv-lint: "
+              "allow(capture) <reason>";
+          if (dedup.insert({site.line, msg}).second) {
+            out.push_back({sr.file->rel_path, site.line, "capture", msg});
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+file_effects extract_effects(const std::string& rel_path,
+                             const lex_result& lx) {
+  return extractor{rel_path, lx}.run();
+}
+
+void check_init_only_config(const std::string& rel_path, const lex_result& lx,
+                            const file_effects& fx,
+                            std::vector<violation>& out) {
+  if (!starts_with(rel_path, "src/") || path_effect_exempt(rel_path)) return;
+  const int ei = static_cast<int>(effect::reads_env);
+  for (const func_record& f : fx.funcs) {
+    if (f.is_init || f.direct[ei] < 0) continue;
+    const int line = f.direct[ei];
+    if (line_allows(lx, "init-only-config", line)) continue;
+    out.push_back(
+        {rel_path, line, "init-only-config",
+         "'" + f.witness[ei] +
+             "' outside a dv:init function re-reads configuration per "
+             "call; latch the knob once at startup in a function annotated "
+             "// dv:init(<reason>), or waive with // dv-lint: "
+             "allow(init-only-config) <reason>"});
+  }
+}
+
+std::vector<violation> check_effects(const std::vector<file_summary>& files) {
+  engine eng;
+  eng.build(files);
+  std::vector<violation> out;
+  check_hot_paths(eng, out);
+  check_lock_order(eng, out);
+  check_transitive_captures(eng, out);
+  return out;
+}
+
+std::string explain_effects(const std::vector<file_summary>& files,
+                            const std::string& name) {
+  engine eng;
+  eng.build(files);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < eng.nodes.size(); ++i) {
+    const func_record& fr = *eng.nodes[i].rec;
+    if (fr.is_lambda) continue;
+    if (fr.name != name && !ends_with(fr.name, "::" + name)) continue;
+    os << fr.name << " (" << eng.nodes[i].file->rel_path << ":" << fr.line
+       << ")";
+    if (fr.is_init) os << " [dv:init]";
+    if (fr.is_hot) os << " [dv:hot-path]";
+    if (eng.nodes[i].exempt) os << " [exempt path]";
+    os << "\n";
+    bool any = false;
+    for (int e = 0; e < k_effect_count; ++e) {
+      if (eng.closure[i][e].line < 0) continue;
+      os << "  " << effect_name(static_cast<effect>(e)) << ": "
+         << eng.chain(i, e) << "\n";
+      any = true;
+    }
+    for (const auto& [lname, lo] : eng.locksets[i]) {
+      os << "  acquires_lock '" << lname << "': " << eng.lock_chain(i, lname)
+         << "\n";
+      any = true;
+    }
+    if (!any) os << "  (no inferred effects)\n";
+  }
+  return os.str();
+}
+
+}  // namespace dv_lint

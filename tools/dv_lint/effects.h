@@ -1,0 +1,66 @@
+// Effect-inference engine. extract_effects() walks one file's token
+// stream and records, per function definition, the *direct* effects its
+// body exhibits (blocking waits, allocation, getenv, clock reads,
+// ambient RNG, writes to namespace-scope state), every mutex
+// acquisition with the set of locks already held, and every call with
+// the locks held at the call site — plus one synthetic record per
+// parallel_for lambda. The records are cached with the file summary
+// (cache.h), so warm runs skip re-lexing unchanged files entirely.
+//
+// check_effects() then resolves calls across every scanned TU into a
+// call graph, closes the per-function summaries over its SCCs with one
+// bottom-up fixed point (scc.h), and enforces:
+//
+//   hot-path-purity — parallel_for lambda bodies and dv:hot-path(...)
+//       functions must not transitively block, read env/clock, draw
+//       ambient randomness, allocate, or acquire locks
+//   lock-order      — the global acquired-while-held graph over
+//       src/ must stay acyclic (cycle = deadlock by interleaving)
+//   capture         — by-ref captures written *through callees* of a
+//       parallel_for lambda (the transitive form of capture_check.h)
+//
+// init-only-config (getenv outside a dv:init function) is a per-file
+// check and runs from lint_lexed; it lives here because it reads the
+// same records. Every diagnostic carries the witness call chain; the
+// --explain CLI mode prints the full chain for any function by name.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "lint.h"
+
+namespace dv_lint {
+
+/// Everything effect-related extracted from one file. funcs includes
+/// synthetic lambda records (referenced by sites[*].lambda_index).
+struct file_effects {
+  std::vector<func_record> funcs;
+  std::vector<par_site_record> sites;
+  /// Namespace-scope mutable variables declared in this file (the
+  /// cross-file writes_global target set).
+  std::vector<std::string> globals;
+};
+
+file_effects extract_effects(const std::string& rel_path,
+                             const lex_result& lx);
+
+/// Per-file check: under src/, getenv may only appear inside a function
+/// annotated dv:init(<reason>) (knobs latch at startup, never per-call).
+void check_init_only_config(const std::string& rel_path, const lex_result& lx,
+                            const file_effects& fx,
+                            std::vector<violation>& out);
+
+/// Cross-file pass over every scanned file's cached records: resolves
+/// the call graph, runs the fixed point, and emits hot-path-purity,
+/// lock-order, and transitive capture violations.
+std::vector<violation> check_effects(const std::vector<file_summary>& files);
+
+/// Renders the inferred effect closure of every function whose
+/// (qualified) name matches `name`, one witness chain per effect.
+/// Returns "" when no function matches.
+std::string explain_effects(const std::vector<file_summary>& files,
+                            const std::string& name);
+
+}  // namespace dv_lint

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "scc.h"
+
 namespace dv_lint {
 
 namespace {
@@ -150,74 +152,14 @@ void check_layering(const graph& g, const layer_manifest& layers,
 }
 
 // ---------------------------------------------------------------------------
-// include-cycle (iterative Tarjan SCC)
-
-struct tarjan {
-  const graph* g{nullptr};
-  std::vector<int> index_of, low;
-  std::vector<bool> on_stack;
-  std::vector<std::size_t> stack;
-  int next_index{0};
-  std::vector<std::vector<std::size_t>> sccs;  // only size > 1
-
-  void run() {
-    const std::size_t n = g->edges.size();
-    index_of.assign(n, -1);
-    low.assign(n, 0);
-    on_stack.assign(n, false);
-    for (std::size_t v = 0; v < n; ++v) {
-      if (index_of[v] < 0) strongconnect(v);
-    }
-  }
-
-  void strongconnect(std::size_t root) {
-    // Explicit stack: (node, next-edge cursor).
-    std::vector<std::pair<std::size_t, std::size_t>> work{{root, 0}};
-    while (!work.empty()) {
-      auto& [v, cursor] = work.back();
-      if (cursor == 0) {
-        index_of[v] = low[v] = next_index++;
-        stack.push_back(v);
-        on_stack[v] = true;
-      }
-      bool descended = false;
-      while (cursor < g->edges[v].size()) {
-        const std::size_t w = g->edges[v][cursor++];
-        if (index_of[w] < 0) {
-          work.emplace_back(w, 0);
-          descended = true;
-          break;
-        }
-        if (on_stack[w]) low[v] = std::min(low[v], index_of[w]);
-      }
-      if (descended) continue;
-      if (low[v] == index_of[v]) {
-        std::vector<std::size_t> scc;
-        for (;;) {
-          const std::size_t w = stack.back();
-          stack.pop_back();
-          on_stack[w] = false;
-          scc.push_back(w);
-          if (w == v) break;
-        }
-        if (scc.size() > 1) sccs.push_back(std::move(scc));
-      }
-      const std::size_t finished = v;
-      work.pop_back();
-      if (!work.empty()) {
-        const std::size_t parent = work.back().first;
-        low[parent] = std::min(low[parent], low[finished]);
-      }
-    }
-  }
-};
+// include-cycle (iterative Tarjan SCC, shared with the effects pass —
+// scc.h)
 
 void check_cycles(const graph& g, std::vector<violation>& out) {
-  tarjan t;
-  t.g = &g;
-  t.run();
+  const scc_result sccs = tarjan_sccs(g.edges);
   const auto& files = *g.files;
-  for (auto& scc : t.sccs) {
+  for (const auto& scc : sccs.components) {
+    if (scc.size() < 2) continue;
     std::vector<std::string> members;
     members.reserve(scc.size());
     for (const std::size_t idx : scc) {

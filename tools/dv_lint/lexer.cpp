@@ -15,13 +15,25 @@ bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
+/// True when `tag(` appears in `text` with a non-empty reason between the
+/// parentheses (the shared shape of the dv: function annotations).
+bool has_reasoned_tag(std::string_view text, std::string_view tag) {
+  const std::size_t at = text.find(tag);
+  if (at == std::string_view::npos) return false;
+  const std::size_t open = at + tag.size();
+  const std::size_t close = text.find(')', open);
+  return close != std::string_view::npos && close > open;
+}
+
 /// Parses lint annotations out of one comment's text and attaches them to
-/// `notes`. Grammar (anywhere inside the comment, both forms may repeat):
+/// `notes`. Grammar (anywhere inside the comment, all forms may repeat):
 ///   dv-lint: allow(<check>[, <check>...])
-///   dv:parallel-safe(<non-empty reason>)
+///   dv:parallel-safe / dv:init / dv:hot-path, each followed by
+///   (<non-empty reason>)
+/// The tag spellings are split across lines above on purpose: this very
+/// comment would otherwise annotate scan_comment itself.
 void scan_comment(std::string_view text, int line, line_notes& notes) {
   constexpr std::string_view allow_tag = "dv-lint: allow(";
-  constexpr std::string_view safe_tag = "dv:parallel-safe(";
   for (std::size_t pos = 0; (pos = text.find(allow_tag, pos)) != std::string_view::npos;) {
     pos += allow_tag.size();
     const std::size_t close = text.find(')', pos);
@@ -42,14 +54,9 @@ void scan_comment(std::string_view text, int line, line_notes& notes) {
     }
     pos = close;
   }
-  const std::size_t safe = text.find(safe_tag);
-  if (safe != std::string_view::npos) {
-    const std::size_t open = safe + safe_tag.size();
-    const std::size_t close = text.find(')', open);
-    if (close != std::string_view::npos && close > open) {
-      notes.parallel_safe = true;
-    }
-  }
+  if (has_reasoned_tag(text, "dv:parallel-safe(")) notes.parallel_safe = true;
+  if (has_reasoned_tag(text, "dv:init(")) notes.init_fn = true;
+  if (has_reasoned_tag(text, "dv:hot-path(")) notes.hot_path = true;
   (void)line;
 }
 

@@ -35,6 +35,14 @@ struct line_notes {
   /// True when the line carries `dv:parallel-safe(<reason>)` with a
   /// non-empty reason.
   bool parallel_safe{false};
+  /// True when the line carries `dv:init(<reason>)`: the function defined
+  /// here latches ambient state (env knobs) once at startup/first use, so
+  /// its reads_env/reads_clock effects do not propagate to callers.
+  bool init_fn{false};
+  /// True when the line carries `dv:hot-path(<reason>)`: the function
+  /// defined here is a serving hot-path root and must satisfy the same
+  /// transitive purity contract as a parallel_for lambda body.
+  bool hot_path{false};
 };
 
 struct lex_result {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
@@ -14,6 +15,7 @@
 #include "api_surface.h"
 #include "cache.h"
 #include "capture_check.h"
+#include "effects.h"
 #include "include_graph.h"
 #include "lexer.h"
 #include "token_utils.h"
@@ -543,7 +545,8 @@ void check_simd(const file_ctx& ctx) {
 }
 
 std::vector<violation> lint_lexed(const std::string& rel_path,
-                                  const lex_result& lx) {
+                                  const lex_result& lx,
+                                  const file_effects& fx) {
   std::vector<violation> out;
   const file_ctx ctx = make_ctx(rel_path, lx, out);
   check_determinism(ctx);
@@ -551,6 +554,7 @@ std::vector<violation> lint_lexed(const std::string& rel_path,
   check_metrics_gating(ctx);
   check_hygiene(ctx);
   check_simd(ctx);
+  check_init_only_config(rel_path, lx, fx, out);
   const auto captures = check_captures(rel_path, lx);
   out.insert(out.end(), captures.begin(), captures.end());
   std::stable_sort(out.begin(), out.end(),
@@ -593,15 +597,20 @@ std::vector<std::string> allows_on_line(const lex_result& lx, int line) {
 
 std::vector<violation> lint_source(const std::string& rel_path,
                                    std::string_view source) {
-  return lint_lexed(rel_path, lex(source));
+  const lex_result lx = lex(source);
+  return lint_lexed(rel_path, lx, extract_effects(rel_path, lx));
 }
 
 file_summary summarize(const std::string& rel_path, std::string_view source) {
   const lex_result lx = lex(source);
+  file_effects fx = extract_effects(rel_path, lx);
   file_summary s;
   s.rel_path = rel_path;
   s.content_hash = fnv1a_hash(source);
-  s.violations = lint_lexed(rel_path, lx);
+  s.violations = lint_lexed(rel_path, lx, fx);
+  s.funcs = std::move(fx.funcs);
+  s.par_sites = std::move(fx.sites);
+  s.globals = std::move(fx.globals);
 
   std::set<std::string> used;
   for (const token& t : lx.tokens) {
@@ -704,15 +713,59 @@ std::string display_path(const fs::path& path, const fs::path& root) {
 constexpr std::string_view k_usage =
     "usage: dv_lint [--root <dir>] [--layers <file>] [--cache-dir <dir>] "
     "[--api-surface <file>] [--check-api-surface] [--update-api-surface] "
-    "[path...]";
+    "[--json] [--explain <function>] [--only <check,...>] [path...]";
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void format_json(const std::vector<violation>& violations, std::size_t scanned,
+                 int cached, std::ostream& out) {
+  out << "{\n  \"files_scanned\": " << scanned << ",\n  \"cached\": " << cached
+      << ",\n  \"violations\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const violation& v = violations[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"file\": \""
+        << json_escape(v.file) << "\", \"line\": " << v.line
+        << ", \"check\": \"" << json_escape(v.check) << "\", \"message\": \""
+        << json_escape(v.message) << "\"}";
+  }
+  out << (violations.empty() ? "]" : "\n  ]") << "\n}\n";
+}
 
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
   fs::path root = ".";
-  std::string layers_arg, cache_dir, api_arg;
-  bool check_api = false, update_api = false;
+  std::string layers_arg, cache_dir, api_arg, explain_arg, only_arg;
+  bool check_api = false, update_api = false, json = false;
   std::vector<std::string> paths;
   for (std::size_t i = 0; i < args.size(); ++i) {
     auto value = [&](const char* flag, std::string& into) -> bool {
@@ -737,6 +790,12 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       check_api = true;
     } else if (args[i] == "--update-api-surface") {
       update_api = true;
+    } else if (args[i] == "--json") {
+      json = true;
+    } else if (args[i] == "--explain") {
+      if (!value("--explain", explain_arg)) return 2;
+    } else if (args[i] == "--only") {
+      if (!value("--only", only_arg)) return 2;
     } else if (starts_with(args[i], "--")) {
       err << "dv_lint: unknown option '" << args[i] << "' (" << k_usage
           << ")\n";
@@ -785,7 +844,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   std::atomic<int> cached{0};
   // Each chunk owns a disjoint slice of the path-sorted file list; the
   // cached counter is atomic and order-insensitive.
-  // dv:parallel-safe(chunks write only their own summaries/unreadable slots)
+  // The scan loop IS the I/O stage: it reads sources and cache records
+  // and builds summaries by design, so purity is waived wholesale.
+  // dv:parallel-safe(disjoint slots) dv-lint: allow(hot-path-purity)
   dv::parallel_for(
       0, static_cast<std::int64_t>(n), 1,
       [&](std::int64_t lo, std::int64_t hi) {
@@ -813,10 +874,30 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     }
   }
 
+  // --explain short-circuits the violation report: print the inferred
+  // effect closure (with witness chains) for the named function.
+  if (!explain_arg.empty()) {
+    const std::string text = explain_effects(summaries, explain_arg);
+    if (text.empty()) {
+      err << "dv_lint: --explain: no function named '" << explain_arg
+          << "' in the scanned files\n";
+      return 2;
+    }
+    out << text;
+    return 0;
+  }
+
   std::vector<violation> all;
   for (const auto& s : summaries) {
     all.insert(all.end(), s.violations.begin(), s.violations.end());
   }
+
+  // Effect inference runs over every scanned file (tests and tools
+  // contribute callees even though hot-path roots there are skipped).
+  // It is recomputed from the per-file records each run, so touching one
+  // file re-derives every caller's closure from warm cache entries.
+  const auto effect_violations = check_effects(summaries);
+  all.insert(all.end(), effect_violations.begin(), effect_violations.end());
 
   // Cross-file passes run over the library tree only: tests and tools may
   // include src/ headers freely and are not part of the layer contract.
@@ -875,12 +956,30 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     }
   }
 
+  if (!only_arg.empty()) {
+    std::set<std::string> keep;
+    std::istringstream cs{only_arg};
+    std::string name;
+    while (std::getline(cs, name, ',')) {
+      if (!name.empty()) keep.insert(name);
+    }
+    all.erase(std::remove_if(all.begin(), all.end(),
+                             [&](const violation& v) {
+                               return keep.count(v.check) == 0;
+                             }),
+              all.end());
+  }
+
   std::stable_sort(all.begin(), all.end(),
                    [](const violation& a, const violation& b) {
                      if (a.file != b.file) return a.file < b.file;
                      if (a.line != b.line) return a.line < b.line;
                      return a.check < b.check;
                    });
+  if (json) {
+    format_json(all, n, cached.load(), out);
+    return all.empty() ? 0 : 1;
+  }
   out << format(all);
   out << "dv_lint: " << n << " file(s) scanned, " << cached.load()
       << " cached, " << all.size() << " violation(s)\n";

@@ -12,16 +12,21 @@
 //                    under src/tensor/simd/; use the dispatch table
 //   capture        — by-ref captures written in parallel_for lambdas
 //                    without loop-local indexing (capture_check.h)
+//   init-only-config — getenv under src/ only inside dv:init functions
+//                    (effects.h)
 //
 // Cross-file passes (driven by run_cli over every scanned file):
 //
 //   layering / include-cycle / unused-include — include_graph.h
 //   api-surface — api_surface.h golden-snapshot comparison
+//   hot-path-purity / lock-order / capture (transitive) — effect
+//       inference over the cross-TU call graph (effects.h)
 //
 // Any violation is suppressible on its own line or the line above with
 // `// dv-lint: allow(<check>)`.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -35,6 +40,84 @@ struct violation {
   int line{0};
   std::string check;    // "determinism", "thread-safety", ...
   std::string message;  // human-readable explanation with a suggested fix
+};
+
+// ---------------------------------------------------------------------------
+// Effect-inference records (effects.h). Extracted per file, cached with
+// the summary, and resolved into a cross-TU call graph by the effects
+// pass. The enum order is the cache serialization contract (cache.cpp).
+
+enum class effect : unsigned char {
+  may_block,         // condition waits, joins, sleeps, I/O
+  may_allocate,      // new/make_unique/make_shared, vector growth ops
+  reads_env,         // getenv
+  reads_clock,       // wall/steady clock reads outside the metrics clock
+  uses_ambient_rng,  // rand()-family, std::random_device
+  writes_global,     // assignment to a namespace-scope mutable variable
+};
+inline constexpr int k_effect_count = 6;
+const char* effect_name(effect e);
+
+/// One mutex acquisition (lock_guard / unique_lock / scoped_lock /
+/// shared_lock construction) inside a function body.
+struct lock_record {
+  std::string name;  // normalized mutex expression, scope-qualified
+  int line{0};
+  std::vector<std::string> held;     // locks already held at this point
+  std::vector<std::string> allowed;  // allow(...) names on this line
+};
+
+/// One call expression inside a function body.
+struct call_record {
+  std::string callee;  // spelled name, qualifiers kept ("a::foo")
+  int line{0};
+  bool method{false};             // obj.foo(...) / obj->foo(...)
+  std::vector<std::string> held;  // locks held at the call site
+  /// Per top-level argument: the bare identifier when the argument is a
+  /// single non-local identifier token, "" otherwise.
+  std::vector<std::string> args;
+};
+
+/// One write whose target is not a local/parameter of the function (a
+/// candidate writes_global witness, matched against the cross-file set
+/// of namespace-scope mutable variables).
+struct nonlocal_write {
+  std::string name;
+  int line{0};
+};
+
+/// Per-function facts the fixed point runs over. Lambdas passed to
+/// parallel_for sites get their own synthetic record (is_lambda).
+struct func_record {
+  std::string name;  // scope-qualified: ns::type::fn ("" for lambdas)
+  int line{0};
+  /// Witness line per effect (-1 = no direct occurrence) and the token
+  /// that triggered it ("wait", "getenv", ...).
+  std::array<int, k_effect_count> direct{{-1, -1, -1, -1, -1, -1}};
+  std::array<std::string, k_effect_count> witness;
+  std::vector<lock_record> locks;
+  std::vector<call_record> calls;
+  std::vector<nonlocal_write> writes;
+  std::vector<std::string> params;      // parameter names, in order
+  std::vector<int> ref_params;          // indices of ref/pointer params
+  std::vector<int> out_params_written;  // indices of ref/ptr params written
+  std::vector<std::string> allowed;     // allow(...) names on the def line
+  bool is_init{false};    // dv:init(<reason>): effects latch at startup
+  bool is_hot{false};     // dv:hot-path(<reason>): hot-path purity root
+  bool is_lambda{false};  // synthetic record for a parallel_for lambda
+};
+
+/// One parallel_for / parallel_for_chunks call site whose argument is a
+/// lambda; `lambda_index` points at the synthetic func_record.
+struct par_site_record {
+  int line{0};
+  std::string fn;  // "parallel_for" | "parallel_for_chunks"
+  std::size_t lambda_index{0};
+  std::vector<std::string> allowed;       // allow(...) names at the site
+  std::vector<std::string> ref_captures;  // explicit &name captures
+  std::vector<std::string> val_captures;  // explicit by-value captures
+  bool default_ref{false};                // [&]
+  bool captures_this{false};
 };
 
 /// One quoted `#include "..."` directive, with the suppression checks
@@ -57,6 +140,9 @@ struct file_summary {
   std::vector<std::string> declared;  // sorted unique declared symbols
   std::vector<std::string> used;      // sorted unique identifiers used
   std::vector<std::string> api;       // api-surface entries (headers only)
+  std::vector<func_record> funcs;     // effect records (effects.h)
+  std::vector<par_site_record> par_sites;
+  std::vector<std::string> globals;   // namespace-scope mutable variables
 };
 
 /// Runs every per-file check over one file's contents. `rel_path` is the
@@ -77,11 +163,15 @@ std::string format(const std::vector<violation>& violations);
 /// Full command line:
 ///   dv_lint [--root <dir>] [--layers <file>] [--cache-dir <dir>]
 ///           [--api-surface <file>] [--check-api-surface]
-///           [--update-api-surface] [path...]
+///           [--update-api-surface] [--json] [--explain <function>]
+///           [--only <check,...>] [path...]
 /// Paths are files or directories relative to the root (default: src
 /// bench tests tools). Prints violations and a summary to `out`, errors
-/// to `err`. Returns 0 when clean, 1 on violations, 2 on usage or I/O
-/// errors.
+/// to `err`. `--json` switches the report to a machine-readable object;
+/// `--only` keeps only the named checks; `--explain` prints the inferred
+/// effect closure (witness call chains included) of the named function
+/// instead of linting. Returns 0 when clean, 1 on violations, 2 on usage
+/// or I/O errors.
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err);
 

@@ -1,0 +1,79 @@
+// Iterative Tarjan strongly-connected-components, shared by the
+// include-graph cycle pass and the effect-inference fixed point. The
+// graph is adjacency lists over dense node indices; sccs() returns every
+// component in *reverse topological order* of the condensation (callees
+// before callers when edges point caller -> callee), which is exactly
+// the order a bottom-up fixed point wants to visit them in.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace dv_lint {
+
+struct scc_result {
+  /// Every component, singletons included, in reverse topological order
+  /// of the condensation (a node's out-edges lead only into components
+  /// emitted earlier).
+  std::vector<std::vector<std::size_t>> components;
+  /// component_of[node] = index into `components`.
+  std::vector<std::size_t> component_of;
+};
+
+inline scc_result tarjan_sccs(
+    const std::vector<std::vector<std::size_t>>& edges) {
+  const std::size_t n = edges.size();
+  scc_result out;
+  out.component_of.assign(n, 0);
+  std::vector<int> index_of(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  int next_index = 0;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index_of[root] >= 0) continue;
+    // Explicit stack: (node, next-edge cursor).
+    std::vector<std::pair<std::size_t, std::size_t>> work{{root, 0}};
+    while (!work.empty()) {
+      auto& [v, cursor] = work.back();
+      if (cursor == 0) {
+        index_of[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (cursor < edges[v].size()) {
+        const std::size_t w = edges[v][cursor++];
+        if (index_of[w] < 0) {
+          work.emplace_back(w, 0);
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], index_of[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index_of[v]) {
+        std::vector<std::size_t> scc;
+        for (;;) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          out.component_of[w] = out.components.size();
+          scc.push_back(w);
+          if (w == v) break;
+        }
+        out.components.push_back(std::move(scc));
+      }
+      const std::size_t finished = v;
+      work.pop_back();
+      if (!work.empty()) {
+        const std::size_t parent = work.back().first;
+        low[parent] = std::min(low[parent], low[finished]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dv_lint
