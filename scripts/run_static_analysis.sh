@@ -4,26 +4,35 @@
 #      check (fails on any violation or snapshot drift),
 #   2. the effect-inference checks alone (transitive hot-path purity,
 #      lock order, init-only config, capture safety) for attribution,
-#   3. the clang-tidy target (no-op with a notice when clang-tidy is absent),
-#   4. the test suite under ThreadSanitizer      (build-tsan/),
-#   5. the test suite under Address+UBSanitizer  (build-asan/).
+#   3. the lockset race pass alone (guarded-by verification + inference),
+#   4. the warm-cache incrementality contract on a scratch copy of the
+#      tree (fully-warm run replays every file; touching one file
+#      re-lints only that file, fast),
+#   5. the clang-tidy target (no-op with a notice when clang-tidy is absent),
+#   6. the test suite under ThreadSanitizer      (build-tsan/),
+#   7. the test suite under Address+UBSanitizer  (build-asan/).
 # All builds use DV_WERROR=ON, so new warnings fail the gate too. Each
 # configuration keeps its own build directory; later runs are incremental.
 #
 # Every stage always runs, even after an earlier stage failed: one CI run
 # reports every broken gate instead of stopping at the first. The script
-# exits non-zero if any stage failed and prints a per-stage summary.
+# exits non-zero if any stage failed and prints a per-stage summary with
+# wall time per stage.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
 stage_names=()
 stage_results=()
+stage_times=()
 
-# run_stage <name> <command...>: runs the command, records pass/fail.
+# run_stage <name> <command...>: runs the command, records pass/fail and
+# wall time.
 run_stage() {
   local name="$1"
   shift
   echo "== ${name} =="
+  local t0 t1
+  t0=$(date +%s%N)
   if "$@"; then
     stage_names+=("${name}")
     stage_results+=(pass)
@@ -31,6 +40,8 @@ run_stage() {
     stage_names+=("${name}")
     stage_results+=(FAIL)
   fi
+  t1=$(date +%s%N)
+  stage_times+=("$(((t1 - t0) / 1000000))")
 }
 
 lint_stage() {
@@ -48,6 +59,54 @@ effects_stage() {
   ./build-lint/tools/dv_lint/dv_lint --root . \
     --only hot-path-purity,lock-order,init-only-config,capture \
     src bench tests tools
+}
+
+# Likewise for the lockset race pass: re-run it alone so a guarded-by or
+# inference regression shows up on its own table row.
+race_stage() {
+  ./build-lint/tools/dv_lint/dv_lint --root . --only race \
+    src bench tests tools
+}
+
+# Warm-cache incrementality, on a scratch copy of the tree so the gate
+# never edits the checkout: a cold lint-fast populates the cache, a
+# fully-warm rerun must replay every file from it, and touching exactly
+# one file must re-lint only that file — and fast, which is the point of
+# the cache.
+incremental_stage() {
+  local bin=./build-lint/tools/dv_lint/dv_lint
+  local scratch=build-lint/dv_lint_incremental
+  rm -rf "${scratch}"
+  mkdir -p "${scratch}/tree"
+  cp -r src bench tests tools "${scratch}/tree/" || return 1
+  local args=(--root "${scratch}/tree" --cache-dir "${scratch}/cache"
+              src bench tests tools)
+  "${bin}" "${args[@]}" >/dev/null || return 1
+  local warm total cached
+  warm=$("${bin}" "${args[@]}") || return 1
+  total=$(sed -n 's/^dv_lint: \([0-9][0-9]*\) file(s).*/\1/p' <<<"${warm}")
+  cached=$(sed -n 's/.* \([0-9][0-9]*\) cached.*/\1/p' <<<"${warm}")
+  if [ -z "${total}" ] || [ "${cached}" != "${total}" ]; then
+    echo "warm run expected every file cached, got: ${warm}"
+    return 1
+  fi
+  echo "// incremental-gate touch" >>"${scratch}/tree/src/util/thread_pool.cpp"
+  local t0 t1 touched ms
+  t0=$(date +%s%N)
+  touched=$("${bin}" "${args[@]}") || return 1
+  t1=$(date +%s%N)
+  ms=$(((t1 - t0) / 1000000))
+  cached=$(sed -n 's/.* \([0-9][0-9]*\) cached.*/\1/p' <<<"${touched}")
+  if [ "${cached}" != "$((total - 1))" ]; then
+    echo "touch-one run expected $((total - 1)) cached, got: ${touched}"
+    return 1
+  fi
+  echo "touch-one warm re-lint: ${ms} ms, $((total - 1))/${total} replayed"
+  if [ "${ms}" -ge 1000 ]; then
+    echo "touch-one warm re-lint took ${ms} ms (expected well under 100)"
+    return 1
+  fi
+  rm -rf "${scratch}"
 }
 
 tidy_stage() {
@@ -97,6 +156,8 @@ asan_stage() {
 
 run_stage "dv_lint" lint_stage
 run_stage "effects" effects_stage
+run_stage "race" race_stage
+run_stage "incremental-cache" incremental_stage
 run_stage "clang-tidy" tidy_stage
 run_stage "ThreadSanitizer" tsan_stage
 run_stage "Address+UndefinedBehaviorSanitizer" asan_stage
@@ -105,7 +166,8 @@ echo
 echo "== static analysis gate summary =="
 failed=0
 for i in "${!stage_names[@]}"; do
-  printf '  %-38s %s\n' "${stage_names[$i]}" "${stage_results[$i]}"
+  printf '  %-38s %-4s %8s ms\n' "${stage_names[$i]}" \
+    "${stage_results[$i]}" "${stage_times[$i]}"
   if [ "${stage_results[$i]}" != pass ]; then
     failed=1
   fi

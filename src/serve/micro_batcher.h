@@ -222,6 +222,7 @@ class micro_batcher {
     note_pending(-1);
   }
 
+  // dv:thread-entry(dedicated batch worker thread started by the ctor)
   void worker_loop() {
     std::vector<item> batch;
     while (queue_.pop_batch(batch, static_cast<std::size_t>(config_.batch.max_batch),
@@ -279,7 +280,11 @@ class micro_batcher {
   const std::string service_;
   const batch_fn fn_;
   const serve_config config_;
+  /// Internally synchronized (bounded_queue owns its own mutex), so no
+  /// external lock guards it. dv-lint: allow(race)
   bounded_queue<item> queue_;
+  /// Started in the ctor; joinable()/join() race only against shutdown()
+  /// itself, which shutdown_mutex_ serializes. dv:guarded-by(shutdown_mutex_)
   std::thread worker_;
   /// Serializes batch-function invocations (worker vs. caller_runs) —
   /// the model underneath is not safe for concurrent forwards.
@@ -289,7 +294,7 @@ class micro_batcher {
   std::condition_variable pending_cv_;
   std::atomic<std::int64_t> pending_{0};
   std::mutex shape_mutex_;
-  std::vector<std::int64_t> expected_shape_;
+  std::vector<std::int64_t> expected_shape_;  // dv:guarded-by(shape_mutex_)
 };
 
 }  // namespace dv

@@ -115,8 +115,8 @@ class bounded_queue {
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_{false};
+  std::deque<T> items_;   // dv:guarded-by(mutex_)
+  bool closed_{false};    // dv:guarded-by(mutex_)
 };
 
 }  // namespace dv

@@ -240,7 +240,7 @@ struct registry_state {
   std::mutex mutex;
   /// Ordered map: snapshot iteration is sorted by name for free, and the
   /// order never depends on insertion (hence never on thread count).
-  std::map<std::string, registry_entry, std::less<>> entries;
+  std::map<std::string, registry_entry, std::less<>> entries;  // dv:guarded-by(mutex)
 };
 
 registry_state& registry() {

@@ -49,7 +49,7 @@ cache_config& config() {
 // metrics::reset(); the gauge is re-published on the next delta.
 struct byte_registry {
   std::mutex mutex;
-  std::map<std::string, std::int64_t> totals;
+  std::map<std::string, std::int64_t> totals;  // dv:guarded-by(mutex)
 };
 
 byte_registry& bytes() {

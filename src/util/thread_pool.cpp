@@ -27,7 +27,7 @@ struct parallel_job {
       fn{nullptr};
   std::atomic<std::int64_t> next_chunk{0};
   std::mutex error_mutex;
-  std::exception_ptr error;
+  std::exception_ptr error;  // dv:guarded-by(error_mutex)
 };
 
 // Oversized pools only add overhead (results never depend on the count),
@@ -72,7 +72,8 @@ class thread_pool {
     start_cv_.notify_all();
     for (auto& w : workers_) w.join();
     workers_.clear();
-    stop_ = false;
+    // Every worker has joined: no other thread can observe this write.
+    stop_ = false;  // dv-lint: allow(race)
     spawn(n);
   }
 
@@ -105,6 +106,7 @@ class thread_pool {
     }
   }
 
+  // dv:thread-entry(pool worker thread spawned by spawn())
   void worker_loop(int rank) {
     std::uint64_t seen_generation = 0;
     for (;;) {
@@ -150,15 +152,20 @@ class thread_pool {
     }
   }
 
+  /// Written only while the pool is quiescent (ctor / resize after the
+  /// join): callers must not resize concurrently with parallel_for, per
+  /// the header contract. dv-lint: allow(race)
   int threads_{1};
+  /// Same quiescence contract as threads_: mutated only in spawn/resize
+  /// after every worker has joined. dv-lint: allow(race)
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  std::uint64_t generation_{0};
-  int active_workers_{0};
-  parallel_job* job_{nullptr};
-  bool stop_{false};
+  std::uint64_t generation_{0};       // dv:guarded-by(mutex_)
+  int active_workers_{0};             // dv:guarded-by(mutex_)
+  parallel_job* job_{nullptr};        // dv:guarded-by(mutex_)
+  bool stop_{false};                  // dv:guarded-by(mutex_)
 };
 
 thread_pool& pool() {

@@ -34,7 +34,7 @@ struct thread_tree {
 
 struct trace_state {
   std::mutex mutex;
-  std::vector<std::unique_ptr<thread_tree>> trees;
+  std::vector<std::unique_ptr<thread_tree>> trees;  // dv:guarded-by(mutex)
 };
 
 trace_state& state() {

@@ -1,0 +1,33 @@
+// Race fixture: member definitions. worker() in driver.cpp is the
+// concurrency root that makes bump()'s unguarded write reportable.
+#include "rx/counter.h"
+
+namespace rx {
+
+void counter::bump() {
+  total_ += 1;
+  hits_.fetch_add(1);
+}
+
+int counter::read() {
+  std::lock_guard<std::mutex> lock{mu_};
+  return total_;
+}
+
+void counter::set_tag(int t) {
+  tag_ = t;
+  scratch_ = t;
+}
+
+void counter::accumulate(int v) {
+  std::lock_guard<std::mutex> lock{mu_};
+  add_locked(v);
+}
+
+void counter::add_locked(int v) { sum_ += v; }
+
+void counter::reset() {
+  epoch_ = 0;  // dv-lint: allow(race) fixture: runs only while quiescent
+}
+
+}  // namespace rx

@@ -1,0 +1,32 @@
+// Race fixture: one class, six fields, one outcome each — inferred race
+// (total_), violated annotation (tag_), annotation satisfied through the
+// entry lockset of a _locked helper (sum_), atomic exemption (hits_),
+// access-line waiver (epoch_), declaration-line waiver (scratch_).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+namespace rx {
+
+class counter {
+ public:
+  void bump();
+  int read();
+  void set_tag(int t);
+  void accumulate(int v);
+  void reset();
+
+ private:
+  void add_locked(int v);
+
+  std::mutex mu_;
+  int total_{0};
+  int tag_{0};  // dv:guarded-by(mu_)
+  int sum_{0};  // dv:guarded-by(mu_)
+  std::atomic<int> hits_{0};
+  int epoch_{0};
+  int scratch_{0};  // dv-lint: allow(race) fixture: debug-only slot
+};
+
+}  // namespace rx

@@ -1,0 +1,10 @@
+// Race fixture: the concurrency root. dv:thread-entry binds to the
+// definition; everything worker() reaches is a concurrent path.
+#include "rx/counter.h"
+
+namespace rx {
+
+// dv:thread-entry(fixture worker thread)
+void worker(counter& c) { c.bump(); }
+
+}  // namespace rx

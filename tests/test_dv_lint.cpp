@@ -541,7 +541,12 @@ TEST(dv_lint_effects, explain_prints_full_witness_chain) {
   EXPECT_EQ(out,
             "fx::a (src/fx/hot_chain.cpp:14)\n"
             "  acquires_lock 'fx::m': call chain fx::b -> fx::c ending in "
-            "acquisition at src/fx/hot_chain.cpp:9\n");
+            "acquisition at src/fx/hot_chain.cpp:9\n"
+            "race facts for fx::a (src/fx/hot_chain.cpp:14)\n"
+            "  entry lockset: {}\n"
+            "  reachable from concurrency root: (lambda at "
+            "src/fx/hot_chain.cpp:18) -> fx::a\n"
+            "  no tracked shared-state accesses\n");
 }
 
 TEST(dv_lint_effects, explain_direct_acquisition_has_no_chain) {
@@ -551,7 +556,12 @@ TEST(dv_lint_effects, explain_direct_acquisition_has_no_chain) {
   EXPECT_EQ(out,
             "fx::c (src/fx/hot_chain.cpp:8)\n"
             "  acquires_lock 'fx::m': acquisition at "
-            "src/fx/hot_chain.cpp:9\n");
+            "src/fx/hot_chain.cpp:9\n"
+            "race facts for fx::c (src/fx/hot_chain.cpp:8)\n"
+            "  entry lockset: {}\n"
+            "  reachable from concurrency root: (lambda at "
+            "src/fx/hot_chain.cpp:18) -> fx::a -> fx::b -> fx::c\n"
+            "  no tracked shared-state accesses\n");
 }
 
 TEST(dv_lint_effects, explain_unknown_function_is_usage_error) {
@@ -659,6 +669,168 @@ TEST(dv_lint_effects, warm_rerun_propagates_callee_effects_to_callers) {
           "src/a.cpp:5: [hot-path-purity] 'parallel_for' body transitively "
           "acquires lock 'fx::cm': call chain fx::mid -> fx::leaf ending "
           "in acquisition at src/c.cpp:5"),
+      std::string::npos)
+      << after_edit;
+  fs::remove_all(scratch);
+}
+
+// ---------------------------------------------------------------------------
+// Race pass over the race fixture mini-root: one field per outcome.
+// counter.h declares the fields; counter.cpp accesses them; driver.cpp
+// holds the dv:thread-entry concurrency root.
+
+TEST(dv_lint_race, fixture_tree_golden) {
+  const std::string tree = fixture_tree("race");
+  std::string out;
+  EXPECT_EQ(cli({"--root", tree, "src"}, &out), 1);
+  // tag_ violates its annotation; total_ is inferred racy with a witness
+  // pair. sum_ (guard satisfied via the helper's entry lockset), hits_
+  // (atomic), epoch_ (access waiver), and scratch_ (declaration waiver)
+  // all stay silent.
+  EXPECT_EQ(
+      out,
+      "src/rx/counter.cpp:18: [race] 'rx::counter::tag_' is declared "
+      "guarded by 'mu_' but is written in rx::counter::set_tag holding {}; "
+      "acquire 'mu_' around this access, or waive with // dv-lint: "
+      "allow(race)\n"
+      "src/rx/counter.h:24: [race] 'rx::counter::total_' may be accessed "
+      "concurrently without a consistent lock (lockset intersection over 2 "
+      "accesses is empty): written in rx::counter::bump "
+      "(src/rx/counter.cpp:8) holding {}, reached from concurrency root "
+      "rx::worker -> rx::counter::bump; also read in rx::counter::read "
+      "(src/rx/counter.cpp:14) holding {rx::counter::mu_}; annotate the "
+      "declaration with // dv:guarded-by(<lock>), make it std::atomic, or "
+      "waive with // dv-lint: allow(race)\n"
+      "dv_lint: 3 file(s) scanned, 0 cached, 2 violation(s)\n");
+}
+
+TEST(dv_lint_race, explain_shows_root_chain_and_accesses) {
+  const std::string tree = fixture_tree("race");
+  std::string out;
+  EXPECT_EQ(cli({"--root", tree, "--explain", "rx::counter::bump", "src"},
+                &out),
+            0);
+  EXPECT_EQ(out,
+            "rx::counter::bump (src/rx/counter.cpp:7)\n"
+            "  (no inferred effects)\n"
+            "race facts for rx::counter::bump (src/rx/counter.cpp:7)\n"
+            "  entry lockset: {}\n"
+            "  reachable from concurrency root: rx::worker -> "
+            "rx::counter::bump\n"
+            "  write 'rx::counter::total_' at line 8 holding {}\n");
+}
+
+TEST(dv_lint_race, explain_shows_propagated_entry_lockset) {
+  const std::string tree = fixture_tree("race");
+  std::string out;
+  EXPECT_EQ(cli({"--root", tree, "--explain", "rx::counter::add_locked",
+                 "src"},
+                &out),
+            0);
+  // accumulate()'s lock_guard reaches the helper as its entry lockset,
+  // which is what satisfies sum_'s dv:guarded-by(mu_).
+  EXPECT_EQ(out,
+            "rx::counter::add_locked (src/rx/counter.cpp:27)\n"
+            "  (no inferred effects)\n"
+            "race facts for rx::counter::add_locked "
+            "(src/rx/counter.cpp:27)\n"
+            "  entry lockset: {rx::counter::mu_}\n"
+            "  not reachable from a concurrency root\n"
+            "  write 'rx::counter::sum_' at line 27 holding "
+            "{rx::counter::mu_}\n");
+}
+
+TEST(dv_lint_race, json_only_race_golden) {
+  const std::string tree = fixture_tree("race");
+  std::string out;
+  EXPECT_EQ(cli({"--root", tree, "--json", "--only", "race", "src"}, &out),
+            1);
+  EXPECT_EQ(
+      out,
+      "{\n"
+      "  \"files_scanned\": 3,\n"
+      "  \"cached\": 0,\n"
+      "  \"violations\": [\n"
+      "    {\"file\": \"src/rx/counter.cpp\", \"line\": 18, \"check\": "
+      "\"race\", \"message\": \"'rx::counter::tag_' is declared guarded by "
+      "'mu_' but is written in rx::counter::set_tag holding {}; acquire "
+      "'mu_' around this access, or waive with // dv-lint: "
+      "allow(race)\"},\n"
+      "    {\"file\": \"src/rx/counter.h\", \"line\": 24, \"check\": "
+      "\"race\", \"message\": \"'rx::counter::total_' may be accessed "
+      "concurrently without a consistent lock (lockset intersection over 2 "
+      "accesses is empty): written in rx::counter::bump "
+      "(src/rx/counter.cpp:8) holding {}, reached from concurrency root "
+      "rx::worker -> rx::counter::bump; also read in rx::counter::read "
+      "(src/rx/counter.cpp:14) holding {rx::counter::mu_}; annotate the "
+      "declaration with // dv:guarded-by(<lock>), make it std::atomic, or "
+      "waive with // dv-lint: allow(race)\"}\n"
+      "  ]\n"
+      "}\n");
+}
+
+// A callee edit that introduces an unguarded write must surface even
+// when every other file replays from cache: accesses are cached per
+// file, but the lockset fixed point and root reachability are
+// recomputed over all summaries each run.
+TEST(dv_lint_race, warm_rerun_propagates_new_access_across_cache) {
+  namespace fs = std::filesystem;
+  const fs::path scratch =
+      fs::path{testing::TempDir()} / "dv_lint_race_cache";
+  fs::remove_all(scratch);
+  fs::create_directories(scratch / "tree" / "src");
+  const std::string tree = (scratch / "tree").string();
+  const std::string cache = (scratch / "cache").string();
+  auto put = [&](const char* rel, const std::string& text) {
+    std::ofstream f{tree + "/" + rel, std::ios::binary | std::ios::trunc};
+    f << text;
+  };
+  put("src/a.cpp",
+      "namespace fx {\n"
+      "void mid();\n"
+      "// dv:thread-entry(fixture worker)\n"
+      "void driver() { mid(); }\n"
+      "}\n");
+  put("src/b.cpp",
+      "namespace fx {\n"
+      "void leaf();\n"
+      "void mid() { leaf(); }\n"
+      "}\n");
+  put("src/c.cpp",
+      "namespace fx {\n"
+      "// dv-lint: allow(thread-safety) fixture counter\n"
+      "int g_hits = 0;\n"
+      "void leaf() {}\n"
+      "}\n");
+  const std::vector<std::string> args = {"--root", tree, "--cache-dir",
+                                         cache, "src"};
+
+  std::string cold, warm, after_edit;
+  EXPECT_EQ(cli(args, &cold), 0);
+  EXPECT_EQ(cold, "dv_lint: 3 file(s) scanned, 0 cached, 0 violation(s)\n");
+  EXPECT_EQ(cli(args, &warm), 0);
+  EXPECT_EQ(warm, "dv_lint: 3 file(s) scanned, 3 cached, 0 violation(s)\n");
+
+  // Give the leaf an unguarded write. Only c.cpp re-lints, yet the root
+  // chain in the diagnostic runs through the two cached files.
+  put("src/c.cpp",
+      "namespace fx {\n"
+      "// dv-lint: allow(thread-safety) fixture counter\n"
+      "int g_hits = 0;\n"
+      "void leaf() { g_hits += 1; }\n"
+      "}\n");
+  EXPECT_EQ(cli(args, &after_edit), 1);
+  EXPECT_NE(
+      after_edit.find("3 file(s) scanned, 2 cached, 1 violation(s)"),
+      std::string::npos)
+      << after_edit;
+  EXPECT_NE(
+      after_edit.find(
+          "src/c.cpp:3: [race] 'g_hits' may be accessed concurrently "
+          "without a consistent lock (lockset intersection over 1 access "
+          "is empty): written in fx::leaf (src/c.cpp:4) holding {}, "
+          "reached from concurrency root fx::driver -> fx::mid -> "
+          "fx::leaf"),
       std::string::npos)
       << after_edit;
   fs::remove_all(scratch);

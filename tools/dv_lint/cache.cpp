@@ -121,7 +121,8 @@ bool cache_load(const std::string& cache_dir, const std::string& rel_path,
   if (!in) return false;
   std::string line;
   if (!std::getline(in, line) ||
-      line != "dv_lint-cache " + std::to_string(k_cache_version)) {
+      line != "dv_lint-cache " + std::to_string(k_cache_version) + " " +
+                  hex64(lint_schema_hash())) {
     return false;
   }
   if (!std::getline(in, line) || line != "path " + rel_path) return false;
@@ -173,6 +174,7 @@ bool cache_load(const std::string& cache_dir, const std::string& rel_path,
       fr.is_lambda = f[2].find('L') != std::string::npos;
       fr.is_init = f[2].find('I') != std::string::npos;
       fr.is_hot = f[2].find('H') != std::string::npos;
+      fr.is_thread_entry = f[2].find('T') != std::string::npos;
       fr.name = f[3];
       s.funcs.push_back(std::move(fr));
     } else if (tag == "fd") {
@@ -224,6 +226,61 @@ bool cache_load(const std::string& cache_dir, const std::string& rel_path,
       if (!parse_int(f[1], w.line)) return false;
       w.name = f[2];
       s.funcs.back().writes.push_back(std::move(w));
+    } else if (tag == "acc") {
+      const auto f = split_tabs(line, 5);  // acc, line, flags, held, name
+      if (f.size() != 5 || s.funcs.empty()) return false;
+      access_record a;
+      if (!parse_int(f[1], a.line)) return false;
+      a.write = f[2].find('W') != std::string::npos;
+      a.waived = f[2].find('V') != std::string::npos;
+      a.held = parse_list(f[3], '|');
+      a.name = f[4];
+      s.funcs.back().accesses.push_back(std::move(a));
+    } else if (tag == "sl") {
+      const auto f = split_tabs(line, 5);  // sl, line, allowed, guard, name
+      if (f.size() != 5 || s.funcs.empty()) return false;
+      static_local_record sl;
+      if (!parse_int(f[1], sl.line)) return false;
+      sl.allowed = parse_list(f[2], ',');
+      sl.guarded_by = f[3] == "-" ? "" : f[3];
+      sl.name = f[4];
+      s.funcs.back().statics.push_back(std::move(sl));
+    } else if (tag == "cls") {
+      const auto f = split_tabs(line, 3);  // cls, line, name
+      if (f.size() != 3) return false;
+      class_record cr;
+      if (!parse_int(f[1], cr.line)) return false;
+      cr.name = f[2];
+      s.classes.push_back(std::move(cr));
+    } else if (tag == "fld") {
+      // fld, line, kind, allowed, guard, name — attaches to the last cls
+      const auto f = split_tabs(line, 6);
+      if (f.size() != 6 || s.classes.empty() || f[2].size() != 1) {
+        return false;
+      }
+      field_record fr;
+      if (!parse_int(f[1], fr.line)) return false;
+      switch (f[2][0]) {
+        case 'p': fr.kind = field_kind::plain; break;
+        case 'm': fr.kind = field_kind::mutex; break;
+        case 'a': fr.kind = field_kind::atomic; break;
+        case 'c': fr.kind = field_kind::cv; break;
+        case 'k': fr.kind = field_kind::konst; break;
+        default: return false;
+      }
+      fr.allowed = parse_list(f[3], ',');
+      fr.guarded_by = f[4] == "-" ? "" : f[4];
+      fr.name = f[5];
+      s.classes.back().fields.push_back(std::move(fr));
+    } else if (tag == "gd") {
+      const auto f = split_tabs(line, 5);  // gd, line, allowed, guard, name
+      if (f.size() != 5) return false;
+      global_record g;
+      if (!parse_int(f[1], g.line)) return false;
+      g.allowed = parse_list(f[2], ',');
+      g.guarded_by = f[3] == "-" ? "" : f[3];
+      g.name = f[4];
+      s.global_decls.push_back(std::move(g));
     } else if (tag == "site") {
       // site, line, lambda-idx, flags, fn, allowed, refcaps, valcaps
       const auto f = split_tabs(line, 8);
@@ -258,7 +315,8 @@ bool cache_store(const std::string& cache_dir, const file_summary& summary) {
   {
     std::ofstream os{tmp_path, std::ios::trunc};
     if (!os) return false;
-    os << "dv_lint-cache " << k_cache_version << '\n';
+    os << "dv_lint-cache " << k_cache_version << ' '
+       << hex64(lint_schema_hash()) << '\n';
     os << "path " << summary.rel_path << '\n';
     os << "hash " << hex64(summary.content_hash) << '\n';
     for (const auto& v : summary.violations) {
@@ -283,6 +341,7 @@ bool cache_store(const std::string& cache_dir, const file_summary& summary) {
       if (f.is_lambda) flags += 'L';
       if (f.is_init) flags += 'I';
       if (f.is_hot) flags += 'H';
+      if (f.is_thread_entry) flags += 'T';
       os << "fn\t" << f.line << '\t' << (flags.empty() ? "-" : flags) << '\t'
          << f.name << '\n';
       for (int e = 0; e < k_effect_count; ++e) {
@@ -310,6 +369,18 @@ bool cache_store(const std::string& cache_dir, const file_summary& summary) {
       for (const auto& w : f.writes) {
         os << "fw\t" << w.line << '\t' << w.name << '\n';
       }
+      for (const auto& a : f.accesses) {
+        std::string aflags;
+        if (a.write) aflags += 'W';
+        if (a.waived) aflags += 'V';
+        os << "acc\t" << a.line << '\t' << (aflags.empty() ? "-" : aflags)
+           << '\t' << join_list(a.held, '|') << '\t' << a.name << '\n';
+      }
+      for (const auto& sl : f.statics) {
+        os << "sl\t" << sl.line << '\t' << join_list(sl.allowed, ',') << '\t'
+           << (sl.guarded_by.empty() ? "-" : sl.guarded_by) << '\t'
+           << sl.name << '\n';
+      }
     }
     for (const auto& ps : summary.par_sites) {
       std::string flags;
@@ -322,6 +393,28 @@ bool cache_store(const std::string& cache_dir, const file_summary& summary) {
          << join_list(ps.val_captures, ',') << '\n';
     }
     for (const auto& g : summary.globals) os << "gv\t" << g << '\n';
+    for (const auto& c : summary.classes) {
+      os << "cls\t" << c.line << '\t' << c.name << '\n';
+      for (const auto& fl : c.fields) {
+        char kind = 'p';
+        switch (fl.kind) {
+          case field_kind::plain: kind = 'p'; break;
+          case field_kind::mutex: kind = 'm'; break;
+          case field_kind::atomic: kind = 'a'; break;
+          case field_kind::cv: kind = 'c'; break;
+          case field_kind::konst: kind = 'k'; break;
+        }
+        os << "fld\t" << fl.line << '\t' << kind << '\t'
+           << join_list(fl.allowed, ',') << '\t'
+           << (fl.guarded_by.empty() ? "-" : fl.guarded_by) << '\t'
+           << fl.name << '\n';
+      }
+    }
+    for (const auto& g : summary.global_decls) {
+      os << "gd\t" << g.line << '\t' << join_list(g.allowed, ',') << '\t'
+         << (g.guarded_by.empty() ? "-" : g.guarded_by) << '\t' << g.name
+         << '\n';
+    }
     if (!os) return false;
   }
   // Rename-into-place keeps concurrent readers from seeing a torn record.

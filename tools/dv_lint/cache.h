@@ -15,10 +15,13 @@
 
 namespace dv_lint {
 
-/// Bump when check logic or the record format changes; every stale
-/// record then misses and is rewritten. v2 added the effect-inference
-/// records (functions, parallel sites, globals).
-inline constexpr int k_cache_version = 2;
+/// Bump when the record format changes; every stale record then misses
+/// and is rewritten. v2 added the effect-inference records (functions,
+/// parallel sites, globals); v3 added the race-detector records
+/// (accesses, statics, classes/fields, global metadata) and stamped
+/// lint_schema_hash() into the header, so adding or revising a check
+/// invalidates old records without a manual version bump.
+inline constexpr int k_cache_version = 3;
 
 std::uint64_t fnv1a_hash(std::string_view data);
 

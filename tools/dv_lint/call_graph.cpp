@@ -1,0 +1,99 @@
+#include "call_graph.h"
+
+#include <unordered_set>
+
+namespace dv_lint {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+bool path_effect_exempt(std::string_view rel) {
+  return starts_with(rel, "src/util/metrics") ||
+         starts_with(rel, "src/util/trace") ||
+         starts_with(rel, "src/util/thread_pool");
+}
+
+std::string call_graph::last_component(const std::string& name) {
+  const std::size_t p = name.rfind("::");
+  return p == std::string::npos ? name : name.substr(p + 2);
+}
+
+bool call_graph::std_method_name(const std::string& s) {
+  static const std::unordered_set<std::string> names = {
+      "clear", "size",  "empty",   "begin", "end",   "find",   "count",
+      "at",    "front", "back",    "data",  "str",   "c_str",  "substr",
+      "append", "insert", "erase", "reserve", "resize", "push_back",
+      "emplace_back", "pop_back", "emplace", "swap", "get",    "reset",
+      "load",  "store", "length",  "assign", "fill", "min",    "max",
+      "first", "second", "value",  "reason", "what", "compare"};
+  return names.count(s) != 0;
+}
+
+void call_graph::build_graph(const std::vector<file_summary>& files) {
+  for (const file_summary& f : files) {
+    const bool exempt = path_effect_exempt(f.rel_path);
+    const std::size_t base = nodes.size();
+    for (const func_record& fr : f.funcs) {
+      nodes.push_back({&f, &fr, exempt});
+      if (!fr.is_lambda && !fr.name.empty()) {
+        by_last[last_component(fr.name)].push_back(nodes.size() - 1);
+      }
+    }
+    for (const par_site_record& ps : f.par_sites) {
+      if (ps.lambda_index < f.funcs.size()) {
+        sites.push_back({&f, &ps, base + ps.lambda_index});
+      }
+    }
+  }
+  call_targets.resize(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto& calls = nodes[i].rec->calls;
+    call_targets[i].resize(calls.size());
+    for (std::size_t k = 0; k < calls.size(); ++k) {
+      call_targets[i][k] = resolve(calls[k]);
+    }
+  }
+}
+
+std::vector<std::size_t> call_graph::resolve(const call_record& c) const {
+  std::vector<std::size_t> out;
+  const std::string last = last_component(c.callee);
+  if (c.method && std_method_name(last)) return out;
+  const auto it = by_last.find(last);
+  if (it == by_last.end()) return out;
+  const bool qualified = c.callee.find("::") != std::string::npos;
+  for (const std::size_t cand : it->second) {
+    const std::string& full = nodes[cand].rec->name;
+    if (qualified && full != c.callee && !ends_with(full, "::" + c.callee)) {
+      continue;
+    }
+    out.push_back(cand);
+  }
+  // A method call only resolves on a unique name match — otherwise
+  // every `v.size()` would inherit whatever some class's size() does.
+  if (c.method && out.size() != 1) out.clear();
+  return out;
+}
+
+bool call_graph::propagates(std::size_t t) const {
+  return !nodes[t].exempt && !nodes[t].rec->is_init;
+}
+
+std::string call_graph::display(std::size_t n) const {
+  const func_record& fr = *nodes[n].rec;
+  return fr.is_lambda ? "(lambda at " + nodes[n].file->rel_path + ":" +
+                            std::to_string(fr.line) + ")"
+                      : fr.name;
+}
+
+}  // namespace dv_lint

@@ -1,0 +1,72 @@
+// Cross-TU call graph shared by the effect-inference engine
+// (effects.cpp) and the lockset race detector (race.cpp). Every function
+// record of every scanned file becomes a node; calls are resolved by
+// qualified-name matching on the last name component, with method calls
+// accepted only on a unique match (and never for spellings shared with
+// the standard containers). The resolved per-call target lists are what
+// both fixed points — the bottom-up effect closure and the top-down
+// entry-lockset meet — iterate over.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "lint.h"
+
+namespace dv_lint {
+
+/// Files whose effects never propagate to callers: the DV_METRICS-gated
+/// observability layer (its blocking/clock reads vanish when metrics are
+/// off) and the parallel runtime itself (fork-join blocking is the
+/// sanctioned kind). The race pass still scans these files — the
+/// exemption is about effect propagation, not data ownership.
+bool path_effect_exempt(std::string_view rel);
+
+struct graph_node {
+  const file_summary* file{nullptr};
+  const func_record* rec{nullptr};
+  bool exempt{false};  // path_effect_exempt(file)
+};
+
+/// (file, site, lambda node index) per parallel_for call site.
+struct graph_site {
+  const file_summary* file{nullptr};
+  const par_site_record* site{nullptr};
+  std::size_t lambda_node{0};
+};
+
+struct call_graph {
+  std::vector<graph_node> nodes;
+  std::vector<graph_site> sites;
+  /// Last name component -> candidate node indices (named funcs only).
+  std::unordered_map<std::string, std::vector<std::size_t>> by_last;
+  /// call_targets[node][call index] = resolved callee nodes.
+  std::vector<std::vector<std::vector<std::size_t>>> call_targets;
+
+  /// Builds nodes, sites, the name index, and resolves every call. The
+  /// summaries must outlive the graph (nodes hold pointers into them).
+  void build_graph(const std::vector<file_summary>& files);
+
+  static std::string last_component(const std::string& name);
+
+  /// Method spellings shared with the standard containers/streams never
+  /// resolve to repo functions: `cur.clear()` on a std::string must not
+  /// inherit strong_lru_cache::clear's lock just because that happens to
+  /// be the only `clear` defined in the repo.
+  static bool std_method_name(const std::string& s);
+
+  std::vector<std::size_t> resolve(const call_record& c) const;
+
+  /// True when effects of callee `t` propagate into callers: dv:init
+  /// functions run once at startup and exempt paths are the sanctioned
+  /// observability/runtime layers.
+  bool propagates(std::size_t t) const;
+
+  /// Human-readable node name ("(lambda at file:line)" for lambdas).
+  std::string display(std::size_t n) const;
+};
+
+}  // namespace dv_lint

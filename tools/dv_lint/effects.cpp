@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "call_graph.h"
 #include "scc.h"
 #include "token_utils.h"
 
@@ -47,15 +48,8 @@ bool contains(const std::vector<std::string>& v, std::string_view s) {
   return std::find(v.begin(), v.end(), s) != v.end();
 }
 
-/// Files whose effects never propagate to callers: the DV_METRICS-gated
-/// observability layer (its blocking/clock reads vanish when metrics are
-/// off) and the parallel runtime itself (fork-join blocking is the
-/// sanctioned kind).
-bool path_effect_exempt(std::string_view rel) {
-  return starts_with(rel, "src/util/metrics") ||
-         starts_with(rel, "src/util/trace") ||
-         starts_with(rel, "src/util/thread_pool");
-}
+// path_effect_exempt now lives in call_graph.cpp (the race pass shares
+// it for propagation decisions, not for scope).
 
 bool keyword_like(const std::string& s) {
   static const std::unordered_set<std::string> kw = {
@@ -136,6 +130,17 @@ bool note_flag(const lex_result& lx, int line, bool line_notes::* field) {
   return false;
 }
 
+/// The dv:guarded-by(<lock>) annotation on `line` or the line above.
+std::string guard_note(const lex_result& lx, int line) {
+  for (const int l : {line, line - 1}) {
+    const auto it = lx.notes.find(l);
+    if (it != lx.notes.end() && !it->second.guarded_by.empty()) {
+      return it->second.guarded_by;
+    }
+  }
+  return {};
+}
+
 /// The resolved base of one write target (compact version of the
 /// capture pass's lvalue walk: chase `]`/`)` groups and `.`/`->` links
 /// back to the leftmost identifier).
@@ -162,6 +167,11 @@ lvalue resolve_lvalue(const std::vector<token>& toks, std::size_t last) {
       if (token_is_punct(prev, ".") || token_is_punct(prev, "->")) {
         const std::size_t dot = static_cast<std::size_t>(prev - toks.data());
         if (dot == 0) return lv;
+        if (token_is_ident(neighbor_token(toks, dot, -1), "this")) {
+          lv.base = t.text;  // `this->member`: the member is the base
+          lv.resolvable = true;
+          return lv;
+        }
         p = dot - 1;
         continue;
       }
@@ -307,6 +317,7 @@ class extractor {
         continue;
       }
       maybe_global(i_);
+      maybe_field(i_);
     }
     std::sort(out_.sites.begin(), out_.sites.end(),
               [](const par_site_record& a, const par_site_record& b) {
@@ -414,6 +425,76 @@ class extractor {
                          -1);
     }
     out_.globals.push_back(toks_[i].text);
+    const int line = toks_[i].line;
+    out_.global_decls.push_back({toks_[i].text, line, guard_note(lx_, line),
+                                 allows_at(lx_, line)});
+  }
+
+  /// Member-field declaration detection at type scope. Every field of
+  /// every class is recorded with its race classification; the race pass
+  /// only consults classes that own a mutex or atomic member.
+  void maybe_field(std::size_t i) {
+    if (stack_.empty() || stack_.back().kind != brace_kind::type) return;
+    if (!collectible() || toks_[i].kind != token_kind::identifier) return;
+    const token* prev = neighbor_token(toks_, i, -1);
+    const token* next = neighbor_token(toks_, i, 1);
+    if (!type_ish(prev) || next == nullptr ||
+        next->kind != token_kind::punct) {
+      return;
+    }
+    if (next->text != "=" && next->text != ";" && next->text != "{" &&
+        next->text != "[") {
+      return;
+    }
+    // Walk back to the statement boundary (`:` covers access specifiers)
+    // classifying the declared type; the first classification wins.
+    field_kind kind = field_kind::plain;
+    const token* t = prev;
+    for (int hops = 0; t != nullptr && hops < 24; ++hops) {
+      if (t->kind == token_kind::punct &&
+          (t->text == ";" || t->text == "{" || t->text == "}" ||
+           t->text == ":")) {
+        break;
+      }
+      if (t->kind == token_kind::identifier) {
+        const std::string& s = t->text;
+        if (s == "using" || s == "typedef" || s == "static_assert" ||
+            s == "friend" || s == "operator") {
+          return;
+        }
+        if (s == "const" || s == "constexpr" || s == "constinit") {
+          kind = field_kind::konst;
+        } else if (s == "atomic" || s == "atomic_flag") {
+          kind = field_kind::atomic;
+        } else if (s == "mutex" || s == "timed_mutex" ||
+                   s == "recursive_mutex" || s == "shared_mutex" ||
+                   s == "shared_timed_mutex") {
+          kind = field_kind::mutex;
+        } else if (s == "condition_variable" ||
+                   s == "condition_variable_any") {
+          kind = field_kind::cv;
+        }
+        if (kind != field_kind::plain) break;
+      }
+      t = neighbor_token(toks_, static_cast<std::size_t>(t - toks_.data()),
+                         -1);
+    }
+    const std::string cls = scope_qualifier();
+    if (cls.empty()) return;
+    class_record* cr = nullptr;
+    for (class_record& c : out_.classes) {
+      if (c.name == cls) {
+        cr = &c;
+        break;
+      }
+    }
+    if (cr == nullptr) {
+      out_.classes.push_back({cls, toks_[i].line, {}});
+      cr = &out_.classes.back();
+    }
+    const int line = toks_[i].line;
+    cr->fields.push_back({toks_[i].text, line, kind, guard_note(lx_, line),
+                          allows_at(lx_, line)});
   }
 
   /// Gathers `A::B::` qualifiers spelled directly before the name token
@@ -596,6 +677,7 @@ class extractor {
     rec.allowed = allows_at(lx_, rec.line);
     rec.is_init = note_flag(lx_, rec.line, &line_notes::init_fn);
     rec.is_hot = note_flag(lx_, rec.line, &line_notes::hot_path);
+    rec.is_thread_entry = note_flag(lx_, rec.line, &line_notes::thread_entry);
     parse_params(params_open, params_close, rec);
 
     std::unordered_set<std::string> locals{rec.params.begin(),
@@ -741,10 +823,68 @@ class extractor {
     }
   }
 
+  /// Records one shared-state access candidate. Locals shadow everything
+  /// except statics this very function declared (their names are erased
+  /// from shadowing on purpose).
+  void note_access(func_record& rec, const std::string& base, int line,
+                   bool write, const std::vector<held_lock>& held,
+                   const std::unordered_set<std::string>& locals,
+                   const std::unordered_set<std::string>& static_names) {
+    if (base.empty() || base == "this" || keyword_like(base)) return;
+    if (locals.count(base) != 0 && static_names.count(base) == 0) return;
+    access_record a;
+    a.name = base;
+    a.line = line;
+    a.write = write;
+    a.waived = contains(allows_at(lx_, line), "race");
+    a.held = held_names(held);
+    rec.accesses.push_back(std::move(a));
+  }
+
+  /// Records a mutable `static` local declared at `i` (the `static`
+  /// keyword). Immune declarations (const/atomic/thread_local) and
+  /// function declarations are ignored.
+  void handle_static(func_record& rec, std::size_t i,
+                     std::unordered_set<std::string>& static_names) {
+    bool immune = false;
+    std::string name;
+    for (std::size_t j = i + 1; j < toks_.size(); ++j) {
+      const token& t = toks_[j];
+      if (t.kind == token_kind::pp_directive) continue;
+      if (t.kind == token_kind::identifier) {
+        if (t.text == "const" || t.text == "constexpr" ||
+            t.text == "constinit" || t.text == "atomic" ||
+            t.text == "thread_local") {
+          immune = true;
+        } else if (!keyword_like(t.text)) {
+          name = t.text;  // the last plain identifier names the variable
+        }
+        continue;
+      }
+      if (t.kind != token_kind::punct) return;
+      if (t.text == "<") {
+        j = skip_angles(toks_, j) - 1;
+        continue;
+      }
+      if (t.text == "::" || t.text == "&" || t.text == "*") continue;
+      if (t.text == ";" || t.text == "=" || t.text == "{") break;
+      return;  // `(` and friends: a function declaration, not a variable
+    }
+    if (immune || name.empty()) return;
+    static_local_record sl;
+    sl.name = name;
+    sl.line = toks_[i].line;
+    sl.guarded_by = guard_note(lx_, sl.line);
+    sl.allowed = allows_at(lx_, sl.line);
+    rec.statics.push_back(std::move(sl));
+    static_names.insert(name);
+  }
+
   /// Records a call expression (name at `i`, next token `(`).
   void handle_call(func_record& rec, std::size_t i,
                    const std::vector<held_lock>& held,
-                   const std::unordered_set<std::string>& locals) {
+                   const std::unordered_set<std::string>& locals,
+                   const std::unordered_set<std::string>& static_names) {
     const token& t = toks_[i];
     if (keyword_like(t.text) || guard_class(t.text)) return;
     const token* prev = neighbor_token(toks_, i, -1);
@@ -799,7 +939,11 @@ class extractor {
       const std::size_t pi = static_cast<std::size_t>(prev - toks_.data());
       if (pi > 0) {
         const lvalue lv = resolve_lvalue(toks_, pi - 1);
-        if (lv.resolvable) note_write(rec, lv.base, t.line, locals);
+        if (lv.resolvable) {
+          note_write(rec, lv.base, t.line, locals);
+          note_access(rec, lv.base, t.line, /*write=*/true, held, locals,
+                      static_names);
+        }
       }
     }
   }
@@ -829,7 +973,9 @@ class extractor {
   /// Write detection at an assignment/inc/dec operator token `i`.
   void handle_write(func_record& rec, std::size_t i, std::size_t begin,
                     std::size_t end,
-                    const std::unordered_set<std::string>& locals) {
+                    const std::unordered_set<std::string>& locals,
+                    const std::vector<held_lock>& held,
+                    const std::unordered_set<std::string>& static_names) {
     std::size_t target_end = npos;
     const token& t = toks_[i];
     if (write_op(t)) {
@@ -866,6 +1012,8 @@ class extractor {
     const lvalue lv = resolve_lvalue(toks_, target_end);
     if (!lv.resolvable) return;
     note_write(rec, lv.base, t.line, locals);
+    note_access(rec, lv.base, t.line, /*write=*/true, held, locals,
+                static_names);
   }
 
   /// The shared body walk: direct effects, lock tracking, calls, writes,
@@ -875,6 +1023,9 @@ class extractor {
                   const std::string& lock_prefix) {
     int depth = 0;
     std::vector<held_lock> held;
+    // Names declared `static` inside this body: they stay shared state
+    // even though declaration syntax would otherwise make them locals.
+    std::unordered_set<std::string> static_names;
     for (std::size_t i = begin; i < end; ++i) {
       const token& t = toks_[i];
       if (t.kind == token_kind::pp_directive) continue;
@@ -893,10 +1044,14 @@ class extractor {
       }
       if (write_op(t) || token_is_punct(&t, "++") ||
           token_is_punct(&t, "--")) {
-        handle_write(rec, i, begin, end, locals);
+        handle_write(rec, i, begin, end, locals, held, static_names);
         continue;
       }
       if (t.kind != token_kind::identifier) continue;
+      if (t.text == "static") {
+        handle_static(rec, i, static_names);
+        continue;
+      }
 
       // Local declarations (incl. structured bindings) shadow captures
       // and parameters for write/arg resolution.
@@ -952,7 +1107,7 @@ class extractor {
       handle_direct(rec, i);
       if (i + 1 < toks_.size() && token_is_punct(&toks_[i + 1], "(") &&
           !keyword_like(t.text)) {
-        handle_call(rec, i, held, locals);
+        handle_call(rec, i, held, locals, static_names);
       }
       // Plain local declaration: type-ish token, the name, then a
       // declarator-shaped follower.
@@ -964,7 +1119,31 @@ class extractor {
         if (type_ish(prev) && next != nullptr &&
             next->kind == token_kind::punct &&
             follower.count(next->text) != 0) {
-          locals.insert(t.text);
+          if (static_names.count(t.text) == 0) locals.insert(t.text);
+          continue;
+        }
+        // Read access: a bare identifier (or `this->member`) that is not
+        // a qualified-name piece, call, or write target. Writes are
+        // recorded by handle_write when the operator token comes up.
+        bool qualified_or_member =
+            token_is_punct(prev, "::") || token_is_punct(next, "::") ||
+            token_is_punct(prev, ".");
+        if (token_is_punct(prev, "->")) {
+          const std::size_t pi = static_cast<std::size_t>(
+              neighbor_token(toks_, i, -1) - toks_.data());
+          if (!token_is_ident(neighbor_token(toks_, pi, -1), "this")) {
+            qualified_or_member = true;
+          }
+        }
+        const bool written =
+            (next != nullptr &&
+             (write_op(*next) || token_is_punct(next, "++") ||
+              token_is_punct(next, "--"))) ||
+            token_is_punct(prev, "++") || token_is_punct(prev, "--");
+        if (!qualified_or_member && !written &&
+            !token_is_punct(next, "(")) {
+          note_access(rec, t.text, t.line, /*write=*/false, held, locals,
+                      static_names);
         }
       }
     }
@@ -1106,109 +1285,21 @@ struct origin {
   bool waived{false};  // lock origins: acquisition has allow(lock-order)
 };
 
-struct engine {
-  struct node_ref {
-    const file_summary* file{nullptr};
-    const func_record* rec{nullptr};
-    bool exempt{false};
-  };
-
-  std::vector<node_ref> nodes;
-  /// (file, site, lambda node index) per parallel site.
-  struct site_ref {
-    const file_summary* file{nullptr};
-    const par_site_record* site{nullptr};
-    std::size_t lambda_node{0};
-  };
-  std::vector<site_ref> sites;
-
-  std::unordered_map<std::string, std::vector<std::size_t>> by_last;
+/// The effect engine: the shared cross-TU call graph (call_graph.h) plus
+/// the effect-closure state the bottom-up fixed point computes over it.
+struct engine : call_graph {
   std::unordered_set<std::string> globals;
 
   std::vector<std::array<origin, k_effect_count>> closure;
   std::vector<std::map<std::string, origin>> locksets;
   std::vector<std::set<int>> wparams;
-  std::vector<std::vector<std::vector<std::size_t>>> call_targets;
-
-  static std::string last_component(const std::string& name) {
-    const std::size_t p = name.rfind("::");
-    return p == std::string::npos ? name : name.substr(p + 2);
-  }
 
   void build(const std::vector<file_summary>& files) {
+    build_graph(files);
     for (const file_summary& f : files) {
-      const bool exempt = path_effect_exempt(f.rel_path);
-      const std::size_t base = nodes.size();
-      for (const func_record& fr : f.funcs) {
-        nodes.push_back({&f, &fr, exempt});
-        if (!fr.is_lambda && !fr.name.empty()) {
-          by_last[last_component(fr.name)].push_back(nodes.size() - 1);
-        }
-      }
-      for (const par_site_record& ps : f.par_sites) {
-        if (ps.lambda_index < f.funcs.size()) {
-          sites.push_back({&f, &ps, base + ps.lambda_index});
-        }
-      }
       globals.insert(f.globals.begin(), f.globals.end());
     }
-    resolve_calls();
     close_over_sccs();
-  }
-
-  /// Method spellings shared with the standard containers/streams never
-  /// resolve to repo functions: `cur.clear()` on a std::string must not
-  /// inherit strong_lru_cache::clear's lock just because that happens to
-  /// be the only `clear` defined in the repo.
-  static bool std_method_name(const std::string& s) {
-    static const std::unordered_set<std::string> names = {
-        "clear", "size",  "empty",   "begin", "end",   "find",   "count",
-        "at",    "front", "back",    "data",  "str",   "c_str",  "substr",
-        "append", "insert", "erase", "reserve", "resize", "push_back",
-        "emplace_back", "pop_back", "emplace", "swap", "get",    "reset",
-        "load",  "store", "length",  "assign", "fill", "min",    "max",
-        "first", "second", "value",  "reason", "what", "compare"};
-    return names.count(s) != 0;
-  }
-
-  std::vector<std::size_t> resolve(std::size_t from, const call_record& c) {
-    std::vector<std::size_t> out;
-    const std::string last = last_component(c.callee);
-    if (c.method && std_method_name(last)) return out;
-    const auto it = by_last.find(last);
-    if (it == by_last.end()) return out;
-    const bool qualified = c.callee.find("::") != std::string::npos;
-    for (const std::size_t cand : it->second) {
-      const std::string& full = nodes[cand].rec->name;
-      if (qualified && full != c.callee &&
-          !ends_with(full, "::" + c.callee)) {
-        continue;
-      }
-      out.push_back(cand);
-    }
-    // A method call only resolves on a unique name match — otherwise
-    // every `v.size()` would inherit whatever some class's size() does.
-    if (c.method && out.size() != 1) out.clear();
-    (void)from;
-    return out;
-  }
-
-  void resolve_calls() {
-    call_targets.resize(nodes.size());
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      const auto& calls = nodes[i].rec->calls;
-      call_targets[i].resize(calls.size());
-      for (std::size_t k = 0; k < calls.size(); ++k) {
-        call_targets[i][k] = resolve(i, calls[k]);
-      }
-    }
-  }
-
-  /// True when effects of callee `t` propagate into callers: dv:init
-  /// functions run once at startup and exempt paths are the sanctioned
-  /// observability/runtime layers.
-  bool propagates(std::size_t t) const {
-    return !nodes[t].exempt && !nodes[t].rec->is_init;
   }
 
   void close_over_sccs() {
@@ -1295,13 +1386,6 @@ struct engine {
         }
       }
     }
-  }
-
-  std::string display(std::size_t n) const {
-    const func_record& fr = *nodes[n].rec;
-    return fr.is_lambda ? "(lambda at " + nodes[n].file->rel_path + ":" +
-                              std::to_string(fr.line) + ")"
-                        : fr.name;
   }
 
   /// Renders the witness chain for (node, effect): the callee path, then
@@ -1433,7 +1517,7 @@ void check_lock_order(const engine& eng, std::vector<violation>& out) {
   };
 
   for (std::size_t i = 0; i < eng.nodes.size(); ++i) {
-    const engine::node_ref& nr = eng.nodes[i];
+    const graph_node& nr = eng.nodes[i];
     if (!starts_with(nr.file->rel_path, "src/") || nr.exempt) continue;
     for (const lock_record& l : nr.rec->locks) {
       const bool waived = contains(l.allowed, "lock-order");

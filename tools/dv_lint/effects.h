@@ -41,6 +41,10 @@ struct file_effects {
   /// Namespace-scope mutable variables declared in this file (the
   /// cross-file writes_global target set).
   std::vector<std::string> globals;
+  /// Shared-state declarations for the race pass (race.h): member
+  /// fields per class and namespace-scope variables with metadata.
+  std::vector<class_record> classes;
+  std::vector<global_record> global_decls;
 };
 
 file_effects extract_effects(const std::string& rel_path,

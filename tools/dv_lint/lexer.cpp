@@ -57,6 +57,23 @@ void scan_comment(std::string_view text, int line, line_notes& notes) {
   if (has_reasoned_tag(text, "dv:parallel-safe(")) notes.parallel_safe = true;
   if (has_reasoned_tag(text, "dv:init(")) notes.init_fn = true;
   if (has_reasoned_tag(text, "dv:hot-path(")) notes.hot_path = true;
+  if (has_reasoned_tag(text, "dv:thread-entry(")) notes.thread_entry = true;
+  constexpr std::string_view guard_tag = "dv:guarded-by(";
+  const std::size_t guard_at = text.find(guard_tag);
+  if (guard_at != std::string_view::npos) {
+    const std::size_t open = guard_at + guard_tag.size();
+    const std::size_t close = text.find(')', open);
+    if (close != std::string_view::npos && close > open) {
+      std::string_view lock = text.substr(open, close - open);
+      while (!lock.empty() && (lock.front() == ' ' || lock.front() == '\t')) {
+        lock.remove_prefix(1);
+      }
+      while (!lock.empty() && (lock.back() == ' ' || lock.back() == '\t')) {
+        lock.remove_suffix(1);
+      }
+      notes.guarded_by.assign(lock);
+    }
+  }
   (void)line;
 }
 

@@ -43,6 +43,14 @@ struct line_notes {
   /// defined here is a serving hot-path root and must satisfy the same
   /// transitive purity contract as a parallel_for lambda body.
   bool hot_path{false};
+  /// True when the line carries `dv:thread-entry(<reason>)`: the function
+  /// defined here runs on its own thread (worker loop, detached task), so
+  /// the race pass treats it as a concurrency root.
+  bool thread_entry{false};
+  /// Lock named by `dv:guarded-by(<lock>)` on a field or global
+  /// declaration: every access to the declared state must hold this lock.
+  /// Empty when the line carries no guard annotation.
+  std::string guarded_by;
 };
 
 struct lex_result {

@@ -18,6 +18,7 @@
 #include "effects.h"
 #include "include_graph.h"
 #include "lexer.h"
+#include "race.h"
 #include "token_utils.h"
 #include "util/thread_pool.h"
 
@@ -595,6 +596,35 @@ std::vector<std::string> allows_on_line(const lex_result& lx, int line) {
 
 }  // namespace
 
+const std::vector<check_info>& check_registry() {
+  // Bump a version (or add an entry) whenever a check's logic changes in
+  // a way that affects results derived from cached records.
+  static const std::vector<check_info> registry = {
+      {"determinism", 1},      {"thread-safety", 1},
+      {"metrics-gating", 1},   {"hygiene", 1},
+      {"simd", 1},             {"capture", 2},
+      {"init-only-config", 1}, {"layering", 1},
+      {"include-cycle", 1},    {"unused-include", 1},
+      {"api-surface", 1},      {"hot-path-purity", 1},
+      {"lock-order", 1},       {"race", 1},
+  };
+  return registry;
+}
+
+std::uint64_t lint_schema_hash() {
+  static const std::uint64_t hash = [] {
+    std::string rendered;
+    for (const check_info& c : check_registry()) {
+      rendered += c.name;
+      rendered += ':';
+      rendered += std::to_string(c.version);
+      rendered += ';';
+    }
+    return fnv1a_hash(rendered);
+  }();
+  return hash;
+}
+
 std::vector<violation> lint_source(const std::string& rel_path,
                                    std::string_view source) {
   const lex_result lx = lex(source);
@@ -611,6 +641,8 @@ file_summary summarize(const std::string& rel_path, std::string_view source) {
   s.funcs = std::move(fx.funcs);
   s.par_sites = std::move(fx.sites);
   s.globals = std::move(fx.globals);
+  s.classes = std::move(fx.classes);
+  s.global_decls = std::move(fx.global_decls);
 
   std::set<std::string> used;
   for (const token& t : lx.tokens) {
@@ -875,15 +907,17 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   }
 
   // --explain short-circuits the violation report: print the inferred
-  // effect closure (with witness chains) for the named function.
+  // effect closure (with witness chains) and the race facts (entry
+  // locksets, root reachability, shared-state accesses) for the name.
   if (!explain_arg.empty()) {
-    const std::string text = explain_effects(summaries, explain_arg);
-    if (text.empty()) {
+    const std::string effects_text = explain_effects(summaries, explain_arg);
+    const std::string race_text = explain_races(summaries, explain_arg);
+    if (effects_text.empty() && race_text.empty()) {
       err << "dv_lint: --explain: no function named '" << explain_arg
           << "' in the scanned files\n";
       return 2;
     }
-    out << text;
+    out << effects_text << race_text;
     return 0;
   }
 
@@ -898,6 +932,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   // file re-derives every caller's closure from warm cache entries.
   const auto effect_violations = check_effects(summaries);
   all.insert(all.end(), effect_violations.begin(), effect_violations.end());
+
+  // The lockset race detector shares the cross-TU call graph: guarded-by
+  // verification plus Eraser-style inference over shared state.
+  const auto race_violations = check_races(summaries);
+  all.insert(all.end(), race_violations.begin(), race_violations.end());
 
   // Cross-file passes run over the library tree only: tests and tools may
   // include src/ headers freely and are not part of the layer contract.

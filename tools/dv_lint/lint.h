@@ -21,6 +21,9 @@
 //   api-surface — api_surface.h golden-snapshot comparison
 //   hot-path-purity / lock-order / capture (transitive) — effect
 //       inference over the cross-TU call graph (effects.h)
+//   race — static lockset race detection: guarded-by verification plus
+//       Eraser-style lockset-intersection inference over shared state
+//       (race.h)
 //
 // Any violation is suppressible on its own line or the line above with
 // `// dv-lint: allow(<check>)`.
@@ -41,6 +44,21 @@ struct violation {
   std::string check;    // "determinism", "thread-safety", ...
   std::string message;  // human-readable explanation with a suggested fix
 };
+
+/// One registered check and its schema version. Bumping a version (or
+/// adding a check) changes lint_schema_hash(), which is part of the
+/// cache record header — every stale per-file entry then misses and is
+/// re-derived instead of silently replaying results computed before the
+/// check existed.
+struct check_info {
+  const char* name;
+  int version;
+};
+const std::vector<check_info>& check_registry();
+
+/// FNV-1a over the rendered check registry (names + versions). Stamped
+/// into every cache record alongside the format version (cache.h).
+std::uint64_t lint_schema_hash();
 
 // ---------------------------------------------------------------------------
 // Effect-inference records (effects.h). Extracted per file, cached with
@@ -86,6 +104,70 @@ struct nonlocal_write {
   int line{0};
 };
 
+// ---------------------------------------------------------------------------
+// Race-detector records (race.h). Accesses and shared-state declarations
+// are extracted per file alongside the effect records and resolved
+// cross-TU by the race pass.
+
+/// One read or write of a shared-state candidate inside a function body:
+/// a bare (or `this->`-qualified) identifier whose base is not a local,
+/// recorded with the locks held at that point. Resolution against the
+/// field/global/static tables happens at check time, so most recorded
+/// names simply never match anything shared.
+struct access_record {
+  std::string name;  // spelled base identifier ("pending_", "g_mode")
+  int line{0};
+  bool write{false};
+  bool waived{false};  // allow(race) on the access line
+  std::vector<std::string> held;  // locks held at the access site
+};
+
+/// One mutable `static` local declared inside a function body. Accesses
+/// resolve by bare name within the declaring function only.
+struct static_local_record {
+  std::string name;
+  int line{0};
+  std::string guarded_by;            // dv:guarded-by(<lock>) on the decl
+  std::vector<std::string> allowed;  // allow(...) names on the decl line
+};
+
+/// How a member field participates in the race analysis. The enum order
+/// is the cache serialization contract (cache.cpp).
+enum class field_kind : unsigned char {
+  plain,   // ordinary mutable member: lockset rules apply
+  mutex,   // std::mutex family: a lock identity, not data
+  atomic,  // std::atomic<...>: synchronizes its own accesses
+  cv,      // condition_variable: waits are externally locked
+  konst,   // const member: immutable after construction
+};
+
+struct field_record {
+  std::string name;
+  int line{0};
+  field_kind kind{field_kind::plain};
+  std::string guarded_by;            // dv:guarded-by(<lock>) on the decl
+  std::vector<std::string> allowed;  // allow(...) names on the decl line
+};
+
+/// One class/struct with its member declarations. Only classes that own
+/// at least one mutex or atomic field are in scope for the race pass;
+/// everything else is recorded but ignored at check time.
+struct class_record {
+  std::string name;  // scope-qualified ("dv::micro_batcher")
+  int line{0};
+  std::vector<field_record> fields;
+};
+
+/// One namespace-scope mutable variable declaration with its race
+/// metadata (the bare-name list in file_summary::globals feeds the
+/// writes_global effect; this record feeds the race pass).
+struct global_record {
+  std::string name;  // bare declared name (matches access spelling)
+  int line{0};
+  std::string guarded_by;
+  std::vector<std::string> allowed;
+};
+
 /// Per-function facts the fixed point runs over. Lambdas passed to
 /// parallel_for sites get their own synthetic record (is_lambda).
 struct func_record {
@@ -102,8 +184,11 @@ struct func_record {
   std::vector<int> ref_params;          // indices of ref/pointer params
   std::vector<int> out_params_written;  // indices of ref/ptr params written
   std::vector<std::string> allowed;     // allow(...) names on the def line
+  std::vector<access_record> accesses;  // shared-state reads/writes
+  std::vector<static_local_record> statics;  // mutable statics declared here
   bool is_init{false};    // dv:init(<reason>): effects latch at startup
   bool is_hot{false};     // dv:hot-path(<reason>): hot-path purity root
+  bool is_thread_entry{false};  // dv:thread-entry(<reason>): race root
   bool is_lambda{false};  // synthetic record for a parallel_for lambda
 };
 
@@ -143,6 +228,8 @@ struct file_summary {
   std::vector<func_record> funcs;     // effect records (effects.h)
   std::vector<par_site_record> par_sites;
   std::vector<std::string> globals;   // namespace-scope mutable variables
+  std::vector<class_record> classes;  // member declarations (race.h)
+  std::vector<global_record> global_decls;  // global race metadata
 };
 
 /// Runs every per-file check over one file's contents. `rel_path` is the

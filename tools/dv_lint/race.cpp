@@ -1,0 +1,518 @@
+#include "race.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "call_graph.h"
+
+namespace dv_lint {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool contains(const std::vector<std::string>& v, std::string_view s) {
+  for (const std::string& e : v) {
+    if (e == s) return true;
+  }
+  return false;
+}
+
+bool in_src(const std::string& rel) { return starts_with(rel, "src/"); }
+
+std::vector<std::string> sorted_unique(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+std::vector<std::string> set_union(const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<std::string> set_intersect(const std::vector<std::string>& a,
+                                       const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Lock-name comparison with qualification leniency: acquisition sites
+/// qualify bare mutex names with the acquiring function's scope
+/// (effects.cpp lock_name), while annotations may spell the bare name or
+/// any suffix of the qualified one.
+bool lock_matches(const std::string& held, const std::string& guard) {
+  return held == guard || ends_with(held, "::" + guard) ||
+         ends_with(guard, "::" + held);
+}
+
+bool holds_lock(const std::vector<std::string>& held,
+                const std::string& guard) {
+  for (const std::string& h : held) {
+    if (lock_matches(h, guard)) return true;
+  }
+  return false;
+}
+
+std::string render_lockset(const std::vector<std::string>& locks) {
+  if (locks.empty()) return "{}";
+  std::string out = "{";
+  for (std::size_t i = 0; i < locks.size(); ++i) {
+    out += (i == 0 ? "" : ", ") + locks[i];
+  }
+  return out + "}";
+}
+
+/// The lockset engine: the shared cross-TU call graph plus the top-down
+/// entry-lockset meet and root reachability with parent pointers.
+struct race_engine : call_graph {
+  /// Sorted entry lockset per node: locks every caller is guaranteed to
+  /// hold. Meaningful only when `known`; unknown (never-called) nodes
+  /// are treated as {} — an external caller promises nothing.
+  std::vector<std::vector<std::string>> entry;
+  std::vector<char> known;
+  /// Seeded at {} because nothing in the graph calls it: an external
+  /// caller promises no locks.
+  std::vector<char> external;
+  std::vector<char> root;   // concurrency root (lambda site / thread entry)
+  std::vector<char> reach;  // reachable from some root
+  /// parent[n] = (caller on the BFS tree, call line); valid when
+  /// reach[n] && !root[n].
+  std::vector<std::pair<std::size_t, int>> parent;
+
+  void build(const std::vector<file_summary>& files) {
+    build_graph(files);
+    entry.assign(nodes.size(), {});
+    known.assign(nodes.size(), 0);
+    external.assign(nodes.size(), 0);
+    root.assign(nodes.size(), 0);
+    reach.assign(nodes.size(), 0);
+    parent.assign(nodes.size(), {0, -1});
+    for (const graph_site& s : sites) root[s.lambda_node] = 1;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].rec->is_thread_entry) root[i] = 1;
+      if (root[i]) known[i] = 1;  // roots are pinned at {}
+    }
+    meet_entry_locksets();
+    resolve_external();
+    bfs_from_roots();
+  }
+
+  /// Nodes the meet never reached are callable only from outside the
+  /// analyzed graph (or from other such nodes). Seed the ones nothing in
+  /// the graph calls at {} — an external caller promises no locks — and
+  /// re-run the meet so locks THEY acquire still flow into their
+  /// callees; repeat until only never-called-from-anywhere cycles
+  /// remain, which get the same conservative {}.
+  void resolve_external() {
+    for (;;) {
+      std::vector<char> called(nodes.size(), 0);
+      for (std::size_t m = 0; m < nodes.size(); ++m) {
+        for (const auto& targets : call_targets[m]) {
+          for (const std::size_t t : targets) {
+            if (t != m) called[t] = 1;
+          }
+        }
+      }
+      bool seeded = false;
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (known[i] == 0 && called[i] == 0) {
+          known[i] = 1;
+          external[i] = 1;
+          seeded = true;
+        }
+      }
+      if (!seeded) break;
+      meet_entry_locksets();
+    }
+    bool rest = false;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (known[i] == 0) {
+        known[i] = 1;
+        external[i] = 1;
+        rest = true;
+      }
+    }
+    if (rest) meet_entry_locksets();
+  }
+
+  /// entry(callee) = ∩ over call sites of (caller entry ∪ locks held at
+  /// the site). Non-root nodes start at ⊤ (unknown, identity for ∩), so
+  /// sets only shrink once seeded and the iteration terminates.
+  void meet_entry_locksets() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t m = 0; m < nodes.size(); ++m) {
+        if (known[m] == 0) continue;  // ⊤ caller contributes identity
+        const auto& calls = nodes[m].rec->calls;
+        for (std::size_t k = 0; k < calls.size(); ++k) {
+          const std::vector<std::string> at_site =
+              set_union(entry[m], sorted_unique(calls[k].held));
+          for (const std::size_t t : call_targets[m][k]) {
+            if (root[t] != 0) continue;
+            if (known[t] == 0) {
+              entry[t] = at_site;
+              known[t] = 1;
+              changed = true;
+            } else {
+              std::vector<std::string> met = set_intersect(entry[t], at_site);
+              if (met != entry[t]) {
+                entry[t] = std::move(met);
+                changed = true;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  void bfs_from_roots() {
+    std::vector<std::size_t> queue;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (root[i] != 0) {
+        reach[i] = 1;
+        queue.push_back(i);
+      }
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::size_t m = queue[head];
+      const auto& calls = nodes[m].rec->calls;
+      for (std::size_t k = 0; k < calls.size(); ++k) {
+        for (const std::size_t t : call_targets[m][k]) {
+          if (reach[t] != 0) continue;
+          reach[t] = 1;
+          parent[t] = {m, calls[k].line};
+          queue.push_back(t);
+        }
+      }
+    }
+  }
+
+  const std::vector<std::string>& entry_lockset(std::size_t n) const {
+    static const std::vector<std::string> empty;
+    return known[n] != 0 ? entry[n] : empty;
+  }
+
+  /// "root -> ... -> display(n)" along the BFS tree ("" if unreachable).
+  std::string root_chain(std::size_t n) const {
+    if (reach[n] == 0) return "";
+    std::vector<std::size_t> path;
+    std::size_t cur = n;
+    for (int hops = 0; root[cur] == 0 && hops < 64; ++hops) {
+      path.push_back(cur);
+      cur = parent[cur].first;
+    }
+    std::string out = display(cur);
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      out += " -> " + display(*it);
+    }
+    return out;
+  }
+};
+
+/// One resolved access to a tracked shared variable.
+struct var_access {
+  std::size_t node{0};
+  const access_record* rec{nullptr};
+  std::vector<std::string> effective;  // entry lockset ∪ locally held
+};
+
+/// One tracked shared variable (field / global / static local).
+struct shared_var {
+  std::string display_name;
+  std::string decl_file;
+  int decl_line{0};
+  std::string guarded_by;   // annotation as spelled ("" = infer)
+  std::string guard_scope;  // qualification prefix for bare guard names
+  bool suppressed{false};   // allow(race) on the declaration
+  std::vector<var_access> accesses;
+};
+
+std::string qualified_guard(const shared_var& v) {
+  if (v.guarded_by.find("::") != std::string::npos || v.guard_scope.empty()) {
+    return v.guarded_by;
+  }
+  return v.guard_scope + "::" + v.guarded_by;
+}
+
+/// Variable tables plus the resolution of raw access records into them.
+struct var_table {
+  std::vector<shared_var> vars;
+  /// class name -> field name -> vars index.
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::size_t>>
+      fields;
+  /// bare global name -> vars index.
+  std::unordered_map<std::string, std::size_t> globals;
+  /// (node index, static name) -> vars index.
+  std::map<std::pair<std::size_t, std::string>, std::size_t> statics;
+  /// vars index -> static declaration line (initializer exemption).
+  std::unordered_map<std::size_t, int> static_decl_line;
+
+  void build(const race_engine& eng, const std::vector<file_summary>& files) {
+    for (const file_summary& f : files) {
+      if (!in_src(f.rel_path)) continue;
+      for (const class_record& c : f.classes) {
+        bool owns_sync = false;
+        for (const field_record& fr : c.fields) {
+          if (fr.kind == field_kind::mutex || fr.kind == field_kind::atomic) {
+            owns_sync = true;
+            break;
+          }
+        }
+        if (!owns_sync) continue;
+        auto& by_name = fields[c.name];
+        for (const field_record& fr : c.fields) {
+          if (fr.kind != field_kind::plain) continue;
+          if (by_name.count(fr.name) != 0) continue;
+          by_name[fr.name] = vars.size();
+          vars.push_back({c.name + "::" + fr.name, f.rel_path, fr.line,
+                          fr.guarded_by, c.name,
+                          contains(fr.allowed, "race"),
+                          {}});
+        }
+      }
+      for (const global_record& g : f.global_decls) {
+        if (globals.count(g.name) != 0) continue;
+        globals[g.name] = vars.size();
+        vars.push_back({g.name, f.rel_path, g.line, g.guarded_by,
+                        std::string{}, contains(g.allowed, "race"),
+                        {}});
+      }
+    }
+    for (std::size_t n = 0; n < eng.nodes.size(); ++n) {
+      if (!in_src(eng.nodes[n].file->rel_path)) continue;
+      const func_record& fr = *eng.nodes[n].rec;
+      for (const static_local_record& sl : fr.statics) {
+        const auto key = std::make_pair(n, sl.name);
+        if (statics.count(key) != 0) continue;
+        statics[key] = vars.size();
+        const std::string scope =
+            fr.is_lambda ? eng.display(n) : fr.name;
+        static_decl_line[vars.size()] = sl.line;
+        vars.push_back({"static '" + sl.name + "' in " + scope,
+                        eng.nodes[n].file->rel_path, sl.line, sl.guarded_by,
+                        call_graph::last_component(fr.name) == fr.name
+                            ? std::string{}
+                            : fr.name.substr(
+                                  0, fr.name.size() -
+                                         call_graph::last_component(fr.name)
+                                             .size() -
+                                         2),
+                        contains(sl.allowed, "race"),
+                        {}});
+      }
+    }
+  }
+
+  /// Resolves one access: static local of the function first, then a
+  /// field of the enclosing class, then a namespace-scope variable.
+  /// Returns vars.size() when the name is nothing we track.
+  std::size_t resolve_access(const race_engine& eng, std::size_t n,
+                             const access_record& a) const {
+    const auto sit = statics.find(std::make_pair(n, a.name));
+    if (sit != statics.end()) return sit->second;
+    const func_record& fr = *eng.nodes[n].rec;
+    if (!fr.is_lambda && !fr.name.empty()) {
+      const std::string last = call_graph::last_component(fr.name);
+      if (last != fr.name) {
+        const std::string cls =
+            fr.name.substr(0, fr.name.size() - last.size() - 2);
+        const auto cit = fields.find(cls);
+        if (cit != fields.end()) {
+          const auto fit = cit->second.find(a.name);
+          if (fit != cit->second.end()) {
+            // Constructors and destructors of the owning class run
+            // before/after the object is shared.
+            if (last == call_graph::last_component(cls)) return vars.size();
+            return fit->second;
+          }
+        }
+      }
+    }
+    const auto git = globals.find(a.name);
+    if (git != globals.end()) return git->second;
+    return vars.size();
+  }
+};
+
+void collect_accesses(const race_engine& eng,
+                      var_table& table) {
+  for (std::size_t n = 0; n < eng.nodes.size(); ++n) {
+    if (!in_src(eng.nodes[n].file->rel_path)) continue;
+    const func_record& fr = *eng.nodes[n].rec;
+    if (fr.is_init) continue;  // startup-only paths are exempt wholesale
+    for (const access_record& a : fr.accesses) {
+      const std::size_t v = table.resolve_access(eng, n, a);
+      if (v >= table.vars.size()) continue;
+      const auto dit = table.static_decl_line.find(v);
+      if (dit != table.static_decl_line.end() && dit->second == a.line) {
+        continue;  // the static's own initializer
+      }
+      table.vars[v].accesses.push_back(
+          {n, &a,
+           set_union(eng.entry_lockset(n), sorted_unique(a.held))});
+    }
+  }
+}
+
+std::string access_location(const race_engine& eng, const var_access& va) {
+  return eng.nodes[va.node].file->rel_path + ":" +
+         std::to_string(va.rec->line);
+}
+
+void check_guarded(const race_engine& eng, const shared_var& v,
+                   std::vector<violation>& out) {
+  const std::string guard = qualified_guard(v);
+  for (const var_access& va : v.accesses) {
+    if (va.rec->waived) continue;
+    if (holds_lock(va.effective, guard)) continue;
+    out.push_back(
+        {eng.nodes[va.node].file->rel_path, va.rec->line, "race",
+         "'" + v.display_name + "' is declared guarded by '" + v.guarded_by +
+             "' but is " + (va.rec->write ? "written" : "read") + " in " +
+             eng.display(va.node) + " holding " +
+             render_lockset(va.effective) + "; acquire '" + v.guarded_by +
+             "' around this access, or waive with // dv-lint: allow(race)"});
+  }
+}
+
+void check_inferred(const race_engine& eng, const shared_var& v,
+                    std::vector<violation>& out) {
+  std::vector<const var_access*> live;
+  for (const var_access& va : v.accesses) {
+    if (!va.rec->waived) live.push_back(&va);
+  }
+  if (live.empty()) return;
+  std::vector<std::string> candidate = live[0]->effective;
+  for (const var_access* va : live) {
+    candidate = set_intersect(candidate, va->effective);
+  }
+  if (!candidate.empty()) return;  // consistently guarded by some lock
+  const var_access* write = nullptr;
+  for (const var_access* va : live) {
+    if (va->rec->write && eng.reach[va->node] != 0) {
+      write = va;
+      break;
+    }
+  }
+  if (write == nullptr) return;  // never written on a concurrent path
+  // The best witness partner: a second access with no lock in common
+  // with the write, preferably in a different function.
+  const var_access* other = nullptr;
+  for (const var_access* va : live) {
+    if (va == write) continue;
+    const bool disjoint =
+        set_intersect(write->effective, va->effective).empty();
+    if (other == nullptr ||
+        (disjoint && va->node != write->node &&
+         !set_intersect(write->effective, other->effective).empty())) {
+      other = va;
+    }
+  }
+  std::string msg = "'" + v.display_name +
+                    "' may be accessed concurrently without a consistent "
+                    "lock (lockset intersection over " +
+                    std::to_string(live.size()) +
+                    (live.size() == 1 ? " access" : " accesses") +
+                    " is empty): written in " + eng.display(write->node) +
+                    " (" + access_location(eng, *write) + ") holding " +
+                    render_lockset(write->effective);
+  const std::string chain = eng.root_chain(write->node);
+  if (!chain.empty()) msg += ", reached from concurrency root " + chain;
+  if (other != nullptr) {
+    msg += "; also " +
+           std::string{other->rec->write ? "written" : "read"} + " in " +
+           eng.display(other->node) + " (" + access_location(eng, *other) +
+           ") holding " + render_lockset(other->effective);
+    const std::string ochain = eng.root_chain(other->node);
+    if (!ochain.empty()) msg += ", reached from concurrency root " + ochain;
+  }
+  msg +=
+      "; annotate the declaration with // dv:guarded-by(<lock>), make it "
+      "std::atomic, or waive with // dv-lint: allow(race)";
+  out.push_back({v.decl_file, v.decl_line, "race", std::move(msg)});
+}
+
+}  // namespace
+
+std::vector<violation> check_races(const std::vector<file_summary>& files) {
+  race_engine eng;
+  eng.build(files);
+  var_table table;
+  table.build(eng, files);
+  collect_accesses(eng, table);
+  std::vector<violation> out;
+  for (const shared_var& v : table.vars) {
+    if (v.suppressed) continue;
+    if (!v.guarded_by.empty()) {
+      check_guarded(eng, v, out);
+    } else {
+      check_inferred(eng, v, out);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const violation& a, const violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.message < b.message;
+            });
+  return out;
+}
+
+std::string explain_races(const std::vector<file_summary>& files,
+                          const std::string& name) {
+  race_engine eng;
+  eng.build(files);
+  var_table table;
+  table.build(eng, files);
+  std::string out;
+  for (std::size_t n = 0; n < eng.nodes.size(); ++n) {
+    const func_record& fr = *eng.nodes[n].rec;
+    if (fr.is_lambda || fr.name.empty()) continue;
+    if (fr.name != name && !ends_with(fr.name, "::" + name)) continue;
+    out += "race facts for " + fr.name + " (" +
+           eng.nodes[n].file->rel_path + ":" + std::to_string(fr.line) +
+           ")\n";
+    out += "  entry lockset: " + render_lockset(eng.entry_lockset(n)) +
+           (eng.external[n] != 0 ? " (no known caller)" : "") + "\n";
+    const std::string chain = eng.root_chain(n);
+    out += chain.empty()
+               ? "  not reachable from a concurrency root\n"
+               : "  reachable from concurrency root: " + chain + "\n";
+    bool any = false;
+    for (const access_record& a : fr.accesses) {
+      const std::size_t v = table.resolve_access(eng, n, a);
+      if (v >= table.vars.size()) continue;
+      any = true;
+      out += "  " + std::string{a.write ? "write" : "read"} + " '" +
+             table.vars[v].display_name + "' at line " +
+             std::to_string(a.line) + " holding " +
+             render_lockset(
+                 set_union(eng.entry_lockset(n), sorted_unique(a.held))) +
+             (a.waived ? " [waived]" : "") + "\n";
+    }
+    if (!any) out += "  no tracked shared-state accesses\n";
+  }
+  return out;
+}
+
+}  // namespace dv_lint

@@ -1,0 +1,47 @@
+// Static lockset race detector. check_races() resolves the cross-TU
+// call graph (call_graph.h), computes each function's entry lockset —
+// the meet (intersection) over all call sites of the locks guaranteed
+// held by every caller — and checks every access to shared state:
+//
+//   shared state = namespace-scope mutables, mutable `static` locals,
+//       and member fields of any src/ class that owns a std::mutex or
+//       std::atomic member
+//
+//   guarded-by   — state annotated `// dv:guarded-by(<lock>)` must hold
+//       that lock (entry lockset ∪ locks acquired locally) at every
+//       non-exempt access; violations point at the access site
+//   inference    — unannotated state gets the Eraser treatment: the
+//       candidate lockset is the intersection of the effective locksets
+//       over all accesses. An empty intersection with at least one
+//       write in a function reachable from a concurrency root
+//       (parallel_for lambdas, dv:thread-entry functions) is reported
+//       at the declaration, with a witness pair of accesses and the
+//       call chain from the root
+//
+// Exempt accesses: std::atomic / mutex / condition_variable / const
+// members (they are not data in the lockset sense), dv:init functions,
+// constructors/destructors of the owning class, a static local's own
+// initializer, and anything waived with `// dv-lint: allow(race)` (on
+// the access line: that access; on the declaration: the whole
+// variable).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace dv_lint {
+
+/// Cross-file pass over every scanned file's cached records. Violations
+/// carry check == "race" and are sorted by (file, line).
+std::vector<violation> check_races(const std::vector<file_summary>& files);
+
+/// Renders the shared-state accesses of every function whose qualified
+/// name matches `name` (exact or suffix), with the effective lockset at
+/// each access and the function's reachability from concurrency roots.
+/// Returns "" when no function matches.
+std::string explain_races(const std::vector<file_summary>& files,
+                          const std::string& name);
+
+}  // namespace dv_lint
