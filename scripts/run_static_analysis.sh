@@ -140,6 +140,24 @@ sanitized_ctest() {
   done
 }
 
+# The snapshot corruption drill runs as its own ASan/UBSan stage so a
+# flat-format parser regression (a flipped byte or truncation reaching
+# undefined behavior instead of serialize_error) is attributed to the
+# snapshot format, not to the whole sanitizer sweep. Both I/O paths run:
+# the default mapping path and DV_SNAPSHOT_MMAP=off buffered reads.
+snapshot_corruption_stage() {
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDV_WERROR=ON -DDV_SANITIZE=address,undefined &&
+    cmake --build build-asan --target test_snapshot || return 1
+  local mm
+  for mm in on off; do
+    echo "-- ctest (build-asan) snapshot drill under DV_SNAPSHOT_MMAP=${mm}"
+    DV_SNAPSHOT_MMAP="${mm}" \
+      ctest --test-dir build-asan -R '^test_snapshot$' --output-on-failure ||
+      return 1
+  done
+}
+
 tsan_stage() {
   cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DDV_WERROR=ON -DDV_SANITIZE=thread &&
@@ -159,6 +177,7 @@ run_stage "effects" effects_stage
 run_stage "race" race_stage
 run_stage "incremental-cache" incremental_stage
 run_stage "clang-tidy" tidy_stage
+run_stage "snapshot-corruption" snapshot_corruption_stage
 run_stage "ThreadSanitizer" tsan_stage
 run_stage "Address+UndefinedBehaviorSanitizer" asan_stage
 

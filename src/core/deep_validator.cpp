@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/weighted_joint.h"
+#include "util/flat_snapshot.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/serialize.h"
@@ -130,92 +132,25 @@ void deep_validator::fit(sequential& model, const dataset& train,
   log_info() << "deep_validator::fit: done in " << timer.seconds() << "s";
 }
 
+validator_bank_view deep_validator::bank() const {
+  if (!fitted()) throw std::logic_error{"deep_validator: not fitted"};
+  std::vector<layer_validator_view> layers;
+  layers.reserve(validators_.size());
+  for (const auto& v : validators_) layers.push_back(v.view());
+  return validator_bank_view{std::move(layers), probe_indices_, spatial_,
+                             batch_, threshold_};
+}
+
 deep_validator::scores deep_validator::evaluate(sequential& model,
                                                 const tensor& images) const {
   if (!fitted()) throw std::logic_error{"deep_validator: not fitted"};
-  trace_span eval_span{"validator.evaluate"};
-  const std::int64_t n = images.extent(0);
-  scores out;
-  out.per_layer.assign(validators_.size(),
-                       std::vector<double>(static_cast<std::size_t>(n)));
-  out.joint.assign(static_cast<std::size_t>(n), 0.0);
-  out.predictions.assign(static_cast<std::size_t>(n), 0);
-
-  for (std::int64_t begin = 0; begin < n; begin += batch_.max_batch) {
-    const std::int64_t end = std::min<std::int64_t>(n, begin + batch_.max_batch);
-    const activation_batch acts =
-        extract_activations(model, images.slice_rows(begin, end));
-    score_into(acts, out, begin);
-  }
-  return out;
+  return bank().evaluate(model, images);
 }
 
 deep_validator::scores deep_validator::evaluate(
     const activation_batch& acts) const {
   if (!fitted()) throw std::logic_error{"deep_validator: not fitted"};
-  trace_span eval_span{"validator.evaluate"};
-  const auto n = static_cast<std::size_t>(acts.size());
-  scores out;
-  out.per_layer.assign(validators_.size(), std::vector<double>(n));
-  out.joint.assign(n, 0.0);
-  out.predictions.assign(n, 0);
-  score_into(acts, out, 0);
-  return out;
-}
-
-void deep_validator::score_into(const activation_batch& acts, scores& out,
-                                std::int64_t base) const {
-  metrics::counter* images_scored =
-      metrics::get_counter("dv_validator_images_scored_total");
-  metrics::histogram* score_seconds = metrics::get_histogram(
-      "dv_validator_score_seconds", metrics::histogram_options::latency());
-  if (!probe_indices_.empty() &&
-      probe_indices_.back() >= acts.probe_count()) {
-    throw std::logic_error{"deep_validator::evaluate: probe count changed"};
-  }
-  const std::int64_t count = acts.size();
-  const auto& preds = acts.predictions;
-  // Reduce each validated probe once for the whole mini-batch.
-  std::vector<tensor> reduced(validators_.size());
-  for (std::size_t v = 0; v < validators_.size(); ++v) {
-    reduced[v] = acts.probe_features(probe_indices_[v], spatial_);
-  }
-  // Score one layer at a time through discrepancy_batch: the rows group
-  // by predicted class into one decision_batch per (layer, class) SVM,
-  // which parallelizes over rows internally and serves repeated probe
-  // activations from the decision cache when caching is on
-  // (docs/CACHING.md). Per-image math is unchanged — each row's value is
-  // the same discrepancy() computation, and the joint sum below folds
-  // the layers in the same ascending order as before — so scores are
-  // bit-identical to the per-image path for any DV_THREADS and cache
-  // setting. dv_validator_score_seconds observes one batched layer
-  // evaluation per sample (docs/OBSERVABILITY.md).
-  for (std::size_t v = 0; v < validators_.size(); ++v) {
-    const std::int64_t layer_start_ns =
-        score_seconds != nullptr ? metrics::now_ns() : 0;
-    const std::vector<double> disc =
-        validators_[v].discrepancy_batch(preds, reduced[v]);
-    for (std::int64_t i = 0; i < count; ++i) {
-      out.per_layer[v][static_cast<std::size_t>(base + i)] =
-          disc[static_cast<std::size_t>(i)];
-    }
-    if (score_seconds != nullptr) {
-      score_seconds->observe(
-          static_cast<double>(metrics::now_ns() - layer_start_ns) * 1e-9);
-    }
-  }
-  for (std::int64_t i = 0; i < count; ++i) {
-    const auto slot = static_cast<std::size_t>(base + i);
-    double joint = 0.0;
-    for (std::size_t v = 0; v < validators_.size(); ++v) {
-      joint += out.per_layer[v][slot];
-    }
-    out.joint[slot] = joint;
-    out.predictions[slot] = preds[static_cast<std::size_t>(i)];
-  }
-  if (images_scored != nullptr) {
-    images_scored->add(static_cast<std::uint64_t>(count));
-  }
+  return bank().evaluate(acts);
 }
 
 double deep_validator::joint_discrepancy(sequential& model,
@@ -256,6 +191,60 @@ deep_validator deep_validator::load(const std::string& path) {
   out.validators_.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     out.validators_.push_back(layer_validator::load(r));
+  }
+  return out;
+}
+
+void deep_validator::save_snapshot(
+    const std::string& path, const weighted_joint_validator* weighted) const {
+  if (!fitted()) {
+    throw std::logic_error{"deep_validator::save_snapshot: not fitted"};
+  }
+  snapshot_writer w;
+  w.add_i64_scalar("bank/format", 1);
+  const std::int64_t meta_i[3] = {
+      spatial_, batch_.max_batch,
+      static_cast<std::int64_t>(validators_.size())};
+  const double meta_f[1] = {threshold_};
+  w.add_i64("bank/meta_i", meta_i);
+  w.add_f64("bank/meta_f", meta_f);
+  std::vector<std::int32_t> probes(probe_indices_.begin(),
+                                   probe_indices_.end());
+  w.add_i32("bank/probes", probes);
+  for (std::size_t v = 0; v < validators_.size(); ++v) {
+    validators_[v].save_snapshot(w, "bank/L" + std::to_string(v) + "/");
+  }
+  if (weighted != nullptr && weighted->fitted()) {
+    weighted->save_snapshot(w, "bank/weighted/");
+  }
+  w.finish(path);
+}
+
+deep_validator deep_validator::load_snapshot(const std::string& path) {
+  const auto snap = snapshot_view::open(path);
+  if (snap->i64_scalar("bank/format") != 1) {
+    throw serialize_error{"snapshot bank: unsupported bank format"};
+  }
+  const auto meta_i = snap->i64("bank/meta_i");
+  const auto meta_f = snap->f64("bank/meta_f");
+  if (meta_i.size() != 3 || meta_f.size() != 1) {
+    throw serialize_error{"snapshot bank: bad metadata"};
+  }
+  deep_validator out;
+  out.spatial_ = static_cast<int>(meta_i[0]);
+  out.batch_.max_batch = static_cast<int>(meta_i[1]);
+  out.threshold_ = meta_f[0];
+  const auto layer_count = meta_i[2];
+  const auto probes = snap->i32("bank/probes");
+  if (layer_count < 1 ||
+      probes.size() != static_cast<std::size_t>(layer_count)) {
+    throw serialize_error{"snapshot bank: probe/layer count mismatch"};
+  }
+  out.probe_indices_.assign(probes.begin(), probes.end());
+  out.validators_.reserve(static_cast<std::size_t>(layer_count));
+  for (std::int64_t v = 0; v < layer_count; ++v) {
+    out.validators_.push_back(layer_validator::load_snapshot(
+        *snap, "bank/L" + std::to_string(v) + "/"));
   }
   return out;
 }

@@ -7,6 +7,12 @@
 // image by its joint discrepancy d = sum_i d_i across validated layers.
 // Inputs whose joint discrepancy exceeds a threshold epsilon are flagged as
 // error-inducing corner cases.
+//
+// deep_validator is the mutable BUILDER (fit/refit/threshold); scoring is
+// implemented once in core/validator_bank.h's validator_bank_view, which
+// this class delegates to via bank(). save_snapshot()/load_snapshot()
+// round-trip through the flat snapshot format (docs/SNAPSHOTS.md); the
+// legacy binary_writer save()/load() remain for old artifacts.
 #pragma once
 
 #include <cstdint>
@@ -16,10 +22,13 @@
 #include "core/activation_batch.h"
 #include "core/batch_config.h"
 #include "core/layer_validator.h"
+#include "core/validator_bank.h"
 #include "data/dataset.h"
 #include "nn/model.h"
 
 namespace dv {
+
+class weighted_joint_validator;
 
 struct deep_validator_config {
   one_class_svm_config svm;
@@ -44,14 +53,8 @@ class deep_validator {
   void fit(sequential& model, const dataset& train,
            const deep_validator_config& config);
 
-  struct scores {
-    /// Per validated layer (outer) and per image (inner) discrepancy d_i.
-    std::vector<std::vector<double>> per_layer;
-    /// Joint discrepancy d = sum_i d_i per image (Equation 3).
-    std::vector<double> joint;
-    /// Model prediction per image.
-    std::vector<std::int64_t> predictions;
-  };
+  /// Per-image evaluation outputs (see core/validator_bank.h).
+  using scores = validation_scores;
 
   /// Algorithm 2 over a batch of images: chunks by the configured batch
   /// size, extracting activations once per chunk.
@@ -65,6 +68,11 @@ class deep_validator {
 
   /// Joint discrepancy of a single [C,H,W] image.
   double joint_discrepancy(sequential& model, const tensor& image) const;
+
+  /// Read-only bank view over the owned storage — the scoring surface
+  /// this class delegates to. Valid while this object is alive and
+  /// unmodified; requires a fitted validator.
+  validator_bank_view bank() const;
 
   /// Batching configuration captured at fit time.
   const batch_config& batching() const { return batch_; }
@@ -89,12 +97,16 @@ class deep_validator {
   void save(const std::string& path) const;
   static deep_validator load(const std::string& path);
 
- private:
-  /// Scores `acts` into out.{per_layer,joint,predictions} rows
-  /// [base, base + acts.size()).
-  void score_into(const activation_batch& acts, scores& out,
-                  std::int64_t base) const;
+  /// Writes the fitted bank as a flat snapshot (docs/SNAPSHOTS.md).
+  /// `weighted`, when non-null and fitted, embeds the weighted-joint
+  /// combiner so snapshot-backed banks can serve weighted scores.
+  void save_snapshot(const std::string& path,
+                     const weighted_joint_validator* weighted = nullptr) const;
+  /// Materializes an owned (refit-able) validator from a snapshot file.
+  /// For zero-copy serving use validator_bank_view::from_snapshot.
+  static deep_validator load_snapshot(const std::string& path);
 
+ private:
   std::vector<layer_validator> validators_;
   std::vector<int> probe_indices_;
   int spatial_{1};

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/flat_snapshot.h"
 #include "util/serialize.h"
 
 namespace dv {
@@ -36,6 +37,28 @@ void feature_scaler::fit(const tensor& features) {
 
 void feature_scaler::transform(tensor& features) const {
   if (!fitted()) throw std::logic_error{"feature_scaler: not fitted"};
+  view().transform(features);
+}
+
+void feature_scaler::transform_row(std::span<float> row) const {
+  if (!fitted()) throw std::logic_error{"feature_scaler: not fitted"};
+  view().transform_row(row);
+}
+
+// ---------------------------------------------------------------------------
+// scaler_view — the single transform implementation (the builder delegates
+// through view(), so owned and snapshot-backed scaling are one code path).
+
+scaler_view::scaler_view(std::span<const float> mean,
+                         std::span<const float> inv_std)
+    : mean_{mean}, inv_std_{inv_std} {
+  if (mean_.size() != inv_std_.size()) {
+    throw std::invalid_argument{"scaler_view: mean/inv_std length mismatch"};
+  }
+}
+
+void scaler_view::transform(tensor& features) const {
+  if (!valid()) throw std::logic_error{"feature_scaler: not fitted"};
   const std::int64_t n = features.extent(0);
   const std::int64_t d = features.extent(1);
   if (d != dimension()) {
@@ -46,7 +69,7 @@ void feature_scaler::transform(tensor& features) const {
   }
 }
 
-void feature_scaler::transform_row(std::span<float> row) const {
+void scaler_view::transform_row(std::span<float> row) const {
   if (static_cast<std::int64_t>(row.size()) != dimension()) {
     throw std::invalid_argument{"feature_scaler::transform_row: dim mismatch"};
   }
@@ -54,6 +77,9 @@ void feature_scaler::transform_row(std::span<float> row) const {
     row[j] = (row[j] - mean_[j]) * inv_std_[j];
   }
 }
+
+// ---------------------------------------------------------------------------
+// Serialization: legacy binary stream + flat snapshot sections.
 
 void feature_scaler::save(binary_writer& w) const {
   w.write_f32_vector(mean_);
@@ -67,6 +93,35 @@ feature_scaler feature_scaler::load(binary_reader& r) {
   if (out.mean_.size() != out.inv_std_.size()) {
     throw serialize_error{"feature_scaler::load: inconsistent artifact"};
   }
+  return out;
+}
+
+void feature_scaler::save_snapshot(snapshot_writer& w,
+                                   const std::string& prefix) const {
+  if (!fitted()) {
+    throw std::logic_error{"feature_scaler::save_snapshot: not fitted"};
+  }
+  w.add_f32(prefix + "mean", mean_);
+  w.add_f32(prefix + "istd", inv_std_);
+}
+
+scaler_view scaler_view::from_snapshot(const snapshot_view& snap,
+                                       const std::string& prefix) {
+  const auto mean = snap.f32(prefix + "mean");
+  const auto istd = snap.f32(prefix + "istd");
+  if (mean.empty() || mean.size() != istd.size()) {
+    throw serialize_error{"snapshot scaler '" + prefix +
+                          "': inconsistent shape"};
+  }
+  return scaler_view{mean, istd};
+}
+
+feature_scaler feature_scaler::load_snapshot(const snapshot_view& snap,
+                                             const std::string& prefix) {
+  const scaler_view v = scaler_view::from_snapshot(snap, prefix);
+  feature_scaler out;
+  out.mean_.assign(v.mean().begin(), v.mean().end());
+  out.inv_std_.assign(v.inv_std().begin(), v.inv_std().end());
   return out;
 }
 

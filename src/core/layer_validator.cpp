@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/flat_snapshot.h"
 #include "util/metrics.h"
 #include "util/serialize.h"
 
@@ -52,9 +53,38 @@ void layer_validator::fit(const tensor& features,
   }
 }
 
+layer_validator_view layer_validator::view() const {
+  if (!fitted()) throw std::logic_error{"layer_validator: not fitted"};
+  std::vector<one_class_svm_view> views;
+  views.reserve(svms_.size());
+  for (const auto& svm : svms_) views.push_back(svm.view());
+  return layer_validator_view{scaler_.view(), std::move(views)};
+}
+
 double layer_validator::discrepancy(std::int64_t predicted_class,
                                     std::span<const float> feature) const {
   if (!fitted()) throw std::logic_error{"layer_validator: not fitted"};
+  return view().discrepancy(predicted_class, feature);
+}
+
+std::vector<double> layer_validator::discrepancy_batch(
+    const std::vector<std::int64_t>& predicted_classes,
+    const tensor& features) const {
+  if (!fitted()) throw std::logic_error{"layer_validator: not fitted"};
+  return view().discrepancy_batch(predicted_classes, features);
+}
+
+// ---------------------------------------------------------------------------
+// layer_validator_view — the single discrepancy implementation (builder
+// delegates through view(), so owned and snapshot-backed paths share it).
+
+layer_validator_view::layer_validator_view(
+    scaler_view scaler, std::vector<one_class_svm_view> svms)
+    : scaler_{scaler}, svms_{std::move(svms)} {}
+
+double layer_validator_view::discrepancy(std::int64_t predicted_class,
+                                         std::span<const float> feature) const {
+  if (!valid()) throw std::logic_error{"layer_validator: not fitted"};
   if (predicted_class < 0 ||
       predicted_class >= static_cast<std::int64_t>(svms_.size())) {
     throw std::out_of_range{"layer_validator::discrepancy: class"};
@@ -66,10 +96,10 @@ double layer_validator::discrepancy(std::int64_t predicted_class,
   return -svms_[static_cast<std::size_t>(predicted_class)].decision(scaled);
 }
 
-std::vector<double> layer_validator::discrepancy_batch(
+std::vector<double> layer_validator_view::discrepancy_batch(
     const std::vector<std::int64_t>& predicted_classes,
     const tensor& features) const {
-  if (!fitted()) throw std::logic_error{"layer_validator: not fitted"};
+  if (!valid()) throw std::logic_error{"layer_validator: not fitted"};
   if (features.dim() != 2 ||
       static_cast<std::size_t>(features.extent(0)) !=
           predicted_classes.size()) {
@@ -78,7 +108,7 @@ std::vector<double> layer_validator::discrepancy_batch(
   const std::int64_t n = features.extent(0);
   const std::int64_t d = features.extent(1);
   // Batch scale, then group rows by predicted class so each class's SVM
-  // sees one decision_batch call. feature_scaler::transform applies
+  // sees one decision_batch call. scaler_view::transform applies
   // transform_row per row and decision_batch applies decision() per row,
   // so every output matches the per-row discrepancy() path bitwise.
   tensor scaled = features;
@@ -108,6 +138,9 @@ std::vector<double> layer_validator::discrepancy_batch(
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Serialization: legacy binary stream + flat snapshot sections.
+
 void layer_validator::save(binary_writer& w) const {
   scaler_.save(w);
   w.write_u64(svms_.size());
@@ -121,6 +154,54 @@ layer_validator layer_validator::load(binary_reader& r) {
   out.svms_.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     out.svms_.push_back(one_class_svm::load(r));
+  }
+  return out;
+}
+
+void layer_validator::save_snapshot(snapshot_writer& w,
+                                    const std::string& prefix) const {
+  if (!fitted()) {
+    throw std::logic_error{"layer_validator::save_snapshot: not fitted"};
+  }
+  const std::int64_t meta_i[1] = {static_cast<std::int64_t>(svms_.size())};
+  w.add_i64(prefix + "meta_i", meta_i);
+  scaler_.save_snapshot(w, prefix + "scaler/");
+  for (std::size_t k = 0; k < svms_.size(); ++k) {
+    svms_[k].save_snapshot(w, prefix + "c" + std::to_string(k) + "/");
+  }
+}
+
+layer_validator_view layer_validator_view::from_snapshot(
+    const snapshot_view& snap, const std::string& prefix) {
+  const auto meta_i = snap.i64(prefix + "meta_i");
+  if (meta_i.size() != 1 || meta_i[0] < 1) {
+    throw serialize_error{"snapshot layer '" + prefix + "': bad metadata"};
+  }
+  const auto classes = static_cast<std::size_t>(meta_i[0]);
+  const scaler_view scaler =
+      scaler_view::from_snapshot(snap, prefix + "scaler/");
+  std::vector<one_class_svm_view> svms;
+  svms.reserve(classes);
+  for (std::size_t k = 0; k < classes; ++k) {
+    svms.push_back(one_class_svm_view::from_snapshot(
+        snap, prefix + "c" + std::to_string(k) + "/"));
+  }
+  return layer_validator_view{scaler, std::move(svms)};
+}
+
+layer_validator layer_validator::load_snapshot(const snapshot_view& snap,
+                                               const std::string& prefix) {
+  const auto meta_i = snap.i64(prefix + "meta_i");
+  if (meta_i.size() != 1 || meta_i[0] < 1) {
+    throw serialize_error{"snapshot layer '" + prefix + "': bad metadata"};
+  }
+  const auto classes = static_cast<std::size_t>(meta_i[0]);
+  layer_validator out;
+  out.scaler_ = feature_scaler::load_snapshot(snap, prefix + "scaler/");
+  out.svms_.reserve(classes);
+  for (std::size_t k = 0; k < classes; ++k) {
+    out.svms_.push_back(one_class_svm::load_snapshot(
+        snap, prefix + "c" + std::to_string(k) + "/"));
   }
   return out;
 }

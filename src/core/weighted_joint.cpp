@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/flat_snapshot.h"
+
 namespace dv {
 
 namespace {
@@ -40,16 +42,28 @@ void weighted_joint_validator::fit(sequential& model,
   combiner_.fit(x, y);
 }
 
+weighted_joint_view weighted_joint_validator::view() const {
+  if (!fitted()) {
+    throw std::logic_error{"weighted_joint_validator: not fitted"};
+  }
+  return weighted_joint_view{combiner_.weights(), combiner_.bias()};
+}
+
 std::vector<double> weighted_joint_validator::score_batch(
     sequential& model, const deep_validator& base,
     const tensor& images) const {
   if (!fitted()) {
     throw std::logic_error{"weighted_joint_validator: not fitted"};
   }
+  // Delegate per-row scoring to the view so the fitted path and the
+  // snapshot-backed path (validator_bank_view::weighted) are one code
+  // path: weighted_joint_view::decision replays the exact
+  // logistic_regression::decision accumulation order.
+  const weighted_joint_view v = view();
   const auto rows = per_layer_rows(base.evaluate(model, images));
   std::vector<double> out;
   out.reserve(rows.size());
-  for (const auto& row : rows) out.push_back(combiner_.decision(row));
+  for (const auto& row : rows) out.push_back(v.decision(row));
   return out;
 }
 
@@ -58,11 +72,21 @@ std::vector<double> weighted_joint_validator::score_batch(
   if (!fitted()) {
     throw std::logic_error{"weighted_joint_validator: not fitted"};
   }
+  const weighted_joint_view v = view();
   const auto rows = per_layer_rows(base.evaluate(acts));
   std::vector<double> out;
   out.reserve(rows.size());
-  for (const auto& row : rows) out.push_back(combiner_.decision(row));
+  for (const auto& row : rows) out.push_back(v.decision(row));
   return out;
+}
+
+void weighted_joint_validator::save_snapshot(snapshot_writer& w,
+                                             const std::string& prefix) const {
+  if (!fitted()) {
+    throw std::logic_error{"weighted_joint_validator: not fitted"};
+  }
+  w.add_f64(prefix + "weights", combiner_.weights());
+  w.add_f64_scalar(prefix + "bias", combiner_.bias());
 }
 
 tensor weighted_joint_validator::make_noise_outliers(

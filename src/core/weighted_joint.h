@@ -7,6 +7,10 @@
 // regression. To stay scenario-agnostic (the paper's core design rule), the
 // positive class defaults to uniform-noise outlier images, which require no
 // knowledge of any corner-case scenario.
+//
+// Scoring delegates to core/validator_bank.h's weighted_joint_view (the
+// read-only half, also constructible zero-copy from a snapshot), so fitted
+// and snapshot-backed weighted scores share one code path.
 #pragma once
 
 #include "core/deep_validator.h"
@@ -32,9 +36,19 @@ class weighted_joint_validator {
   std::vector<double> score_batch(const deep_validator& base,
                                   const activation_batch& acts) const;
 
+  /// Read-only view over the learned weights; valid while this object is
+  /// alive and unmodified. Requires a fitted combiner.
+  weighted_joint_view view() const;
+
   bool fitted() const { return combiner_.fitted(); }
   /// Learned per-layer weights (one per validated layer).
   const std::vector<double>& weights() const { return combiner_.weights(); }
+  double bias() const { return combiner_.bias(); }
+
+  /// Writes the learned weights as snapshot sections named `prefix` +
+  /// {weights, bias} (docs/SNAPSHOTS.md); read back zero-copy by
+  /// weighted_joint_view::from_snapshot.
+  void save_snapshot(snapshot_writer& w, const std::string& prefix) const;
 
   /// Generates scenario-agnostic outliers: uniform-noise images of the
   /// given shape.

@@ -1,0 +1,38 @@
+#include "serve/engine_handle.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/metrics.h"
+
+namespace dv {
+
+std::uint64_t engine_handle::publish(validator_bank_view bank) {
+  if (!bank.valid()) {
+    throw std::invalid_argument{"engine_handle::publish: empty bank"};
+  }
+  auto next = std::make_shared<const published_bank>(published_bank{
+      std::move(bank), generation_.fetch_add(1, std::memory_order_relaxed) + 1});
+  const std::uint64_t generation = next->generation;
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    slot_ = std::move(next);
+  }
+  if (metrics::enabled()) {
+    metrics::count("dv_snapshot_publish_total");
+    metrics::set("dv_snapshot_active_generation",
+                 static_cast<double>(generation));
+  }
+  return generation;
+}
+
+std::shared_ptr<const published_bank> engine_handle::current() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return slot_;
+}
+
+std::uint64_t engine_handle::generation() const {
+  return generation_.load(std::memory_order_relaxed);
+}
+
+}  // namespace dv

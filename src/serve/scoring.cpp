@@ -66,4 +66,48 @@ std::vector<scoring_result> validator_scorer::score(const tensor& frames) {
   return out;
 }
 
+engine_scorer::engine_scorer(sequential& model, const engine_handle& handle)
+    : model_{model}, handle_{handle} {
+  if (cache_enabled()) {
+    frame_cache_ = std::make_unique<activation_cache>();
+  }
+}
+
+std::vector<scoring_result> engine_scorer::score(const tensor& frames) {
+  // Pin the current bank ONCE for the whole batch: a publish() racing
+  // with this call either lands before the load (whole batch on the new
+  // generation) or after (whole batch on the old one, kept alive by this
+  // shared_ptr) — never a mix.
+  const std::shared_ptr<const published_bank> current = handle_.current();
+  if (current == nullptr) {
+    throw std::logic_error{"engine_scorer: no bank published yet"};
+  }
+  const validator_bank_view& bank = current->bank;
+  const activation_batch acts =
+      extract_activations_cached(model_, frames, frame_cache_.get());
+  const auto s = bank.evaluate(acts);
+
+  const bool has_weighted = bank.weighted().valid();
+  const std::size_t n = s.joint.size();
+  std::vector<scoring_result> out(n);
+  std::vector<double> row_buffer(s.per_layer.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& row = out[i];
+    row.joint = s.joint[i];
+    row.prediction = s.predictions[i];
+    row.invalid = bank.flags_invalid(row.joint);
+    row.generation = current->generation;
+    row.per_layer.reserve(s.per_layer.size());
+    for (const auto& layer : s.per_layer) row.per_layer.push_back(layer[i]);
+    if (has_weighted) {
+      for (std::size_t l = 0; l < s.per_layer.size(); ++l) {
+        row_buffer[l] = s.per_layer[l][i];
+      }
+      row.weighted = bank.weighted().decision(row_buffer);
+      row.has_weighted = true;
+    }
+  }
+  return out;
+}
+
 }  // namespace dv

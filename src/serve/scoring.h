@@ -21,6 +21,7 @@
 #include "core/deep_validator.h"
 #include "core/weighted_joint.h"
 #include "detect/detector.h"
+#include "serve/engine_handle.h"
 #include "tensor/tensor.h"
 
 namespace dv {
@@ -68,6 +69,10 @@ struct scoring_result {
   /// Weighted joint score; meaningful only when has_weighted.
   double weighted{0.0};
   bool has_weighted{false};
+  /// Generation of the published bank that scored this frame (0 when the
+  /// scorer is not engine-backed; see serve/engine_handle.h). Every
+  /// frame of one batch carries the same generation.
+  std::uint64_t generation{0};
 };
 
 /// Scores a stacked [N,C,H,W] batch of frames. Implementations are called
@@ -113,6 +118,33 @@ class validator_scorer : public batch_scorer {
   /// Strong-hash LRU over per-frame forward-pass products; score() runs
   /// serialized (batcher worker or caller_runs under the batch mutex),
   /// which is the single-mutator stream the cache requires.
+  std::unique_ptr<activation_cache> frame_cache_;
+};
+
+/// The hot-swappable scorer: scores each batch against whatever bank the
+/// engine_handle currently publishes (serve/engine_handle.h). The bank is
+/// loaded ONCE per batch — every frame of a batch scores against one
+/// generation, and a publish between batches never drains the queue.
+/// Weighted scores come from the bank's embedded combiner when the
+/// snapshot carries one. When caching is on, a handle must not be shared
+/// by two concurrently scoring services (docs/SNAPSHOTS.md): the bank's
+/// decision caches assume the serialized scoring stream one micro_batcher
+/// provides.
+class engine_scorer : public batch_scorer {
+ public:
+  /// `model` and `handle` must outlive the scorer. The handle may be
+  /// empty at construction; score() before the first publish throws.
+  engine_scorer(sequential& model, const engine_handle& handle);
+
+  std::vector<scoring_result> score(const tensor& frames) override;
+
+  /// The frame-level activation cache, or nullptr when caching was off
+  /// at construction (DV_CACHE, docs/CACHING.md).
+  const activation_cache* frame_cache() const { return frame_cache_.get(); }
+
+ private:
+  sequential& model_;
+  const engine_handle& handle_;
   std::unique_ptr<activation_cache> frame_cache_;
 };
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "tensor/ops.h"
+#include "util/flat_snapshot.h"
 #include "util/logging.h"
 #include "util/serialize.h"
 #include "util/thread_pool.h"
@@ -142,21 +143,70 @@ void one_class_svm::fit(const tensor& samples,
               << " iters=" << iter << " rho=" << rho_;
 }
 
+one_class_svm_view one_class_svm::view() const {
+  if (!fitted_) throw std::logic_error{"one_class_svm::view: not fitted"};
+  return one_class_svm_view{kernel_,
+                            gamma_,
+                            rho_,
+                            support_vectors_.data(),
+                            support_vectors_.extent(0),
+                            support_vectors_.extent(1),
+                            alpha_.data(),
+                            iterations_,
+                            &decision_cache_};
+}
+
 double one_class_svm::decision(std::span<const float> x) const {
   if (!fitted_) throw std::logic_error{"one_class_svm::decision: not fitted"};
-  const std::int64_t d = support_vectors_.extent(1);
-  if (static_cast<std::int64_t>(x.size()) != d) {
+  return view().decision(x);
+}
+
+std::vector<double> one_class_svm::decision_batch(const tensor& x) const {
+  if (!fitted_) {
+    throw std::logic_error{"one_class_svm::decision_batch: not fitted"};
+  }
+  return view().decision_batch(x);
+}
+
+// ---------------------------------------------------------------------------
+// one_class_svm_view — the single scoring implementation (builder
+// delegates through view(), so owned and snapshot-backed paths share it).
+
+one_class_svm_view::one_class_svm_view(kernel_kind kernel, double gamma,
+                                       double rho,
+                                       const float* support_vectors,
+                                       std::int64_t m, std::int64_t d,
+                                       const double* alpha,
+                                       std::int64_t iterations,
+                                       strong_lru_cache<double>* cache)
+    : kernel_{kernel},
+      gamma_{gamma},
+      rho_{rho},
+      sv_{support_vectors},
+      alpha_{alpha},
+      m_{m},
+      d_{d},
+      iterations_{iterations},
+      external_cache_{cache} {
+  if (m_ < 0 || d_ < 0 || (m_ > 0 && (sv_ == nullptr || alpha_ == nullptr))) {
+    throw std::invalid_argument{"one_class_svm_view: bad storage"};
+  }
+}
+
+double one_class_svm_view::decision(std::span<const float> x) const {
+  if (!valid()) throw std::logic_error{"one_class_svm::decision: not fitted"};
+  if (static_cast<std::int64_t>(x.size()) != d_) {
     throw std::invalid_argument{"one_class_svm::decision: dimension mismatch"};
   }
   double acc = 0.0;
-  const std::int64_t m = support_vectors_.extent(0);
+  const std::int64_t m = m_;
   if (kernel_ == kernel_kind::rbf) {
     // Batch the squared distances through the SIMD row kernel, then fold
     // alpha_i * exp(...) in the same sequential i order as the generic
     // loop below — bitwise identical to per-pair kernel_value calls.
     thread_local std::vector<double> sq;
     sq.resize(static_cast<std::size_t>(m));
-    squared_distance_row(x.data(), support_vectors_.data(), m, d, sq.data());
+    squared_distance_row(x.data(), sv_, m, d_, sq.data());
     for (std::int64_t i = 0; i < m; ++i) {
       acc += alpha_[static_cast<std::size_t>(i)] *
              std::exp(-gamma_ * sq[static_cast<std::size_t>(i)]);
@@ -165,24 +215,22 @@ double one_class_svm::decision(std::span<const float> x) const {
   }
   for (std::int64_t i = 0; i < m; ++i) {
     acc += alpha_[static_cast<std::size_t>(i)] *
-           kernel_value(kernel_, support_vectors_.data() + i * d, x.data(), d,
-                        gamma_);
+           kernel_value(kernel_, sv_ + i * d_, x.data(), d_, gamma_);
   }
   return acc - rho_;
 }
 
-std::vector<double> one_class_svm::decision_batch(const tensor& x) const {
-  if (!fitted_) {
+std::vector<double> one_class_svm_view::decision_batch(const tensor& x) const {
+  if (!valid()) {
     throw std::logic_error{"one_class_svm::decision_batch: not fitted"};
   }
-  if (x.dim() != 2 || x.extent(1) != support_vectors_.extent(1)) {
+  if (x.dim() != 2 || x.extent(1) != d_) {
     throw std::invalid_argument{
-        "one_class_svm::decision_batch: expected [n, " +
-        std::to_string(support_vectors_.extent(1)) + "], got " +
-        x.shape_string()};
+        "one_class_svm::decision_batch: expected [n, " + std::to_string(d_) +
+        "], got " + x.shape_string()};
   }
   const std::int64_t n = x.extent(0);
-  const std::int64_t d = support_vectors_.extent(1);
+  const std::int64_t d = d_;
   std::vector<double> out(static_cast<std::size_t>(n));
   if (!cache_enabled()) {
     // One output per row; per-row math is the sequential decision() loop.
@@ -207,8 +255,9 @@ std::vector<double> one_class_svm::decision_batch(const tensor& x) const {
   // and each row's value is the same decision() math either way —
   // bitwise transparent. Rebuilding when the capacity knob moved keeps
   // set_cache_capacity() effective for tests/benches.
-  if (decision_cache_.capacity() != cache_capacity()) {
-    decision_cache_ = strong_lru_cache<double>{cache_capacity(), "decision"};
+  strong_lru_cache<double>* slot = cache();
+  if (slot->capacity() != cache_capacity()) {
+    *slot = strong_lru_cache<double>{cache_capacity(), "decision"};
   }
   std::vector<strong_hash> hashes(static_cast<std::size_t>(n));
   std::vector<std::int64_t> miss_rows;  // first row per distinct missed hash
@@ -218,7 +267,7 @@ std::vector<double> one_class_svm::decision_batch(const tensor& x) const {
     const auto& h = hashes[static_cast<std::size_t>(i)] =
         strong_hash::of_bytes(x.data() + i * d,
                               static_cast<std::size_t>(d) * sizeof(float));
-    if (const double* hit = decision_cache_.find(h)) {
+    if (const double* hit = slot->find(h)) {
       out[static_cast<std::size_t>(i)] = *hit;
       continue;
     }
@@ -246,11 +295,13 @@ std::vector<double> one_class_svm::decision_batch(const tensor& x) const {
     if (m >= 0) out[static_cast<std::size_t>(i)] = fresh[static_cast<std::size_t>(m)];
   }
   for (std::size_t m = 0; m < miss_rows.size(); ++m) {
-    decision_cache_.insert(hashes[static_cast<std::size_t>(miss_rows[m])],
-                           fresh[m]);
+    slot->insert(hashes[static_cast<std::size_t>(miss_rows[m])], fresh[m]);
   }
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// Serialization: legacy binary stream + flat snapshot sections.
 
 void one_class_svm::save(binary_writer& w) const {
   if (!fitted_) throw std::logic_error{"one_class_svm::save: not fitted"};
@@ -275,6 +326,86 @@ one_class_svm one_class_svm::load(binary_reader& r) {
           out.alpha_.size()) {
     throw serialize_error{"one_class_svm::load: inconsistent artifact"};
   }
+  out.fitted_ = true;
+  return out;
+}
+
+void one_class_svm::save_snapshot(snapshot_writer& w,
+                                  const std::string& prefix) const {
+  if (!fitted_) {
+    throw std::logic_error{"one_class_svm::save_snapshot: not fitted"};
+  }
+  const std::int64_t meta_i[4] = {static_cast<std::int64_t>(kernel_),
+                                  iterations_, support_vectors_.extent(0),
+                                  support_vectors_.extent(1)};
+  const double meta_f[2] = {gamma_, rho_};
+  w.add_i64(prefix + "meta_i", meta_i);
+  w.add_f64(prefix + "meta_f", meta_f);
+  w.add_f32(prefix + "sv", support_vectors_.span());
+  w.add_f64(prefix + "alpha", alpha_);
+}
+
+namespace {
+/// Shared section decoding for the zero-copy view and the materializer;
+/// throws serialize_error on any cross-section inconsistency.
+struct svm_sections {
+  kernel_kind kernel;
+  std::int64_t iterations;
+  std::int64_t m;
+  std::int64_t d;
+  double gamma;
+  double rho;
+  std::span<const float> sv;
+  std::span<const double> alpha;
+};
+
+svm_sections read_svm_sections(const snapshot_view& snap,
+                               const std::string& prefix) {
+  const auto meta_i = snap.i64(prefix + "meta_i");
+  const auto meta_f = snap.f64(prefix + "meta_f");
+  if (meta_i.size() != 4 || meta_f.size() != 2) {
+    throw serialize_error{"snapshot svm '" + prefix + "': bad metadata"};
+  }
+  svm_sections s;
+  if (meta_i[0] < 0 || meta_i[0] > static_cast<std::int64_t>(kernel_kind::rbf)) {
+    throw serialize_error{"snapshot svm '" + prefix + "': unknown kernel"};
+  }
+  s.kernel = static_cast<kernel_kind>(meta_i[0]);
+  s.iterations = meta_i[1];
+  s.m = meta_i[2];
+  s.d = meta_i[3];
+  s.gamma = meta_f[0];
+  s.rho = meta_f[1];
+  s.sv = snap.f32(prefix + "sv");
+  s.alpha = snap.f64(prefix + "alpha");
+  if (s.m < 1 || s.d < 1 ||
+      s.sv.size() != static_cast<std::size_t>(s.m * s.d) ||
+      s.alpha.size() != static_cast<std::size_t>(s.m)) {
+    throw serialize_error{"snapshot svm '" + prefix + "': inconsistent shape"};
+  }
+  return s;
+}
+}  // namespace
+
+one_class_svm_view one_class_svm_view::from_snapshot(
+    const snapshot_view& snap, const std::string& prefix) {
+  const svm_sections s = read_svm_sections(snap, prefix);
+  return one_class_svm_view{s.kernel,      s.gamma, s.rho, s.sv.data(), s.m,
+                            s.d,           s.alpha.data(), s.iterations,
+                            nullptr};
+}
+
+one_class_svm one_class_svm::load_snapshot(const snapshot_view& snap,
+                                           const std::string& prefix) {
+  const svm_sections s = read_svm_sections(snap, prefix);
+  one_class_svm out;
+  out.kernel_ = s.kernel;
+  out.gamma_ = s.gamma;
+  out.rho_ = s.rho;
+  out.iterations_ = s.iterations;
+  out.support_vectors_ = tensor{{s.m, s.d}};
+  std::copy_n(s.sv.data(), s.sv.size(), out.support_vectors_.data());
+  out.alpha_.assign(s.alpha.begin(), s.alpha.end());
   out.fitted_ = true;
   return out;
 }
